@@ -1,0 +1,95 @@
+"""Fig. 8 / Exp-3 — effects of the local database cache capacity.
+
+Sweeps the cache capacity over relative fractions of the data-graph size
+for two patterns (the paper used q4 and q5 on ok) and reports cache hit
+rate, communication cost and simulated execution time.
+
+Shape: hit rate rises steeply with capacity (85 %+ at modest fractions),
+communication and execution time fall accordingly.
+"""
+
+import pytest
+
+from repro.engine.cluster import SimulatedCluster
+from repro.engine.config import BenuConfig
+from repro.graph.patterns import get_pattern
+from repro.metrics import format_bytes, format_table
+from repro.pattern.pattern_graph import PatternGraph
+from repro.plan.compression import compress_plan
+from repro.plan.generation import generate_raw_plan
+from repro.plan.optimizer import optimize
+from repro.storage.serialization import graph_size_bytes
+
+from common import bench_graph, write_report
+
+PATTERNS = {"q4": (5, 1, 4, 2, 3), "q5": (1, 2, 5, 3, 4)}
+FRACTIONS = (0.0, 0.05, 0.1, 0.2, 0.4, 1.0)
+
+
+def graph():
+    return bench_graph("fig8", 1000, 7.0, 2.3, seed=88)
+
+
+def run_with_capacity(name: str, capacity_bytes: int):
+    pattern = PatternGraph(get_pattern(name), name)
+    plan = compress_plan(
+        optimize(generate_raw_plan(pattern, list(PATTERNS[name])))
+    )
+    config = BenuConfig(
+        num_workers=2,
+        cache_capacity_bytes=capacity_bytes,
+        relabel=False,
+    )
+    return SimulatedCluster(graph(), config).run_plan(plan)
+
+
+def _make_report():
+    total = graph_size_bytes(graph())
+    rows = []
+    series = {}
+    for name in PATTERNS:
+        hit_rates, comms, times = [], [], []
+        for fraction in FRACTIONS:
+            result = run_with_capacity(name, int(total * fraction))
+            hit_rates.append(result.cache_hit_rate)
+            comms.append(result.communication.bytes_transferred)
+            times.append(result.makespan_seconds)
+            rows.append(
+                [
+                    name,
+                    f"{fraction:.0%}",
+                    f"{result.cache_hit_rate:.1%}",
+                    result.communication.queries,
+                    format_bytes(result.communication.bytes_transferred),
+                    f"{result.makespan_seconds:.4f}s",
+                ]
+            )
+        series[name] = (hit_rates, comms, times)
+    text = format_table(
+        ["pattern", "rel capacity", "hit rate", "queries", "comm", "sim time"],
+        rows,
+    )
+    write_report("fig8_cache_capacity", text)
+    return series
+
+
+def test_fig8_report(benchmark):
+    series = benchmark.pedantic(_make_report, rounds=1, iterations=1)
+    for name, (hit_rates, comms, times) in series.items():
+        # Hit rate is (weakly) monotone in capacity and high at full size.
+        assert hit_rates[0] == 0.0
+        assert hit_rates[-1] > 0.8, name
+        # Communication falls as capacity grows.
+        assert comms[-1] < comms[0] / 5, name
+        # Execution time falls too.
+        assert times[-1] < times[0], name
+        # The steep-knee shape: a 20% cache already recovers most hits.
+        assert hit_rates[3] > 0.5 * hit_rates[-1], name
+
+
+@pytest.mark.parametrize("fraction", [0.0, 0.2, 1.0])
+def test_bench_q4_capacity(benchmark, fraction):
+    total = graph_size_bytes(graph())
+    benchmark.pedantic(
+        run_with_capacity, args=("q4", int(total * fraction)), rounds=3, iterations=1
+    )

@@ -1,0 +1,112 @@
+"""Table IV / Exp-1 — efficiency of best execution plan generation.
+
+Reproduces the three workload families of Exp-1: the Fig. 6 patterns
+q1–q9, cliques of growing size, and batches of random connected graphs,
+reporting relative α (estimate invocations vs Σ P(n,i)), relative β
+(optimized plans generated vs n!) and wall time.  The paper's shape:
+β/n! stays below ~15 % everywhere and below 1 % for random graphs, and
+plan generation takes a negligible fraction of enumeration time.
+"""
+
+import statistics
+
+import pytest
+
+from repro.graph.generators import sample_pattern_graphs
+from repro.graph.graph import complete_graph
+from repro.graph.patterns import FIG6_PATTERNS, get_pattern
+from repro.metrics import format_table
+from repro.pattern.pattern_graph import PatternGraph
+from repro.plan.search import generate_best_plan
+
+from common import write_report
+
+CLIQUE_SIZES = (4, 5, 6, 7)
+RANDOM_SIZES = (7, 8, 9)
+RANDOM_SAMPLES = 25  # the paper used 1000; scaled for pure Python
+
+
+def search_stats(pattern, name):
+    return generate_best_plan(PatternGraph(pattern, name)).stats
+
+
+def test_table4_report(benchmark):
+    result = benchmark.pedantic(_make_report, rounds=1, iterations=1)
+    fig6_betas, clique_betas, random_betas = result
+    # Paper shapes: beta/n! small thanks to pruning.  Our q5 is the plain
+    # 5-cycle, which has no syntactically-equivalent pair, so all of its
+    # rotations/reflections tie at minimum cost (beta 33%) — every other
+    # pattern stays below the paper's 15% and cliques collapse to ~0.
+    assert sorted(fig6_betas)[len(fig6_betas) // 2] < 0.15  # median
+    assert sum(1 for b in fig6_betas if b < 0.15) >= len(fig6_betas) - 1
+    assert all(b < 0.05 for b in clique_betas)
+    assert all(b < 0.01 for b in random_betas)
+
+
+def _make_report():
+    rows = []
+    fig6_betas = []
+    clique_betas = []
+
+    for name in FIG6_PATTERNS:
+        s = search_stats(get_pattern(name), name)
+        rows.append(
+            [
+                name,
+                f"{s.relative_alpha:.1%}",
+                f"{s.relative_beta:.1%}",
+                f"{s.elapsed_seconds:.3f}s",
+            ]
+        )
+        fig6_betas.append(s.relative_beta)
+
+    for n in CLIQUE_SIZES:
+        s = search_stats(complete_graph(n), f"clique{n}")
+        rows.append(
+            [
+                f"clique n={n}",
+                f"{s.relative_alpha:.2%}",
+                f"{s.relative_beta:.3%}",
+                f"{s.elapsed_seconds:.3f}s",
+            ]
+        )
+        clique_betas.append(s.relative_beta)
+
+    random_betas = []
+    for n in RANDOM_SIZES:
+        alphas, betas, times = [], [], []
+        for pattern in sample_pattern_graphs(n, RANDOM_SAMPLES, seed=1000 + n):
+            s = search_stats(pattern, f"random{n}")
+            alphas.append(s.relative_alpha)
+            betas.append(s.relative_beta)
+            times.append(s.elapsed_seconds)
+        rows.append(
+            [
+                f"random n={n} (avg of {RANDOM_SAMPLES})",
+                f"{statistics.mean(alphas):.2%}",
+                f"{statistics.mean(betas):.3%}",
+                f"{statistics.mean(times):.3f}s",
+            ]
+        )
+        random_betas.append(statistics.mean(betas))
+
+    text = format_table(
+        ["pattern", "relative alpha", "relative beta", "time"], rows
+    )
+    write_report("table4_plan_generation", text)
+    return fig6_betas, clique_betas, random_betas
+
+
+@pytest.mark.parametrize("name", ["q1", "q5", "q9"])
+def test_bench_fig6_plan_search(benchmark, name):
+    pattern = get_pattern(name)
+    benchmark(lambda: generate_best_plan(PatternGraph(pattern, name)))
+
+
+def test_bench_random8_plan_search(benchmark):
+    patterns = sample_pattern_graphs(8, 5, seed=321)
+    benchmark(
+        lambda: [
+            generate_best_plan(PatternGraph(p, "rand8")) for p in patterns
+        ]
+    )

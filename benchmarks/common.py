@@ -1,0 +1,67 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each ``bench_*.py`` file regenerates one table or figure of the paper
+(DESIGN.md §4 maps them).  Every file
+
+* times its core operation with pytest-benchmark, and
+* writes the paper-style table/series to ``benchmarks/results/<name>.txt``
+  (also echoed to stdout, visible with ``pytest -s``), which EXPERIMENTS.md
+  snapshots.
+
+Benchmark workloads are *scaled down* from the library's stand-in datasets
+where a cell would otherwise take minutes in pure Python; the shapes the
+paper reports (who wins, by what factor, how curves bend) are preserved.
+Set ``BENU_BENCH_SCALE`` (default 1.0) to grow or shrink every workload.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from pathlib import Path
+
+from repro.graph.generators import chung_lu, largest_connected_component
+from repro.graph.graph import Graph
+from repro.graph.order import relabel_by_degree_order
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Global workload scale knob (1.0 = defaults used by EXPERIMENTS.md).
+SCALE = float(os.environ.get("BENU_BENCH_SCALE", "1.0"))
+
+
+def scaled(n: int) -> int:
+    """Scale a vertex count by BENU_BENCH_SCALE (at least 50)."""
+    return max(50, int(n * SCALE))
+
+
+@lru_cache(maxsize=None)
+def bench_graph(
+    name: str = "default",
+    num_vertices: int = 1200,
+    average_degree: float = 7.0,
+    exponent: float = 2.3,
+    seed: int = 77,
+) -> Graph:
+    """A seeded power-law benchmark graph, relabeled under ≺."""
+    raw = chung_lu(
+        scaled(num_vertices), average_degree, exponent=exponent, seed=seed
+    )
+    core = largest_connected_component(raw)
+    relabeled, _ = relabel_by_degree_order(core)
+    return relabeled
+
+
+@lru_cache(maxsize=None)
+def skewed_graph() -> Graph:
+    """A hub-heavy graph for the skew experiments (Figs. 9/10)."""
+    return bench_graph("skewed", 2200, 8.0, 2.15, seed=5)
+
+
+def write_report(name: str, text: str) -> Path:
+    """Persist one experiment's rendered table; echo to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n[{name}]\n{text}")
+    return path

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Cache tuning: trade memory for communication (Section V-A, Fig. 8).
+
+Sweeps the local database cache capacity from 0 % to 100 % of the data
+graph and reports hit rate, communication volume and simulated execution
+time — the knob a BENU operator actually turns in production.
+
+Run:  python examples/cache_tuning.py
+"""
+
+from repro import BenuConfig, get_pattern, run_benu
+from repro.graph.generators import chung_lu
+from repro.graph.order import relabel_by_degree_order
+from repro.metrics import format_bytes, format_table
+from repro.storage.serialization import graph_size_bytes
+
+
+def main() -> None:
+    data, _ = relabel_by_degree_order(chung_lu(1200, 8.0, exponent=2.3, seed=9))
+    total_bytes = graph_size_bytes(data)
+    pattern = get_pattern("chordal_square")
+    print(
+        f"data graph: |V|={data.num_vertices}, |E|={data.num_edges}, "
+        f"serialized size {format_bytes(total_bytes)}"
+    )
+
+    rows = []
+    for relative in (0.0, 0.05, 0.1, 0.2, 0.4, 1.0):
+        capacity = int(total_bytes * relative)
+        config = BenuConfig(
+            relabel=False,
+            num_workers=2,
+            cache_capacity_bytes=capacity,
+        )
+        result = run_benu(pattern, data, config)
+        rows.append(
+            [
+                f"{relative:.0%}",
+                f"{result.cache_hit_rate:.1%}",
+                result.communication.queries,
+                format_bytes(result.communication_bytes),
+                f"{result.makespan_seconds:.3f}s",
+            ]
+        )
+
+    print()
+    print(
+        format_table(
+            ["capacity", "hit rate", "DB queries", "comm bytes", "sim time"],
+            rows,
+        )
+    )
+    print(
+        "\nAs in Fig. 8: hit rate climbs steeply with a modest cache, and "
+        "communication (and with it execution time) collapses."
+    )
+
+
+if __name__ == "__main__":
+    main()

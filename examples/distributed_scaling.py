@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Distributed scaling and skew handling (Sections V-B, VII-C).
+
+Two production questions on one synthetic workload:
+
+1. does adding worker machines keep helping (Fig. 10's speedup curve)?
+2. what does task splitting do to stragglers on a power-law graph
+   (Fig. 9's tail collapse)?
+
+Run:  python examples/distributed_scaling.py
+"""
+
+from repro import BenuConfig, get_pattern, run_benu
+from repro.engine.benu import build_plan
+from repro.metrics import format_table, speedup_series
+from repro.graph.generators import chung_lu, largest_connected_component
+from repro.graph.order import relabel_by_degree_order
+from repro.storage.kvstore import LatencyModel
+
+
+def main() -> None:
+    data, _ = relabel_by_degree_order(
+        largest_connected_component(chung_lu(2500, 9.0, exponent=2.1, seed=4))
+    )
+    pattern = get_pattern("chordal_square")
+    print(f"data graph: |V|={data.num_vertices}, |E|={data.num_edges}")
+
+    # --- Machine scalability -------------------------------------------
+    worker_counts = [1, 2, 4, 8, 16]
+    makespans = []
+    for w in worker_counts:
+        result = run_benu(
+            pattern,
+            data,
+            BenuConfig(relabel=False, num_workers=w, threads_per_worker=2),
+        )
+        makespans.append(result.makespan_seconds)
+    speedups = speedup_series(makespans[0], makespans)
+    rows = [
+        [w, f"{t:.3f}s", f"{s:.2f}x"]
+        for w, t, s in zip(worker_counts, makespans, speedups)
+    ]
+    print("\nscalability (Fig. 10 shape):")
+    print(format_table(["workers", "makespan", "speedup"], rows))
+
+    # --- Task splitting ------------------------------------------------
+    # q5 matched hub-rooted (order 3, 2, 4, 1, 5): task cost tracks the
+    # start vertex's degree, the skew regime splitting is built for.
+    print("\ntask splitting on a skewed graph (Fig. 9 shape):")
+    q5_plan = build_plan(get_pattern("q5"), order=[3, 2, 4, 1, 5], compressed=True)
+    rows = []
+    for tau in (None, 128, 32):
+        result = run_benu(
+            get_pattern("q5"),
+            data,
+            BenuConfig(
+                relabel=False,
+                num_workers=4,
+                threads_per_worker=2,
+                split_threshold=tau,
+                latency=LatencyModel(per_query_seconds=5e-5),
+            ),
+            plan=q5_plan,
+        )
+        heaviest = max(result.per_task_sim_seconds)
+        busy = result.per_worker_busy_seconds
+        imbalance = max(busy) / (sum(busy) / len(busy))
+        rows.append(
+            [
+                "off" if tau is None else f"tau={tau}",
+                result.num_tasks,
+                f"{heaviest * 1000:.1f}ms",
+                f"{imbalance:.2f}",
+                f"{result.makespan_seconds:.3f}s",
+            ]
+        )
+    print(
+        format_table(
+            ["splitting", "tasks", "heaviest task", "worker imbalance", "makespan"],
+            rows,
+        )
+    )
+    print(
+        "\nSplitting multiplies tasks slightly, crushes the heaviest task, "
+        "evens out workers and cuts the makespan — the Fig. 9 story."
+    )
+
+
+if __name__ == "__main__":
+    main()

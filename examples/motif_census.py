@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Network-motif census — the paper's flagship application (Section I).
+
+Counts every connected 3- and 4-vertex motif in a synthetic social
+network and compares the counts against a degree-preserving random
+baseline, the classic network-motif methodology (Milo et al., Science'02):
+a motif is "interesting" when it is strongly over-represented versus
+chance.
+
+Run:  python examples/motif_census.py
+"""
+
+from repro import BenuConfig, Graph, count_subgraphs
+from repro.graph.generators import chung_lu, random_graph_with_degree_sequence_hint
+from repro.graph.graph import complete_graph, cycle_graph, path_graph, star_graph
+from repro.graph.order import relabel_by_degree_order
+from repro.metrics import format_table
+
+#: Every connected graph on 3–4 vertices, the standard motif dictionary.
+MOTIFS = {
+    "path-3": path_graph(3),
+    "triangle": complete_graph(3),
+    "path-4": path_graph(4),
+    "star-3": star_graph(3),
+    "square": cycle_graph(4),
+    "tailed-triangle": Graph([(1, 2), (2, 3), (1, 3), (3, 4)]),
+    "chordal-square": Graph([(1, 2), (2, 3), (3, 4), (4, 1), (1, 3)]),
+    "clique-4": complete_graph(4),
+}
+
+
+def census(graph: Graph) -> dict:
+    config = BenuConfig(relabel=False)
+    return {
+        name: count_subgraphs(motif, graph, config)
+        for name, motif in MOTIFS.items()
+    }
+
+
+def main() -> None:
+    social, _ = relabel_by_degree_order(chung_lu(1500, 7.0, exponent=2.3, seed=42))
+    print(f"social network: |V|={social.num_vertices}, |E|={social.num_edges}")
+
+    observed = census(social)
+
+    # Random baseline with the same size (ER with matched edge count).
+    baseline_graph, _ = relabel_by_degree_order(
+        random_graph_with_degree_sequence_hint(
+            social.num_vertices, social.num_edges, seed=7
+        )
+    )
+    expected = census(baseline_graph)
+
+    rows = []
+    for name in MOTIFS:
+        obs, exp = observed[name], expected[name]
+        ratio = obs / exp if exp else float("inf")
+        verdict = "MOTIF" if ratio > 2.0 else ""
+        rows.append([name, obs, exp, f"{ratio:.1f}x", verdict])
+
+    print()
+    print(format_table(["motif", "observed", "random", "enrichment", ""], rows))
+    print(
+        "\nClustered power-law networks over-express closed structures "
+        "(triangles, chordal squares, cliques) relative to random graphs — "
+        "the signature motif analysis looks for."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Execution-plan explorer: watch Section IV's machinery work.
+
+For a chosen pattern this example shows every stage of plan generation —
+raw plan, each optimization, VCBC compression, cost estimates, and the
+Algorithm 3 search statistics — then proves all variants enumerate the
+same matches on a sample graph.
+
+Run:  python examples/plan_explorer.py [pattern]   (default: demo)
+"""
+
+import sys
+
+from repro import GraphStats, compile_plan, get_pattern
+from repro.graph.generators import chung_lu
+from repro.graph.order import relabel_by_degree_order
+from repro.pattern.pattern_graph import PatternGraph
+from repro.plan.compression import compress_plan
+from repro.plan.cost import estimate_communication_cost, estimate_computation_cost
+from repro.plan.generation import generate_raw_plan
+from repro.plan.optimizer import optimize
+from repro.plan.search import generate_best_plan
+
+
+def show(title: str, plan, stats) -> None:
+    print(f"\n=== {title} " + "=" * max(0, 60 - len(title)))
+    print(plan)
+    print(
+        f"-- estimated cost: communication={estimate_communication_cost(plan, stats):.3g}, "
+        f"computation={estimate_computation_cost(plan, stats):.3g}"
+    )
+
+
+def count_matches(plan, data) -> int:
+    compiled = compile_plan(plan)
+    vset = frozenset(data.vertices)
+    return sum(
+        compiled.run(v, data.neighbors, vset=vset).results for v in data.vertices
+    )
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "demo"
+    pattern = PatternGraph(get_pattern(name), name)
+    print(f"pattern {name}: n={pattern.n}, m={pattern.m}")
+    print(f"symmetry-breaking partial order: {pattern.symmetry_conditions}")
+    print(f"syntactic-equivalence classes: {pattern.se_classes}")
+
+    data, _ = relabel_by_degree_order(chung_lu(800, 6.0, seed=3))
+    stats = GraphStats.of(data)
+
+    # The search (Algorithm 3).
+    best = generate_best_plan(pattern, stats)
+    s = best.stats
+    print(
+        f"\nAlgorithm 3: explored {s.explored_orders} complete orders, "
+        f"alpha={s.alpha} ({s.relative_alpha:.1%} of bound), "
+        f"beta={s.beta} ({s.relative_beta:.2%} of bound), "
+        f"{s.elapsed_seconds * 1000:.1f} ms"
+    )
+    print(f"best matching order: {best.plan.order}")
+
+    # Every optimization stage on the best order.
+    raw = generate_raw_plan(pattern, best.plan.order)
+    show("raw plan (Section IV-A)", raw, stats)
+    show("+ common subexpression elimination", optimize(raw, 1), stats)
+    show("+ instruction reordering", optimize(raw, 2), stats)
+    show("+ triangle caching (full pipeline)", optimize(raw, 3), stats)
+    compressed = compress_plan(optimize(raw, 3))
+    show("VCBC-compressed output", compressed, stats)
+
+    # All variants agree.
+    counts = {level: count_matches(optimize(raw, level), data) for level in range(4)}
+    print(f"\nmatch counts across optimization levels: {counts}")
+    assert len(set(counts.values())) == 1
+    print("all plan variants enumerate the same matches — as Section III-B proves.")
+
+
+if __name__ == "__main__":
+    main()

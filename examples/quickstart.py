@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Quickstart: enumerate pattern subgraphs with BENU.
+
+Builds a small data graph, counts and lists a few patterns, and peeks at
+the machinery: the generated execution plan and the run's cost profile.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    BenuConfig,
+    Graph,
+    count_subgraphs,
+    enumerate_subgraphs,
+    get_pattern,
+    run_benu,
+)
+from repro.engine.benu import build_plan
+from repro.graph.generators import chung_lu
+from repro.graph.order import relabel_by_degree_order
+
+
+def main() -> None:
+    # --- 1. The five-minute version -----------------------------------
+    data = Graph(
+        [
+            (0, 1), (0, 2), (1, 2),          # a triangle
+            (2, 3), (3, 4), (4, 0),          # closing a 5-cycle
+            (1, 4), (3, 0),                  # chords
+        ]
+    )
+    triangle = get_pattern("triangle")
+    print("triangles:", count_subgraphs(triangle, data))
+    for match in enumerate_subgraphs(triangle, data):
+        print("  match (f1, f2, f3) =", match)
+
+    # --- 2. A realistic graph and a harder pattern --------------------
+    big, _ = relabel_by_degree_order(chung_lu(2000, 8.0, seed=1))
+    print(f"\npower-law graph: |V|={big.num_vertices}, |E|={big.num_edges}")
+    for name in ("triangle", "square", "chordal_square", "clique4"):
+        print(f"  {name:>15}: {count_subgraphs(get_pattern(name), big, BenuConfig(relabel=False))}")
+
+    # --- 3. Look under the hood ---------------------------------------
+    plan = build_plan(get_pattern("chordal_square"), big)
+    print("\nbest execution plan for the chordal square:")
+    print(plan)
+
+    result = run_benu(
+        get_pattern("chordal_square"), big, BenuConfig(relabel=False)
+    )
+    print("\nrun profile:")
+    print(" ", result.summary())
+
+
+if __name__ == "__main__":
+    main()

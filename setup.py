@@ -1,0 +1,4 @@
+"""Shim for environments without the `wheel` package (offline PEP 660 fallback)."""
+from setuptools import setup
+
+setup()

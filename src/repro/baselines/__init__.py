@@ -1,0 +1,37 @@
+"""Baseline enumerators: QFrag-, SEED/CBF-, BiGJoin- and Afrati-style."""
+
+from .decompose import (
+    DECOMPOSITIONS,
+    JoinUnit,
+    clique_decomposition,
+    decompose,
+    edge_decomposition,
+    star_decomposition,
+    twintwig_decomposition,
+)
+from .inmemory import InMemoryResult, run_inmemory
+from .joins import JoinBaseline, JoinResult, JoinRound, run_join_baseline
+from .multiway import MultiwayResult, run_multiway
+from .wcoj import MemoryBudgetExceeded, WCOJEnumerator, WCOJResult, run_wcoj
+
+__all__ = [
+    "DECOMPOSITIONS",
+    "JoinUnit",
+    "clique_decomposition",
+    "decompose",
+    "edge_decomposition",
+    "star_decomposition",
+    "twintwig_decomposition",
+    "InMemoryResult",
+    "run_inmemory",
+    "JoinBaseline",
+    "JoinResult",
+    "JoinRound",
+    "run_join_baseline",
+    "MultiwayResult",
+    "run_multiway",
+    "MemoryBudgetExceeded",
+    "WCOJEnumerator",
+    "WCOJResult",
+    "run_wcoj",
+]

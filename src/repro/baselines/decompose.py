@@ -1,0 +1,144 @@
+"""Pattern decomposition into join units (the BFS-style substrate).
+
+The BFS-style literature differs mostly in its *join unit* (Section VI):
+single edges (StarJoin/EdgeJoin), TwinTwigs — stars with at most two edges
+(Lai et al., PVLDB'15) — general stars (SEED), and cliques/crystals
+(SEED/CBF).  This module implements the decompositions; ``joins.py``
+assembles unit matches with hash joins.
+
+A decomposition is a list of :class:`JoinUnit` whose edge sets partition
+E(P).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Sequence, Set, Tuple
+
+from ..graph.graph import Edge, Graph, Vertex
+
+
+@dataclass(frozen=True)
+class JoinUnit:
+    """One join unit: a small subgraph of the pattern.
+
+    ``kind`` is "edge", "twintwig", "star" or "clique" (diagnostic only).
+    """
+
+    vertices: Tuple[Vertex, ...]
+    edges: Tuple[Edge, ...]
+    kind: str
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+
+def _uncovered_incident(
+    pattern: Graph, v: Vertex, uncovered: Set[FrozenSet[Vertex]]
+) -> List[Edge]:
+    return [
+        (v, w) for w in sorted(pattern.neighbors(v)) if frozenset((v, w)) in uncovered
+    ]
+
+
+def star_decomposition(pattern: Graph, max_edges: int = None) -> List[JoinUnit]:
+    """Greedy star decomposition (SEED's unit; TwinTwig when capped at 2).
+
+    Repeatedly pick the vertex covering the most uncovered edges and emit
+    the star of those edges (capped at ``max_edges`` if given).
+    """
+    uncovered: Set[FrozenSet[Vertex]] = {
+        frozenset(e) for e in pattern.edges()
+    }
+    units: List[JoinUnit] = []
+    while uncovered:
+        center = max(
+            pattern.vertices,
+            key=lambda v: (len(_uncovered_incident(pattern, v, uncovered)), -v),
+        )
+        incident = _uncovered_incident(pattern, center, uncovered)
+        if not incident:
+            raise AssertionError("uncovered edges but no incident vertex")
+        if max_edges is not None:
+            incident = incident[:max_edges]
+        for e in incident:
+            uncovered.discard(frozenset(e))
+        leaves = tuple(w for _, w in incident)
+        kind = "edge" if len(incident) == 1 else (
+            "twintwig" if len(incident) == 2 else "star"
+        )
+        units.append(
+            JoinUnit(vertices=(center, *leaves), edges=tuple(incident), kind=kind)
+        )
+    return units
+
+
+def twintwig_decomposition(pattern: Graph) -> List[JoinUnit]:
+    """TwinTwig decomposition: stars with at most two edges."""
+    return star_decomposition(pattern, max_edges=2)
+
+
+def edge_decomposition(pattern: Graph) -> List[JoinUnit]:
+    """One unit per edge (the most join-heavy decomposition)."""
+    return [
+        JoinUnit(vertices=(u, v), edges=((u, v),), kind="edge")
+        for u, v in pattern.edges()
+    ]
+
+
+def clique_decomposition(pattern: Graph) -> List[JoinUnit]:
+    """Greedy clique decomposition (SEED's clique units / CBF-style).
+
+    Repeatedly grow a maximal clique over vertices with uncovered edges,
+    emit its *uncovered* edges as one unit, and fall back to stars for
+    leftovers that are not cliques.
+    """
+    uncovered: Set[FrozenSet[Vertex]] = {frozenset(e) for e in pattern.edges()}
+    units: List[JoinUnit] = []
+    while uncovered:
+        # Seed with the uncovered edge whose endpoints have max degree.
+        seed = max(
+            uncovered,
+            key=lambda e: sum(pattern.degree(v) for v in e),
+        )
+        clique = set(seed)
+        for v in sorted(pattern.vertices, key=pattern.degree, reverse=True):
+            if v in clique:
+                continue
+            if all(pattern.has_edge(v, w) for w in clique):
+                clique.add(v)
+        edges = tuple(
+            (u, v)
+            for u in sorted(clique)
+            for v in sorted(clique)
+            if u < v and frozenset((u, v)) in uncovered
+        )
+        for e in edges:
+            uncovered.discard(frozenset(e))
+        touched = tuple(sorted({v for e in edges for v in e}))
+        kind = "clique" if len(touched) > 2 else "edge"
+        units.append(JoinUnit(vertices=touched, edges=edges, kind=kind))
+    return units
+
+
+DECOMPOSITIONS = {
+    "edge": edge_decomposition,
+    "twintwig": twintwig_decomposition,
+    "star": star_decomposition,
+    "clique": clique_decomposition,
+}
+
+
+def decompose(pattern: Graph, strategy: str = "star") -> List[JoinUnit]:
+    """Decompose ``pattern`` with the named strategy."""
+    try:
+        fn = DECOMPOSITIONS[strategy]
+    except KeyError:
+        raise KeyError(
+            f"unknown decomposition {strategy!r}; options: {sorted(DECOMPOSITIONS)}"
+        ) from None
+    units = fn(pattern)
+    covered = {frozenset(e) for u in units for e in u.edges}
+    assert covered == {frozenset(e) for e in pattern.edges()}, "decomposition must cover E(P)"
+    return units

@@ -1,0 +1,186 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``count``      count subgraph instances of a pattern in a data graph
+``enumerate``  list matches (optionally capped)
+``plan``       generate, optimize and display an execution plan
+``patterns``   list the built-in pattern graphs
+``datasets``   list the bundled synthetic datasets
+
+Data graphs come from ``--dataset <name>`` (bundled stand-ins) or
+``--edges <file>`` (SNAP-style edge list).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .engine.benu import build_plan, run_benu
+from .engine.config import BenuConfig
+from .graph.datasets import DATASET_ORDER, DATASET_SPECS, load_dataset
+from .graph.graph import Graph
+from .graph.io import read_edge_list
+from .graph.patterns import PATTERNS, get_pattern
+from .metrics import format_bytes, format_table
+from .pattern.pattern_graph import PatternGraph
+from .plan.cost import GraphStats, estimate_plan_cost
+from .plan.search import generate_best_plan
+
+
+def _load_data_graph(args: argparse.Namespace) -> Graph:
+    if args.dataset and args.edges:
+        raise SystemExit("give either --dataset or --edges, not both")
+    if args.dataset:
+        return load_dataset(args.dataset)
+    if args.edges:
+        return read_edge_list(args.edges)
+    raise SystemExit("a data graph is required: --dataset <name> or --edges <file>")
+
+
+def _config_from(args: argparse.Namespace, collect: bool = False) -> BenuConfig:
+    return BenuConfig(
+        num_workers=args.workers,
+        threads_per_worker=args.threads,
+        cache_capacity_bytes=args.cache_bytes,
+        split_threshold=args.tau,
+        optimization_level=args.level,
+        compressed=getattr(args, "compressed", False),
+        collect=collect,
+        relabel=not args.dataset,  # bundled datasets are pre-relabeled
+    )
+
+
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--pattern", required=True, help="pattern name (see `patterns`)")
+    parser.add_argument("--dataset", help="bundled dataset name (see `datasets`)")
+    parser.add_argument("--edges", help="path to a SNAP-style edge list")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--threads", type=int, default=4)
+    parser.add_argument("--cache-bytes", type=int, default=None)
+    parser.add_argument("--tau", type=int, default=64, help="task-splitting threshold")
+    parser.add_argument("--level", type=int, default=3, help="optimization level 0-3")
+
+
+def cmd_count(args: argparse.Namespace) -> int:
+    data = _load_data_graph(args)
+    pattern = get_pattern(args.pattern)
+    result = run_benu(pattern, data, _config_from(args))
+    print(result.count)
+    if args.verbose:
+        print(result.summary(), file=sys.stderr)
+    return 0
+
+
+def cmd_enumerate(args: argparse.Namespace) -> int:
+    data = _load_data_graph(args)
+    pattern = get_pattern(args.pattern)
+    result = run_benu(pattern, data, _config_from(args, collect=True))
+    matches = result.matches or []
+    limit = args.limit if args.limit is not None else len(matches)
+    for match in matches[:limit]:
+        print("\t".join(map(str, match)))
+    if limit < len(matches):
+        print(f"... ({len(matches) - limit} more)", file=sys.stderr)
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    pattern = PatternGraph(get_pattern(args.pattern), args.pattern)
+    stats = GraphStats(args.vertices, args.edges_count)
+    if args.order:
+        order = [int(x) for x in args.order.split(",")]
+        plan = build_plan(pattern, order=order, optimization_level=args.level,
+                          compressed=args.compressed)
+        print(plan)
+    else:
+        result = generate_best_plan(
+            pattern, stats, optimization_level=args.level, compressed=args.compressed
+        )
+        plan = result.plan
+        print(plan)
+        s = result.stats
+        print(
+            f"\nsearch: alpha={s.alpha} ({s.relative_alpha:.1%}) "
+            f"beta={s.beta} ({s.relative_beta:.2%}) "
+            f"time={s.elapsed_seconds * 1000:.1f}ms",
+            file=sys.stderr,
+        )
+    cost = estimate_plan_cost(plan, stats)
+    print(
+        f"\nestimated cost: communication={cost.communication:.4g} "
+        f"computation={cost.computation:.4g}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_patterns(args: argparse.Namespace) -> int:
+    rows = [
+        [name, p.num_vertices, p.num_edges]
+        for name, p in sorted(PATTERNS.items())
+    ]
+    print(format_table(["name", "vertices", "edges"], rows))
+    return 0
+
+
+def cmd_datasets(args: argparse.Namespace) -> int:
+    rows = []
+    for name in DATASET_ORDER:
+        spec = DATASET_SPECS[name]
+        if args.load:
+            g = load_dataset(name)
+            rows.append([name, spec.paper_name, g.num_vertices, g.num_edges])
+        else:
+            rows.append([name, spec.paper_name, spec.num_vertices, "(lazy)"])
+    print(format_table(["name", "stands in for", "|V|", "|E|"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BENU distributed subgraph enumeration (ICDE'19 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("count", help="count subgraph instances")
+    _add_run_options(p)
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(func=cmd_count)
+
+    p = sub.add_parser("enumerate", help="list matches")
+    _add_run_options(p)
+    p.add_argument("--limit", type=int, default=None)
+    p.set_defaults(func=cmd_enumerate)
+
+    p = sub.add_parser("plan", help="show an execution plan")
+    p.add_argument("--pattern", required=True)
+    p.add_argument("--order", help="comma-separated matching order, e.g. 1,3,2")
+    p.add_argument("--level", type=int, default=3)
+    p.add_argument("--compressed", action="store_true")
+    p.add_argument("--vertices", type=int, default=1_000_000,
+                   help="assumed |V| for the cost model")
+    p.add_argument("--edges-count", type=int, default=10_000_000,
+                   help="assumed |E| for the cost model")
+    p.set_defaults(func=cmd_plan)
+
+    p = sub.add_parser("patterns", help="list built-in patterns")
+    p.set_defaults(func=cmd_patterns)
+
+    p = sub.add_parser("datasets", help="list bundled datasets")
+    p.add_argument("--load", action="store_true", help="materialize to show |E|")
+    p.set_defaults(func=cmd_datasets)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,45 @@
+"""The BENU runtime: config, tasks, workers, cluster, public API."""
+
+from .benu import build_plan, count_subgraphs, enumerate_subgraphs, run_benu
+from .cluster import SimulatedCluster
+from .config import BenuConfig, SimulationCostModel
+from .interpreter import interpret_all, interpret_plan
+from .local_task import LocalSearchTask
+from .parallel import ParallelResult, ParallelRunner, parallel_count
+from .results import BenuResult
+from .sinks import (
+    CallbackSink,
+    CollectSink,
+    CountSink,
+    FileSink,
+    ReservoirSink,
+)
+from .task_split import generate_tasks, plan_supports_splitting, split_slices
+from .worker import TaskReport, Worker
+
+__all__ = [
+    "build_plan",
+    "count_subgraphs",
+    "enumerate_subgraphs",
+    "run_benu",
+    "SimulatedCluster",
+    "BenuConfig",
+    "SimulationCostModel",
+    "interpret_all",
+    "interpret_plan",
+    "LocalSearchTask",
+    "ParallelResult",
+    "ParallelRunner",
+    "parallel_count",
+    "BenuResult",
+    "CallbackSink",
+    "CollectSink",
+    "CountSink",
+    "FileSink",
+    "ReservoirSink",
+    "generate_tasks",
+    "plan_supports_splitting",
+    "split_slices",
+    "TaskReport",
+    "Worker",
+]

@@ -1,0 +1,157 @@
+"""The top-level BENU API (Algorithm 2).
+
+``run_benu`` wires the full pipeline: relabel the data graph under the
+(degree, id) total order, generate the best execution plan, build the
+distributed store, split tasks, execute on the simulated cluster, and
+translate results back to the original vertex ids.
+
+Convenience wrappers: ``count_subgraphs`` and ``enumerate_subgraphs``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..graph.graph import Graph, Vertex
+from ..graph.order import invert_mapping, relabel_by_degree_order
+from ..pattern.pattern_graph import PatternGraph
+from ..plan.compression import compress_plan
+from ..plan.degree_filter import apply_degree_filter
+from ..plan.cost import GraphStats
+from ..plan.generation import ExecutionPlan, generate_raw_plan
+from ..plan.optimizer import apply_generalized_clique_cache, optimize
+from ..plan.search import generate_best_plan
+from ..plan.validate import validate_plan
+from .cluster import SimulatedCluster
+from .config import BenuConfig
+from .results import BenuResult
+
+PatternLike = Union[Graph, PatternGraph]
+
+
+def _as_pattern(pattern: PatternLike, name: str = "pattern") -> PatternGraph:
+    if isinstance(pattern, PatternGraph):
+        return pattern
+    return PatternGraph(pattern, name=name)
+
+
+def build_plan(
+    pattern: PatternLike,
+    data: Optional[Graph] = None,
+    order: Optional[Sequence[Vertex]] = None,
+    optimization_level: int = 3,
+    compressed: bool = False,
+    generalized_clique_cache: bool = False,
+    degree_filter_data: Optional[Graph] = None,
+) -> ExecutionPlan:
+    """Build an execution plan, searched (default) or from a fixed order.
+
+    With ``order`` given, the plan is generated for exactly that matching
+    order and optimized; otherwise Algorithm 3 searches for the best one
+    using ``data``'s statistics (or the defaults).
+    """
+    pattern = _as_pattern(pattern)
+    if order is not None:
+        plan = optimize(generate_raw_plan(pattern, order), optimization_level)
+        if compressed:
+            plan = compress_plan(plan)
+    else:
+        stats = GraphStats.of(data) if data is not None else None
+        kwargs = {"stats": stats} if stats is not None else {}
+        plan = generate_best_plan(
+            pattern,
+            optimization_level=optimization_level,
+            compressed=compressed,
+            **kwargs,
+        ).plan
+    if generalized_clique_cache:
+        apply_generalized_clique_cache(plan)
+    if degree_filter_data is not None:
+        plan = apply_degree_filter(plan, degree_filter_data)
+    validate_plan(plan)
+    return plan
+
+
+def run_benu(
+    pattern: PatternLike,
+    data: Graph,
+    config: Optional[BenuConfig] = None,
+    plan: Optional[ExecutionPlan] = None,
+) -> BenuResult:
+    """Run the full BENU pipeline and return a :class:`BenuResult`.
+
+    The data graph is relabeled by the (degree, id) total order unless
+    ``config.relabel`` is False (the bundled datasets are pre-relabeled);
+    collected matches are translated back to the original ids.
+    """
+    config = config or BenuConfig()
+    pattern = _as_pattern(pattern)
+
+    mapping: Optional[Dict[Vertex, Vertex]] = None
+    if config.relabel:
+        data, mapping = relabel_by_degree_order(data)
+
+    if plan is None:
+        plan = build_plan(
+            pattern,
+            data,
+            optimization_level=config.optimization_level,
+            compressed=config.compressed,
+            generalized_clique_cache=config.generalized_clique_cache,
+            degree_filter_data=data if config.degree_filter else None,
+        )
+    else:
+        validate_plan(plan)
+
+    cluster = SimulatedCluster(data, config)
+    result = cluster.run_plan(plan)
+
+    if mapping is not None:
+        inverse = invert_mapping(mapping)
+        result.id_mapping = inverse
+        if result.matches is not None:
+            # Codes stay in the relabeled space (their expansion constraints
+            # compare under ≺); plain matches translate eagerly.
+            result.matches = [
+                tuple(inverse[v] for v in match) for match in result.matches
+            ]
+    return result
+
+
+def count_subgraphs(
+    pattern: PatternLike, data: Graph, config: Optional[BenuConfig] = None
+) -> int:
+    """Number of subgraphs of ``data`` isomorphic to ``pattern``.
+
+    Thanks to symmetry breaking this equals the number of matches BENU
+    enumerates (Definition 2 + the bijection of Section II-A).
+
+    >>> from repro.graph.graph import complete_graph
+    >>> from repro.graph.patterns import TRIANGLE
+    >>> count_subgraphs(TRIANGLE, complete_graph(4))
+    4
+    """
+    config = config or BenuConfig()
+    if config.compressed:
+        raise ValueError("count_subgraphs counts full matches; use compressed=False")
+    return run_benu(pattern, data, config).count
+
+
+def enumerate_subgraphs(
+    pattern: PatternLike, data: Graph, config: Optional[BenuConfig] = None
+) -> List[Tuple[Vertex, ...]]:
+    """All matches ``(f_1, ..., f_n)`` of ``pattern`` in ``data``.
+
+    Each tuple is indexed by sorted pattern vertex; exactly one match per
+    isomorphic subgraph is returned (symmetry breaking dedups).
+    """
+    if config is None:
+        config = BenuConfig(collect=True)
+    elif not config.collect:
+        config = replace(config, collect=True)
+    result = run_benu(pattern, data, config)
+    if config.compressed:
+        return list(result.expanded_matches())
+    assert result.matches is not None
+    return result.matches

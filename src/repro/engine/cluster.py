@@ -1,0 +1,115 @@
+"""The simulated shared-nothing cluster (Fig. 2's architecture).
+
+The master generates local search tasks and shuffles them evenly across
+worker machines (the paper hands them to 16 reducers round-robin); each
+worker executes its tasks against its shared database cache, on simulated
+threads.  The job makespan is the slowest worker's makespan — exactly the
+quantity Figs. 9 and 10 plot.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Callable, List, Optional
+
+from ..graph.graph import Graph
+from ..plan.codegen import CompiledPlan, TaskCounters, compile_plan
+from ..plan.generation import ExecutionPlan
+from ..storage.cache import CacheStats
+from ..storage.kvstore import DistributedKVStore, QueryStats
+from .config import BenuConfig
+from .local_task import LocalSearchTask
+from .results import BenuResult
+from .task_split import generate_tasks
+from .worker import Worker
+
+
+class SimulatedCluster:
+    """Master + workers over one distributed KV store."""
+
+    def __init__(self, data: Graph, config: Optional[BenuConfig] = None) -> None:
+        self.config = config or BenuConfig()
+        self.data = data
+        self.store = DistributedKVStore.from_graph(
+            data,
+            num_partitions=self.config.num_partitions,
+            latency=self.config.latency,
+        )
+        self._vset = frozenset(data.vertices)
+
+    # ------------------------------------------------------------------
+    def run_plan(
+        self,
+        plan: ExecutionPlan,
+        tasks: Optional[List[LocalSearchTask]] = None,
+        sink=None,
+    ) -> BenuResult:
+        """Execute one plan over the whole data graph.
+
+        ``tasks`` overrides task generation (Exp-4 uses this to compare
+        splitting on/off over identical plans).  ``sink`` (any object with
+        an ``emit`` method, see :mod:`repro.engine.sinks`) streams results
+        instead of collecting them in memory; when given, the result's
+        ``matches``/``codes`` stay None regardless of ``config.collect``.
+        """
+        config = self.config
+        wall0 = _time.perf_counter()
+        if tasks is None:
+            tasks = list(
+                generate_tasks(plan, self.data, config.split_threshold)
+            )
+
+        streaming = sink is not None
+        mode = "collect" if (config.collect or streaming) else "count"
+        compiled = compile_plan(plan, mode=mode, instrument=True)
+
+        collected: Optional[list] = (
+            [] if config.collect and not streaming else None
+        )
+        if streaming:
+            emit: Optional[Callable] = sink.emit
+        elif collected is not None:
+            emit = collected.append
+        else:
+            emit = None
+
+        workers = [Worker(i, self.store, config) for i in range(config.num_workers)]
+        # Round-robin shuffle, as the paper distributes tasks evenly.
+        for i, task in enumerate(tasks):
+            workers[i % len(workers)].execute_task(
+                compiled, task, self._vset, emit
+            )
+
+        total_counters = TaskCounters()
+        communication = QueryStats()
+        cache = CacheStats()
+        per_task: List[float] = []
+        for w in workers:
+            total_counters = total_counters + w.total_counters()
+            communication.merge(w.query_stats)
+            cache.merge(w.cache_stats)
+            per_task.extend(r.sim_seconds for r in w.reports)
+
+        matches = None
+        codes = None
+        if collected is not None:
+            if plan.compressed:
+                codes = collected
+            else:
+                matches = collected
+
+        return BenuResult(
+            plan=plan,
+            count=total_counters.results,
+            matches=matches,
+            codes=codes,
+            counters=total_counters,
+            communication=communication,
+            cache=cache,
+            num_tasks=len(tasks),
+            num_workers=len(workers),
+            makespan_seconds=max(w.makespan_seconds for w in workers),
+            per_worker_busy_seconds=[w.busy_seconds for w in workers],
+            per_task_sim_seconds=per_task,
+            wall_seconds=_time.perf_counter() - wall0,
+        )

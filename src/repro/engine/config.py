@@ -1,0 +1,85 @@
+"""Configuration for BENU runs.
+
+Defaults mirror the paper's setup (Section VII) scaled to the simulated
+environment: the paper used 16 worker machines × 24 threads, a 30 GB
+database cache and task-splitting threshold τ = 500 on graphs of 10⁷–10⁹
+edges; our stand-in graphs are ~10⁴–10⁵ edges, so the defaults scale
+accordingly while keeping every ratio meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..storage.kvstore import LatencyModel
+
+
+@dataclass(frozen=True)
+class SimulationCostModel:
+    """Per-operation costs for the deterministic time simulation.
+
+    Values approximate measured Python/C set-op costs; absolute numbers do
+    not matter for any experiment shape, only the INT ≪ cache-hit ≪ DBQ
+    ordering the paper's instruction ranking assumes.
+    """
+
+    int_seconds: float = 2e-7     # one set intersection / filter pass
+    trc_seconds: float = 1e-7     # triangle-cache lookup
+    enu_seconds: float = 5e-8     # one loop iteration step
+    result_seconds: float = 5e-8  # reporting one match/code
+    cache_hit_seconds: float = 2e-7  # shared in-memory cache access
+
+
+@dataclass
+class BenuConfig:
+    """Everything tunable about a BENU run."""
+
+    #: Number of simulated worker machines (the paper's reducers).
+    num_workers: int = 4
+    #: Working threads per worker sharing the DB cache.
+    threads_per_worker: int = 4
+    #: DB cache capacity in bytes per worker; None = unbounded, 0 = off.
+    cache_capacity_bytes: Optional[int] = None
+    #: DB cache replacement policy: "lru" (the paper), "fifo", "lfu", "random".
+    cache_policy: str = "lru"
+    #: Task-splitting degree threshold τ (Section V-B); None disables.
+    split_threshold: Optional[int] = 64
+    #: Optimization level 0–3 (Fig. 7's x-axis); 3 is the paper's default.
+    optimization_level: int = 3
+    #: Generalized clique caching — the paper's proposed Opt3 extension
+    #: (Section IV-B "future work"); off by default to match the paper.
+    generalized_clique_cache: bool = False
+    #: Degree filtering (the Section IV-A hook): drop candidates whose data
+    #: degree is below the pattern vertex's degree.  Off by default.
+    degree_filter: bool = False
+    #: Emit VCBC-compressed codes (the paper's default execution mode).
+    compressed: bool = False
+    #: Collect matches/codes (True) or only count them (False).
+    collect: bool = False
+    #: Relabel the data graph by the (degree, id) total order first.
+    #: Disable when the graph is already relabeled (the bundled datasets are).
+    relabel: bool = True
+    #: Storage partitions of the distributed KV store.
+    num_partitions: int = 16
+    #: Database latency model.
+    latency: LatencyModel = field(default_factory=LatencyModel)
+    #: Per-operation simulated costs.
+    cost_model: SimulationCostModel = field(default_factory=SimulationCostModel)
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ValueError("need at least one worker")
+        if self.threads_per_worker < 1:
+            raise ValueError("need at least one thread per worker")
+        if self.split_threshold is not None and self.split_threshold < 1:
+            raise ValueError("split threshold must be positive")
+        if not 0 <= self.optimization_level <= 3:
+            raise ValueError("optimization level must be 0..3")
+        from ..storage.policies import POLICIES
+
+        if self.cache_policy not in POLICIES:
+            raise ValueError(
+                f"unknown cache policy {self.cache_policy!r}; "
+                f"options: {sorted(POLICIES)}"
+            )

@@ -1,0 +1,41 @@
+"""Local search tasks — BENU's unit of parallel work (Section III-A).
+
+One task owns one start vertex: it runs the execution plan with
+``f_{k1} = start`` and enumerates every match rooted there.  Task splitting
+(Section V-B) additionally restricts the second-level candidate set
+C_{k2} to a slice, turning one heavy task into several light subtasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional
+
+from ..graph.graph import Vertex
+
+
+@dataclass(frozen=True)
+class LocalSearchTask:
+    """One (sub)task of a BENU job.
+
+    ``candidate_slice`` is None for unsplit tasks; for subtasks it is the
+    subset of C_{k2} this subtask may enumerate.  ``split_index`` /
+    ``split_total`` identify the slice for debugging and metrics.
+    """
+
+    start: Vertex
+    candidate_slice: Optional[FrozenSet[Vertex]] = None
+    split_index: int = 0
+    split_total: int = 1
+
+    @property
+    def is_split(self) -> bool:
+        return self.candidate_slice is not None
+
+    def __repr__(self) -> str:
+        if not self.is_split:
+            return f"LocalSearchTask(start={self.start})"
+        return (
+            f"LocalSearchTask(start={self.start}, "
+            f"slice={self.split_index + 1}/{self.split_total})"
+        )

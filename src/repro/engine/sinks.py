@@ -1,0 +1,118 @@
+"""Match sinks — where enumeration results go.
+
+The paper's jobs write matches to HDFS; a library needs more options.  A
+sink is anything with an ``emit(result)`` method; the cluster calls it once
+per RES execution (full match tuple, or VCBC code slots when compressed).
+
+Provided sinks:
+
+* :class:`CountSink` — count only (cheapest; the default mode does this
+  without a sink at all);
+* :class:`CollectSink` — keep everything in memory;
+* :class:`FileSink` — stream matches to a TSV file;
+* :class:`ReservoirSink` — a uniform random sample of bounded size, for
+  result sets too large to keep (reservoir sampling, seeded);
+* :class:`CallbackSink` — adapt any callable.
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, TextIO, Tuple, Union
+
+
+class CountSink:
+    """Counts emissions; keeps nothing."""
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def emit(self, result: Tuple) -> None:
+        self.count += 1
+
+
+class CollectSink:
+    """Stores every result in ``results``."""
+
+    def __init__(self) -> None:
+        self.results: List[Tuple] = []
+        self.count = 0
+
+    def emit(self, result: Tuple) -> None:
+        self.results.append(result)
+        self.count += 1
+
+
+class FileSink:
+    """Streams results to a TSV file (one line per result).
+
+    Frozenset slots (VCBC image sets) render as comma-joined sorted ids
+    in braces, e.g. ``{3,7,9}``.
+
+    Use as a context manager, or call :meth:`close` explicitly.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._fh: Optional[TextIO] = self.path.open("w", encoding="utf-8")
+        self.count = 0
+
+    @staticmethod
+    def _format_slot(slot) -> str:
+        if isinstance(slot, frozenset):
+            return "{" + ",".join(map(str, sorted(slot))) + "}"
+        return str(slot)
+
+    def emit(self, result: Tuple) -> None:
+        assert self._fh is not None, "sink is closed"
+        self._fh.write("\t".join(self._format_slot(s) for s in result) + "\n")
+        self.count += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "FileSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class ReservoirSink:
+    """Keeps a uniform random sample of at most ``capacity`` results.
+
+    Classic reservoir sampling: after N emissions each result is retained
+    with probability capacity/N.  Seeded for reproducibility.
+    """
+
+    def __init__(self, capacity: int, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.sample: List[Tuple] = []
+        self.count = 0
+        self._rng = random.Random(seed)
+
+    def emit(self, result: Tuple) -> None:
+        self.count += 1
+        if len(self.sample) < self.capacity:
+            self.sample.append(result)
+            return
+        j = self._rng.randrange(self.count)
+        if j < self.capacity:
+            self.sample[j] = result
+
+
+class CallbackSink:
+    """Adapts a plain callable to the sink interface."""
+
+    def __init__(self, callback: Callable[[Tuple], None]) -> None:
+        self._callback = callback
+        self.count = 0
+
+    def emit(self, result: Tuple) -> None:
+        self._callback(result)
+        self.count += 1

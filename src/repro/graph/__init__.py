@@ -1,0 +1,66 @@
+"""Data-graph substrate: graphs, generators, orders, datasets, I/O."""
+
+from .graph import (
+    Edge,
+    Graph,
+    GraphError,
+    Vertex,
+    complete_graph,
+    cycle_graph,
+    normalize_edge,
+    path_graph,
+    star_graph,
+    union_graphs,
+)
+from .generators import (
+    chung_lu,
+    ensure_connected,
+    erdos_renyi,
+    largest_connected_component,
+    random_connected_graph,
+    sample_pattern_graphs,
+)
+from .io import parse_edge_list, read_edge_list, write_edge_list
+from .order import (
+    degree_order_key,
+    degree_order_relabeling,
+    invert_mapping,
+    precedes,
+    relabel_by_degree_order,
+)
+from .patterns import FIG6_PATTERNS, PATTERNS, get_pattern
+from .datasets import DATASET_ORDER, DATASET_SPECS, load_dataset, tiny_dataset
+
+__all__ = [
+    "Edge",
+    "Graph",
+    "GraphError",
+    "Vertex",
+    "complete_graph",
+    "cycle_graph",
+    "normalize_edge",
+    "path_graph",
+    "star_graph",
+    "union_graphs",
+    "chung_lu",
+    "ensure_connected",
+    "erdos_renyi",
+    "largest_connected_component",
+    "random_connected_graph",
+    "sample_pattern_graphs",
+    "parse_edge_list",
+    "read_edge_list",
+    "write_edge_list",
+    "degree_order_key",
+    "degree_order_relabeling",
+    "invert_mapping",
+    "precedes",
+    "relabel_by_degree_order",
+    "FIG6_PATTERNS",
+    "PATTERNS",
+    "get_pattern",
+    "DATASET_ORDER",
+    "DATASET_SPECS",
+    "load_dataset",
+    "tiny_dataset",
+]

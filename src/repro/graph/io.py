@@ -1,0 +1,60 @@
+"""Edge-list I/O for data graphs.
+
+The SNAP datasets the paper uses ship as whitespace-separated edge lists
+with ``#`` comments; we read and write the same format so real datasets can
+be dropped in if available.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO, Tuple, Union
+
+from .graph import Edge, Graph
+
+PathLike = Union[str, Path]
+
+
+def iter_edge_list(stream: TextIO) -> Iterator[Edge]:
+    """Yield edges from a SNAP-style edge-list stream.
+
+    Lines starting with ``#`` or ``%`` are comments; blank lines are
+    skipped; self loops are dropped (the paper's model is simple graphs).
+    """
+    for lineno, line in enumerate(stream, start=1):
+        line = line.strip()
+        if not line or line.startswith(("#", "%")):
+            continue
+        parts = line.split()
+        if len(parts) < 2:
+            raise ValueError(f"line {lineno}: expected two vertex ids, got {line!r}")
+        u, v = int(parts[0]), int(parts[1])
+        if u != v:
+            yield (u, v)
+
+
+def read_edge_list(path: PathLike) -> Graph:
+    """Load a graph from a SNAP-style edge-list file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return Graph(iter_edge_list(fh))
+
+
+def parse_edge_list(text: str) -> Graph:
+    """Load a graph from edge-list text (convenience for tests/examples)."""
+    return Graph(iter_edge_list(io.StringIO(text)))
+
+
+def write_edge_list(graph: Graph, path: PathLike, header: str = "") -> None:
+    """Write a graph as a canonical sorted edge list."""
+    with open(path, "w", encoding="utf-8") as fh:
+        if header:
+            for line in header.splitlines():
+                fh.write(f"# {line}\n")
+        for u, v in graph.edges():
+            fh.write(f"{u}\t{v}\n")
+
+
+def format_edge_list(edges: Iterable[Edge]) -> str:
+    """Render edges as edge-list text."""
+    return "".join(f"{u}\t{v}\n" for u, v in edges)

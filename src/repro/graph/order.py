@@ -1,0 +1,57 @@
+"""The total order ≺ on data-graph vertices used by symmetry breaking.
+
+The paper (Section II-A) adopts the total order of Lai et al. (SEED,
+PVLDB'16): vertices are compared first by degree and then by id, i.e.
+
+    u ≺ v  ⇔  d(u) < d(v)  ∨  (d(u) = d(v) ∧ id(u) < id(v)).
+
+Symmetry-breaking conditions in execution plans compare data vertices under
+this order.  To keep the hot loop cheap, we *relabel* the data graph once so
+that the total order coincides with the natural integer order on the new ids
+— afterwards every ≺-comparison in a filter is a plain ``<`` on ints, which
+is what the plan code generator emits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .graph import Graph, Vertex
+
+
+def degree_order_key(graph: Graph, v: Vertex) -> Tuple[int, int]:
+    """Sort key realizing the (degree, id) total order ≺."""
+    return (graph.degree(v), v)
+
+
+def precedes(graph: Graph, u: Vertex, v: Vertex) -> bool:
+    """True iff ``u ≺ v`` under the (degree, id) total order."""
+    return degree_order_key(graph, u) < degree_order_key(graph, v)
+
+
+def degree_order_relabeling(graph: Graph) -> Dict[Vertex, Vertex]:
+    """Mapping old-id → new-id such that new ids follow ≺.
+
+    New ids are consecutive integers starting at 0, assigned in ascending
+    (degree, id) order, so ``new(u) < new(v) ⇔ u ≺ v``.
+    """
+    ranked = sorted(graph.vertices, key=lambda v: degree_order_key(graph, v))
+    return {old: new for new, old in enumerate(ranked)}
+
+
+def relabel_by_degree_order(graph: Graph) -> Tuple[Graph, Dict[Vertex, Vertex]]:
+    """Relabel ``graph`` so integer order realizes ≺.
+
+    Returns
+    -------
+    (relabeled_graph, mapping):
+        ``mapping`` maps original ids to new ids; invert it to translate
+        matches back to original ids.
+    """
+    mapping = degree_order_relabeling(graph)
+    return graph.relabel(mapping), mapping
+
+
+def invert_mapping(mapping: Dict[Vertex, Vertex]) -> Dict[Vertex, Vertex]:
+    """Invert an injective relabeling mapping."""
+    return {new: old for old, new in mapping.items()}

@@ -1,0 +1,130 @@
+"""The pattern graphs used throughout the paper's evaluation.
+
+The paper's Fig. 6 shows nine pattern graphs q1–q9 plus the running-example
+pattern of Fig. 1(a).  The figure images are not recoverable from the text,
+so the edge sets below are reconstructions consistent with every textual
+constraint (see DESIGN.md §2):
+
+* q1–q4 have five vertices, q5 has five, q6–q9 have six;
+* q7–q9 share the *chordal square* core structure (a 4-cycle plus one
+  diagonal — the bold edges of Fig. 6);
+* each pattern admits the vertex cover the VCBC discussion requires;
+* the Fig. 1(a) demo pattern has six vertices, an automorphism swapping
+  u3 ↔ u5 (giving the partial order u3 < u5), and vertex cover {u1, u3, u5}
+  as the first three vertices of the matching order u1, u3, u5, u2, u6, u4.
+
+Pattern vertices are numbered 1..n matching the paper's u_1..u_n notation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .graph import Graph, complete_graph, cycle_graph
+
+# Core structures -------------------------------------------------------
+
+#: The triangle (3-clique) — column Δ in Table I.
+TRIANGLE = complete_graph(3)
+
+#: The 4-clique — the ⊠ column of Table I.
+CLIQUE4 = complete_graph(4)
+
+#: The 5-clique, used in the BiGJoin comparison (Table VI).
+CLIQUE5 = complete_graph(5)
+
+#: The chordal square: a 4-cycle with one diagonal.  The shared core of
+#: q7–q9 and the last column of Table I ("more than 2 billion matches").
+CHORDAL_SQUARE = Graph([(1, 2), (2, 3), (3, 4), (4, 1), (1, 3)])
+
+#: The plain square (4-cycle).
+SQUARE = cycle_graph(4)
+
+
+# Five-vertex patterns q1–q5 --------------------------------------------
+
+#: q1: the house — a 5-cycle with one chord (5 vertices, 6 edges).
+Q1 = Graph([(1, 2), (2, 3), (3, 4), (4, 5), (5, 1), (2, 5)])
+
+#: q2: tailed square — a 4-cycle with a pendant vertex (5 vertices, 5 edges).
+Q2 = Graph([(1, 2), (2, 3), (3, 4), (4, 1), (4, 5)])
+
+#: q3: tailed 4-clique — K4 plus a pendant (5 vertices, 7 edges).
+Q3 = Graph([(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4), (4, 5)])
+
+#: q4: the gem — a 4-path plus a dominating vertex (5 vertices, 7 edges).
+Q4 = Graph([(1, 2), (2, 3), (3, 4), (5, 1), (5, 2), (5, 3), (5, 4)])
+
+#: q5: the 5-cycle C5 (5 vertices, 5 edges).
+Q5 = cycle_graph(5)
+
+
+# Six-vertex patterns q6–q9 ---------------------------------------------
+
+#: q6: two triangles joined by an edge (6 vertices, 7 edges).
+Q6 = Graph([(1, 2), (2, 3), (3, 1), (4, 5), (5, 6), (6, 4), (1, 4)])
+
+#: q7: chordal square + pendants on the two degree-2 vertices
+#: (6 vertices, 7 edges).  Core: vertices 1-4 with diagonal (1, 3).
+Q7 = Graph([(1, 2), (2, 3), (3, 4), (4, 1), (1, 3), (2, 5), (4, 6)])
+
+#: q8: chordal square + a length-2 tail off a degree-2 vertex
+#: (6 vertices, 7 edges).
+Q8 = Graph([(1, 2), (2, 3), (3, 4), (4, 1), (1, 3), (2, 5), (5, 6)])
+
+#: q9: chordal square + pendants on the two degree-3 (diagonal) vertices
+#: (6 vertices, 7 edges).
+Q9 = Graph([(1, 2), (2, 3), (3, 4), (4, 1), (1, 3), (1, 5), (3, 6)])
+
+
+#: The Fig. 1(a)-style running example: 6 vertices, 9 edges, one
+#: automorphism u3 ↔ u5 yielding the partial order u3 < u5, vertex cover
+#: {u1, u3, u5}.
+DEMO_PATTERN = Graph(
+    [
+        (1, 2),
+        (1, 3),
+        (1, 5),
+        (1, 6),
+        (2, 3),
+        (2, 5),
+        (3, 4),
+        (3, 5),
+        (4, 5),
+    ]
+)
+
+
+PATTERNS: Dict[str, Graph] = {
+    "triangle": TRIANGLE,
+    "square": SQUARE,
+    "chordal_square": CHORDAL_SQUARE,
+    "clique4": CLIQUE4,
+    "clique5": CLIQUE5,
+    "q1": Q1,
+    "q2": Q2,
+    "q3": Q3,
+    "q4": Q4,
+    "q5": Q5,
+    "q6": Q6,
+    "q7": Q7,
+    "q8": Q8,
+    "q9": Q9,
+    "demo": DEMO_PATTERN,
+}
+
+#: The patterns of the paper's Fig. 6, in order.
+FIG6_PATTERNS: List[str] = ["q1", "q2", "q3", "q4", "q5", "q6", "q7", "q8", "q9"]
+
+
+def get_pattern(name: str) -> Graph:
+    """Look up a named pattern graph.
+
+    >>> get_pattern("triangle").num_edges
+    3
+    """
+    try:
+        return PATTERNS[name]
+    except KeyError:
+        known = ", ".join(sorted(PATTERNS))
+        raise KeyError(f"unknown pattern {name!r}; known patterns: {known}") from None

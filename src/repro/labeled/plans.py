@@ -1,0 +1,93 @@
+"""Label-aware execution plans.
+
+``labelize_plan`` rewrites an (optimized, possibly compressed) plan so that
+every candidate set is intersected with the data graph's per-label vertex
+pool before enumeration or reporting.  The pools enter the plan as named
+constants (``VL0``, ``VL1``, ...), injected into the compiled function's
+namespace — the codegen, interpreter, caches and cluster need no changes.
+
+The start vertex's label is *not* checked inside the plan: the labeled
+runner simply never creates local search tasks for data vertices of the
+wrong label (the cheaper place to enforce it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..plan.generation import ExecutionPlan
+from ..plan.instructions import Instruction, InstructionType, fvar, intersect, tvar
+from ..plan.optimizer import _fresh_temp_index
+from .graphs import Label, LabeledGraph
+from .pattern import LabeledPatternGraph
+
+
+def label_constant_name(label_id: int) -> str:
+    """The plan-constant name for label pool ``label_id``."""
+    return f"VL{label_id}"
+
+
+def labelize_plan(
+    plan: ExecutionPlan,
+    pattern: LabeledPatternGraph,
+    data: LabeledGraph,
+) -> ExecutionPlan:
+    """Return a copy of ``plan`` with per-label candidate filtering.
+
+    For every ENU ``f_j := Foreach(S)`` an intersection with u_j's label
+    pool is inserted; for compressed plans the reported image sets are
+    filtered the same way before RES.
+    """
+    labels = sorted({pattern.label_of(u) for u in pattern.vertices}, key=repr)
+    label_id = {lbl: i for i, lbl in enumerate(labels)}
+    constants: Dict[str, frozenset] = {
+        label_constant_name(i): data.vertices_with_label(lbl)
+        for lbl, i in label_id.items()
+    }
+
+    def pool_var(u) -> str:
+        return label_constant_name(label_id[pattern.label_of(u)])
+
+    next_temp = _fresh_temp_index(plan)
+    out: List[Instruction] = []
+    first = plan.order[0]
+    for inst in plan.instructions:
+        if inst.type is InstructionType.ENU:
+            u = int(inst.target[1:])
+            filtered = tvar(next_temp)
+            next_temp += 1
+            out.append(intersect(filtered, (inst.operands[0], pool_var(u))))
+            out.append(inst.with_operands((filtered,)))
+            continue
+        if inst.type is InstructionType.RES:
+            # Compressed image sets are label-filtered before reporting.
+            operands: List[str] = []
+            for u, op in zip(pattern.vertices, inst.operands):
+                if u in plan.compressed_vertices:
+                    filtered = tvar(next_temp)
+                    next_temp += 1
+                    out.append(intersect(filtered, (op, pool_var(u))))
+                    operands.append(filtered)
+                else:
+                    operands.append(op)
+            out.append(inst.with_operands(operands))
+            continue
+        out.append(inst)
+
+    labeled = ExecutionPlan(
+        pattern=pattern,
+        order=plan.order,
+        instructions=out,
+        compressed=plan.compressed,
+        compressed_vertices=plan.compressed_vertices,
+        constants={**plan.constants, **constants},
+    )
+    assert labeled.defined_before_use()
+    return labeled
+
+
+def start_label_pool(
+    plan: ExecutionPlan, pattern: LabeledPatternGraph, data: LabeledGraph
+) -> frozenset:
+    """Data vertices eligible as the start vertex (u_{k1}'s label pool)."""
+    return data.vertices_with_label(pattern.label_of(plan.order[0]))

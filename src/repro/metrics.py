@@ -1,0 +1,51 @@
+"""Small reporting helpers shared by benchmarks and examples."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Human-readable byte count ("3.2 MB").
+
+    >>> format_bytes(1536)
+    '1.5 KB'
+    """
+    value = float(num_bytes)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(value) < 1024.0 or unit == "TB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_count(value: float) -> str:
+    """Scientific-ish count formatting matching Table I ("2.9E7")."""
+    if value == 0:
+        return "0"
+    if abs(value) < 10_000:
+        return str(int(value)) if float(value).is_integer() else f"{value:.1f}"
+    return f"{value:.1E}"
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render an aligned plain-text table (benchmark harness output)."""
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def speedup_series(base_time: float, times: Sequence[float]) -> List[float]:
+    """Relative speedups vs ``base_time`` (Fig. 10's y-axis)."""
+    return [base_time / t if t > 0 else float("inf") for t in times]

@@ -1,0 +1,59 @@
+"""Pattern-graph analysis: isomorphism, automorphisms, symmetry breaking."""
+
+from .automorphism import (
+    automorphism_count,
+    automorphisms,
+    is_automorphism,
+    orbits,
+    stabilizer,
+)
+from .equivalence import (
+    class_index,
+    equivalence_classes,
+    passes_dual_condition,
+    syntactically_equivalent,
+)
+from .isomorphism import (
+    are_isomorphic,
+    count_matches,
+    enumerate_matches,
+    find_subgraph_instances,
+)
+from .pattern_graph import PatternGraph
+from .symmetry import (
+    Condition,
+    conditions_as_map,
+    satisfies_conditions,
+    symmetry_breaking_conditions,
+)
+from .vertex_cover import (
+    cover_prefix_length,
+    is_vertex_cover,
+    minimal_covers,
+    minimum_vertex_cover,
+)
+
+__all__ = [
+    "automorphism_count",
+    "automorphisms",
+    "is_automorphism",
+    "orbits",
+    "stabilizer",
+    "class_index",
+    "equivalence_classes",
+    "passes_dual_condition",
+    "syntactically_equivalent",
+    "are_isomorphic",
+    "count_matches",
+    "enumerate_matches",
+    "find_subgraph_instances",
+    "PatternGraph",
+    "Condition",
+    "conditions_as_map",
+    "satisfies_conditions",
+    "symmetry_breaking_conditions",
+    "cover_prefix_length",
+    "is_vertex_cover",
+    "minimal_covers",
+    "minimum_vertex_cover",
+]

@@ -1,0 +1,73 @@
+"""Automorphism groups of pattern graphs.
+
+An automorphism of P is an isomorphism P → P.  Pattern graphs are tiny
+(n ≤ 10 in the paper), so enumerating Aut(P) with the backtracking matcher
+is instant.  Automorphisms feed the symmetry-breaking technique (Section
+II-A) and explain duplicate-match multiplicities in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..graph.graph import Graph, Vertex
+from .isomorphism import enumerate_matches
+
+#: An automorphism as a mapping tuple: position i holds the image of the
+#: i-th smallest pattern vertex.
+Automorphism = Tuple[Vertex, ...]
+
+
+def automorphisms(pattern: Graph) -> List[Dict[Vertex, Vertex]]:
+    """All automorphisms of ``pattern`` as vertex→vertex dicts.
+
+    >>> from repro.graph.graph import complete_graph
+    >>> len(automorphisms(complete_graph(3)))
+    6
+    """
+    vertices = pattern.vertices
+    result = []
+    for match in enumerate_matches(pattern, pattern):
+        mapping = dict(zip(vertices, match))
+        # An injective homomorphism of a finite graph onto itself with the
+        # same edge count is an automorphism.
+        result.append(mapping)
+    return result
+
+
+def automorphism_count(pattern: Graph) -> int:
+    """|Aut(P)| — the duplicate multiplicity without symmetry breaking."""
+    return len(automorphisms(pattern))
+
+
+def orbits(pattern: Graph, group: List[Dict[Vertex, Vertex]] = None) -> List[FrozenSet[Vertex]]:
+    """Vertex orbits under Aut(P) (or a supplied subgroup)."""
+    if group is None:
+        group = automorphisms(pattern)
+    seen: Set[Vertex] = set()
+    out: List[FrozenSet[Vertex]] = []
+    for v in pattern.vertices:
+        if v in seen:
+            continue
+        orbit = frozenset(g[v] for g in group)
+        seen.update(orbit)
+        out.append(orbit)
+    return out
+
+
+def stabilizer(
+    group: List[Dict[Vertex, Vertex]], fixed: Vertex
+) -> List[Dict[Vertex, Vertex]]:
+    """The subgroup of ``group`` fixing ``fixed`` pointwise."""
+    return [g for g in group if g[fixed] == fixed]
+
+
+def is_automorphism(pattern: Graph, mapping: Dict[Vertex, Vertex]) -> bool:
+    """Check that ``mapping`` is a valid automorphism of ``pattern``."""
+    if sorted(mapping) != list(pattern.vertices):
+        return False
+    if sorted(mapping.values()) != list(pattern.vertices):
+        return False
+    return all(
+        pattern.has_edge(mapping[u], mapping[v]) for u, v in pattern.edges()
+    )

@@ -1,0 +1,74 @@
+"""Syntactic equivalence between pattern vertices (dual pruning, §IV-D).
+
+Two pattern vertices are *syntactically equivalent* (SE), written
+``u_i ≃ u_j``, iff ``Γ(u_i) − {u_j} = Γ(u_j) − {u_i}`` [Ren & Wang,
+PVLDB'15].  Swapping two SE vertices in a matching order yields a *dual*
+order whose execution plan has identical cost, so Algorithm 3 only explores
+orders where, within each SE class, vertices appear in ascending id order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..graph.graph import Graph, Vertex
+
+
+def syntactically_equivalent(pattern: Graph, u: Vertex, v: Vertex) -> bool:
+    """True iff ``u ≃ v`` (SE relation)."""
+    if u == v:
+        return True
+    nu = set(pattern.neighbors(u))
+    nv = set(pattern.neighbors(v))
+    nu.discard(v)
+    nv.discard(u)
+    return nu == nv
+
+
+def equivalence_classes(pattern: Graph) -> List[List[Vertex]]:
+    """Partition V(P) into SE classes (each sorted ascending).
+
+    SE is an equivalence relation, so a simple greedy grouping suffices.
+    """
+    classes: List[List[Vertex]] = []
+    for v in pattern.vertices:
+        for cls in classes:
+            if syntactically_equivalent(pattern, cls[0], v):
+                cls.append(v)
+                break
+        else:
+            classes.append([v])
+    return classes
+
+
+def class_index(pattern: Graph) -> Dict[Vertex, int]:
+    """Map each vertex to the index of its SE class."""
+    out: Dict[Vertex, int] = {}
+    for i, cls in enumerate(equivalence_classes(pattern)):
+        for v in cls:
+            out[v] = i
+    return out
+
+
+def passes_dual_condition(
+    pattern: Graph,
+    prefix: Sequence[Vertex],
+    candidate: Vertex,
+    se_classes: Dict[Vertex, int] = None,
+) -> bool:
+    """Dual-pruning check of Algorithm 3 line 11.
+
+    ``candidate`` may extend ``prefix`` only if every SE-equivalent vertex
+    with a smaller id is already in the prefix — otherwise the order is the
+    dual of one we will explore anyway.
+    """
+    if se_classes is None:
+        se_classes = class_index(pattern)
+    cls = se_classes[candidate]
+    used = set(prefix)
+    for v in pattern.vertices:
+        if v >= candidate:
+            break
+        if se_classes[v] == cls and v not in used:
+            return False
+    return True

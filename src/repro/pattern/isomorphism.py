@@ -1,0 +1,173 @@
+"""Backtracking (sub)graph isomorphism — the correctness oracle.
+
+This is a direct, unoptimized implementation of Algorithm 1 from the paper
+(the classic backtracking framework of Lee et al., PVLDB'12).  It plays two
+roles in the reproduction:
+
+* the *oracle* that every BENU execution-plan variant is tested against, and
+* the automorphism enumerator (matching a pattern against itself).
+
+It deliberately stays simple: candidates come from intersecting adjacency
+sets of already-mapped neighbors, exactly the RefineCandidates rule of
+Section III-B, with no plan-level optimizations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..graph.graph import Graph, Vertex
+
+Match = Tuple[Vertex, ...]
+
+
+def _default_order(pattern: Graph) -> List[Vertex]:
+    """A connectivity-respecting matching order (greedy: max mapped-neighbors)."""
+    remaining = set(pattern.vertices)
+    order: List[Vertex] = []
+    if not remaining:
+        return order
+    # Start from a max-degree vertex to constrain early.
+    first = max(remaining, key=lambda v: (pattern.degree(v), -v))
+    order.append(first)
+    remaining.discard(first)
+    while remaining:
+        def mapped_neighbors(v: Vertex) -> int:
+            return sum(1 for w in pattern.neighbors(v) if w in order)
+
+        nxt = max(remaining, key=lambda v: (mapped_neighbors(v), pattern.degree(v), -v))
+        order.append(nxt)
+        remaining.discard(nxt)
+    return order
+
+
+def enumerate_matches(
+    pattern: Graph,
+    data: Graph,
+    order: Optional[Sequence[Vertex]] = None,
+    partial_order: Sequence[Tuple[Vertex, Vertex]] = (),
+) -> Iterator[Match]:
+    """Yield every match f of ``pattern`` in ``data`` (Definition 1).
+
+    A match is reported as a tuple ``(f_1, ..., f_n)`` indexed by sorted
+    pattern-vertex position, matching the paper's ``f = (f1, ..., fn)``
+    notation.
+
+    Parameters
+    ----------
+    order:
+        Matching order over pattern vertices; defaults to a greedy
+        connectivity order.
+    partial_order:
+        Symmetry-breaking constraints: pairs ``(u_i, u_j)`` meaning
+        ``f(u_i) < f(u_j)`` under the integer order on data vertices (the
+        data graph is assumed relabeled so ``<`` realizes ≺).
+    """
+    pattern_vertices = pattern.vertices
+    if not pattern_vertices:
+        yield ()
+        return
+    if order is None:
+        order = _default_order(pattern)
+    else:
+        order = list(order)
+        if sorted(order) != list(pattern_vertices):
+            raise ValueError("order must be a permutation of the pattern vertices")
+
+    index_of = {u: i for i, u in enumerate(pattern_vertices)}
+    # Constraints indexed by the *later* vertex in the matching order.
+    position = {u: i for i, u in enumerate(order)}
+    smaller_than: Dict[Vertex, List[Vertex]] = {u: [] for u in pattern_vertices}
+    greater_than: Dict[Vertex, List[Vertex]] = {u: [] for u in pattern_vertices}
+    for lo, hi in partial_order:
+        if position[lo] < position[hi]:
+            greater_than[hi].append(lo)  # f(hi) must be > f(lo)
+        else:
+            smaller_than[lo].append(hi)  # f(lo) must be < f(hi)
+
+    mapping: Dict[Vertex, Vertex] = {}
+    used: set = set()
+
+    def candidates(u: Vertex) -> Iterator[Vertex]:
+        mapped_nbrs = [mapping[w] for w in pattern.neighbors(u) if w in mapping]
+        if mapped_nbrs:
+            pool = data.neighbors(mapped_nbrs[0])
+            for fv in mapped_nbrs[1:]:
+                pool = pool & data.neighbors(fv)
+            it = iter(pool)
+        else:
+            it = iter(data.vertices)
+        for v in it:
+            if v in used:
+                continue
+            if any(v <= mapping[w] for w in greater_than[u] if w in mapping):
+                continue
+            if any(v >= mapping[w] for w in smaller_than[u] if w in mapping):
+                continue
+            yield v
+
+    def search(depth: int) -> Iterator[Match]:
+        if depth == len(order):
+            out = [0] * len(pattern_vertices)
+            for u, v in mapping.items():
+                out[index_of[u]] = v
+            yield tuple(out)
+            return
+        u = order[depth]
+        for v in candidates(u):
+            mapping[u] = v
+            used.add(v)
+            yield from search(depth + 1)
+            used.discard(v)
+            del mapping[u]
+
+    yield from search(0)
+
+
+def count_matches(
+    pattern: Graph,
+    data: Graph,
+    partial_order: Sequence[Tuple[Vertex, Vertex]] = (),
+) -> int:
+    """Number of matches of ``pattern`` in ``data``."""
+    return sum(1 for _ in enumerate_matches(pattern, data, partial_order=partial_order))
+
+
+def are_isomorphic(g1: Graph, g2: Graph) -> bool:
+    """Graph isomorphism test (exact, exponential — for small graphs)."""
+    if (
+        g1.num_vertices != g2.num_vertices
+        or g1.num_edges != g2.num_edges
+        or g1.degree_sequence() != g2.degree_sequence()
+    ):
+        return False
+    for f in enumerate_matches(g1, g2):
+        # A match is an injective homomorphism; with equal edge counts on
+        # equal vertex counts it is an isomorphism.
+        return True
+    return False
+
+
+def find_subgraph_instances(pattern: Graph, data: Graph) -> Iterator[FrozenSetPair]:
+    """Yield each subgraph of ``data`` isomorphic to ``pattern`` exactly once.
+
+    Subgraphs are identified by their (frozen) edge sets.  This is the slow
+    but unambiguous ground truth for Definition 2: matches deduplicated by
+    the subgraph they induce.
+    """
+    seen = set()
+    pattern_edges = list(pattern.edges())
+    pattern_vertices = pattern.vertices
+    index_of = {u: i for i, u in enumerate(pattern_vertices)}
+    for match in enumerate_matches(pattern, data):
+        edge_image = frozenset(
+            frozenset((match[index_of[a]], match[index_of[b]]))
+            for a, b in pattern_edges
+        )
+        if edge_image not in seen:
+            seen.add(edge_image)
+            yield edge_image
+
+
+# Typing helper for the generator above (kept after use for readability).
+FrozenSetPair = frozenset

@@ -1,0 +1,77 @@
+"""Symmetry breaking à la Grochow–Kellis (the paper's Section II-A).
+
+Automorphisms of P make several matches correspond to one subgraph.  The
+symmetry-breaking technique [Grochow & Kellis, RECOMB'07] computes a partial
+order < on V(P) such that, under the extra constraints
+``u_i < u_j ⇒ f(u_i) ≺ f(u_j)``, every subgraph isomorphic to P has exactly
+one surviving match.
+
+Algorithm (the standard one): repeatedly pick a vertex in a largest
+non-trivial orbit of the current automorphism subgroup, constrain it to be
+≺-minimal within its orbit, and descend into its stabilizer until the group
+is trivial.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..graph.graph import Graph, Vertex
+from .automorphism import automorphisms, stabilizer
+
+#: A symmetry-breaking condition ``(lo, hi)`` meaning f(lo) ≺ f(hi).
+Condition = Tuple[Vertex, Vertex]
+
+
+def symmetry_breaking_conditions(pattern: Graph) -> List[Condition]:
+    """Compute a partial order on V(P) that breaks all automorphisms.
+
+    Returns pairs ``(lo, hi)`` meaning the match must satisfy
+    ``f(lo) ≺ f(hi)``.  The list is empty iff Aut(P) is trivial.
+
+    >>> from repro.graph.graph import complete_graph
+    >>> symmetry_breaking_conditions(complete_graph(3))
+    [(1, 2), (1, 3), (2, 3)]
+    """
+    group = automorphisms(pattern)
+    conditions: List[Condition] = []
+    while len(group) > 1:
+        # Orbits under the current subgroup.
+        orbit_of: Dict[Vertex, set] = {}
+        for v in pattern.vertices:
+            orbit_of.setdefault(v, set())
+            for g in group:
+                orbit_of[v].add(g[v])
+        # Pick the anchor: a vertex in a largest non-trivial orbit
+        # (smallest id for determinism).
+        candidates = [v for v in pattern.vertices if len(orbit_of[v]) > 1]
+        anchor = max(candidates, key=lambda v: (len(orbit_of[v]), -v))
+        for other in sorted(orbit_of[anchor]):
+            if other != anchor:
+                conditions.append((anchor, other))
+        group = stabilizer(group, anchor)
+    return conditions
+
+
+def conditions_as_map(conditions: List[Condition]) -> Dict[Vertex, Dict[str, List[Vertex]]]:
+    """Index conditions by vertex for plan generation.
+
+    For each vertex ``u`` returns ``{"lt": [...], "gt": [...]}`` — vertices
+    that must map strictly greater / smaller than ``u``'s image.
+    """
+    out: Dict[Vertex, Dict[str, List[Vertex]]] = {}
+    for lo, hi in conditions:
+        out.setdefault(lo, {"lt": [], "gt": []})["lt"].append(hi)
+        out.setdefault(hi, {"lt": [], "gt": []})["gt"].append(lo)
+    return out
+
+
+def satisfies_conditions(
+    match: Dict[Vertex, Vertex], conditions: List[Condition]
+) -> bool:
+    """Check a complete match against the partial-order constraints.
+
+    Data-vertex comparison uses plain integer ``<``; the data graph is
+    assumed relabeled so that integer order realizes the total order ≺.
+    """
+    return all(match[lo] < match[hi] for lo, hi in conditions)

@@ -1,0 +1,63 @@
+"""Vertex covers of pattern graphs — the basis of VCBC compression (§IV-B).
+
+VCBC compresses matching results around a vertex cover V_c of P: matches of
+the induced core(P) = P(V_c) are *helves*, and each non-cover vertex's
+images are kept as a *conditional image set*.  The BENU plan transformation
+needs the shortest prefix of a matching order that covers every pattern
+edge.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, Iterable, List, Optional, Sequence
+
+from ..graph.graph import Graph, Vertex
+
+
+def is_vertex_cover(pattern: Graph, cover: Iterable[Vertex]) -> bool:
+    """True iff every edge of ``pattern`` has an endpoint in ``cover``."""
+    cover_set = set(cover)
+    return all(u in cover_set or v in cover_set for u, v in pattern.edges())
+
+
+def cover_prefix_length(pattern: Graph, order: Sequence[Vertex]) -> int:
+    """Length k of the shortest order prefix forming a vertex cover.
+
+    The paper's VCBC transformation: "assume the first k pattern vertices in
+    O can form a vertex cover V_c of P while the first k−1 vertices cannot."
+
+    Raises ``ValueError`` if even the full order is not a cover (impossible
+    for a permutation of V(P)).
+    """
+    uncovered = set(map(frozenset, pattern.edges()))
+    if not uncovered:
+        return 0
+    for k, u in enumerate(order, start=1):
+        uncovered = {e for e in uncovered if u not in e}
+        if not uncovered:
+            return k
+    if pattern.num_edges == 0:
+        return 0
+    raise ValueError("order does not cover the pattern edges")
+
+
+def minimum_vertex_cover(pattern: Graph) -> FrozenSet[Vertex]:
+    """A minimum vertex cover, by exhaustive search (patterns are tiny)."""
+    vertices = pattern.vertices
+    for size in range(len(vertices) + 1):
+        for subset in combinations(vertices, size):
+            if is_vertex_cover(pattern, subset):
+                return frozenset(subset)
+    return frozenset(vertices)
+
+
+def minimal_covers(pattern: Graph, size: Optional[int] = None) -> List[FrozenSet[Vertex]]:
+    """All vertex covers of the given (or minimum) size."""
+    if size is None:
+        size = len(minimum_vertex_cover(pattern))
+    return [
+        frozenset(subset)
+        for subset in combinations(pattern.vertices, size)
+        if is_vertex_cover(pattern, subset)
+    ]

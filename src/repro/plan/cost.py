@@ -1,0 +1,180 @@
+"""Cost estimation for execution plans (Section IV-C).
+
+The execution cost of a plan splits into:
+
+* **computation cost** — total executions of INT/TRC instructions, and
+* **communication cost** — total executions of DBQ instructions.
+
+Execution counts hinge on how many matches each partial pattern graph P_i
+has in the data graph.  Following the paper we adopt the random-graph
+cardinality model of Lai et al. (PVLDB'16 §5.1): under an Erdős–Rényi
+assumption with edge probability ρ = 2M / (N(N−1)), a connected pattern
+with n' vertices and m' edges has
+
+    E[#matches] = N · (N−1) ··· (N−n'+1) · ρ^{m'}
+
+(the count of *matches*, i.e. injective homomorphisms, not deduplicated
+subgraphs).  Disconnected partial patterns multiply their components'
+estimates, as the paper prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence, Tuple
+
+from ..graph.graph import Graph, Vertex
+from .generation import ExecutionPlan
+from .instructions import InstructionType
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Data-graph statistics the cardinality model needs."""
+
+    num_vertices: int
+    num_edges: int
+
+    @classmethod
+    def of(cls, graph: Graph) -> "GraphStats":
+        return cls(graph.num_vertices, graph.num_edges)
+
+    @property
+    def edge_probability(self) -> float:
+        n = self.num_vertices
+        if n < 2:
+            return 0.0
+        return min(1.0, 2.0 * self.num_edges / (n * (n - 1)))
+
+
+#: Default statistics used when plan generation runs without a data graph
+#: (Exp-1 evaluates plan generation alone); sized like a mid-range Table I
+#: graph so cost trade-offs are realistic.
+DEFAULT_STATS = GraphStats(num_vertices=1_000_000, num_edges=10_000_000)
+
+
+def estimate_matches(pattern: Graph, stats: GraphStats) -> float:
+    """Expected matches of ``pattern`` under the active cardinality model.
+
+    The default is the ER model of Lai et al. (Section IV-C); stats
+    objects that provide their own ``estimate_matches`` (e.g. the
+    configuration-model :class:`repro.plan.estimators.EmpiricalGraphStats`)
+    override it — the paper's "the estimation model can be replaced" hook.
+
+    Components multiply; the empty pattern has exactly one (empty) match.
+    """
+    custom = getattr(stats, "estimate_matches", None)
+    if custom is not None:
+        return custom(pattern)
+    total = 1.0
+    rho = stats.edge_probability
+    for component in pattern.connected_components():
+        sub = pattern.induced_subgraph(component)
+        est = 1.0
+        for i in range(sub.num_vertices):
+            est *= max(0.0, stats.num_vertices - i)
+        est *= rho ** sub.num_edges
+        total *= est
+    return total
+
+
+@dataclass(frozen=True)
+class PlanCost:
+    """(communication, computation) cost pair, ordered lexicographically.
+
+    The paper ranks plans by communication cost first — a DBQ round-trip
+    dwarfs an in-memory intersection — with computation cost as the
+    tie-breaker.
+    """
+
+    communication: float
+    computation: float
+
+    def __lt__(self, other: "PlanCost") -> bool:
+        return (self.communication, self.computation) < (
+            other.communication,
+            other.computation,
+        )
+
+    def __le__(self, other: "PlanCost") -> bool:
+        return not other < self
+
+
+def _partial_pattern(pattern: Graph, prefix: Iterable[Vertex]) -> Graph:
+    return pattern.induced_subgraph(prefix)
+
+
+def estimate_computation_cost(
+    plan: ExecutionPlan, stats: GraphStats = DEFAULT_STATS
+) -> float:
+    """EstimateComputationCost of Algorithm 3.
+
+    Walk the plan; the INI and each ENU instruction advance the partial
+    pattern P_i, whose estimated match count is the execution multiplicity
+    of every following INT/TRC instruction.
+    """
+    return _walk_cost(plan, stats, (InstructionType.INT, InstructionType.TRC))
+
+
+def estimate_communication_cost(
+    plan: ExecutionPlan, stats: GraphStats = DEFAULT_STATS
+) -> float:
+    """Total estimated DBQ executions (same walk, counting DBQ)."""
+    return _walk_cost(plan, stats, (InstructionType.DBQ,))
+
+
+def _walk_cost(
+    plan: ExecutionPlan,
+    stats: GraphStats,
+    counted_types: Tuple[InstructionType, ...],
+) -> float:
+    """Shared walk: the INI and each ENU advance the enumerated prefix.
+
+    The enumerated pattern vertex is read off the instruction target
+    (``f<i>``), which also handles VCBC-compressed plans whose non-cover
+    ENUs were deleted.
+    """
+    from .instructions import var_index
+
+    pattern = plan.pattern.graph
+    prefix: list = []
+    cur_num = 0.0
+    cost = 0.0
+    for inst in plan.instructions:
+        if inst.type in (InstructionType.INI, InstructionType.ENU):
+            prefix.append(var_index(inst.target))
+            cur_num = estimate_matches(_partial_pattern(pattern, prefix), stats)
+        elif inst.type in counted_types:
+            cost += cur_num
+    return cost
+
+
+def estimate_plan_cost(
+    plan: ExecutionPlan, stats: GraphStats = DEFAULT_STATS
+) -> PlanCost:
+    """Full (communication, computation) cost of a plan."""
+    return PlanCost(
+        communication=estimate_communication_cost(plan, stats),
+        computation=estimate_computation_cost(plan, stats),
+    )
+
+
+def order_communication_cost(
+    pattern: Graph, order: Sequence[Vertex], stats: GraphStats = DEFAULT_STATS
+) -> float:
+    """Communication cost of a matching order, plan-free (Algorithm 3 logic).
+
+    A DBQ is generated for position i exactly when u_{k_i} still has an
+    unused neighbor; its multiplicity is the match estimate of P_i.
+    Optimizations never move DBQs across ENUs, so this depends on the order
+    alone.
+    """
+    used: list = []
+    remaining = set(order)
+    cost = 0.0
+    for u in order:
+        remaining.discard(u)
+        used.append(u)
+        if any(w in remaining for w in pattern.neighbors(u)):
+            cost += estimate_matches(_partial_pattern(pattern, used), stats)
+    return cost

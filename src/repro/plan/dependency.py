@@ -1,0 +1,83 @@
+"""Dependency graphs over execution plans (Optimization 2 support).
+
+Instructions depend on each other through variables: ``I1 → I2`` when I2
+reads I1's target in its operands or filtering conditions.  Reordering must
+respect these edges; Optimization 2 performs a topological sort that greedily
+prefers cheap instruction types (INI < INT < TRC < DBQ < ENU < RES), with
+original position breaking ties so the DBQ/ENU backbone keeps the matching
+order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Sequence, Set, Tuple
+
+from .instructions import TYPE_RANK, Instruction
+
+
+def build_dependency_edges(
+    instructions: Sequence[Instruction],
+    predefined: Sequence[str] = (),
+) -> List[Tuple[int, int]]:
+    """Edges (i, j) meaning instruction i must precede instruction j.
+
+    ``predefined`` names (plan constants) are always available.  Raises
+    ``ValueError`` if a variable is used before any definition or defined
+    twice (plans are single-assignment).
+    """
+    known = set(predefined)
+    producer: Dict[str, int] = {}
+    edges: List[Tuple[int, int]] = []
+    for j, inst in enumerate(instructions):
+        for var in inst.used_vars:
+            if var in known:
+                continue
+            if var not in producer:
+                raise ValueError(
+                    f"instruction {j} ({inst}) reads undefined variable {var!r}"
+                )
+            edges.append((producer[var], j))
+        if inst.target in producer:
+            raise ValueError(
+                f"variable {inst.target!r} defined twice (instruction {j})"
+            )
+        producer[inst.target] = j
+    return edges
+
+
+def ranked_topological_sort(
+    instructions: Sequence[Instruction],
+    predefined: Sequence[str] = (),
+) -> List[Instruction]:
+    """Topologically sort by dependencies, preferring cheap types first.
+
+    Among currently-available instructions the one with the smallest
+    (type-rank, original-index) pair runs next.  This hoists INT/TRC
+    instructions out of loops (they detect doomed partial matches early)
+    and postpones ENU instructions, exactly the ranking of Section IV-B.
+    """
+    n = len(instructions)
+    edges = build_dependency_edges(instructions, predefined)
+    successors: List[Set[int]] = [set() for _ in range(n)]
+    indegree = [0] * n
+    for a, b in edges:
+        if b not in successors[a]:
+            successors[a].add(b)
+            indegree[b] += 1
+
+    heap: List[Tuple[int, int]] = [
+        (TYPE_RANK[instructions[i].type], i) for i in range(n) if indegree[i] == 0
+    ]
+    heapq.heapify(heap)
+    result: List[Instruction] = []
+    while heap:
+        _, i = heapq.heappop(heap)
+        result.append(instructions[i])
+        for j in successors[i]:
+            indegree[j] -= 1
+            if indegree[j] == 0:
+                heapq.heappush(heap, (TYPE_RANK[instructions[j].type], j))
+    if len(result) != n:
+        raise ValueError("dependency graph has a cycle; plan is malformed")
+    return result

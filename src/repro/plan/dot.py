@@ -1,0 +1,70 @@
+"""Graphviz exports for plans and their dependency graphs (Fig. 4 style).
+
+Pure-text emitters — no graphviz dependency; feed the output to ``dot``
+or any online renderer.  Used by the plan-explorer example and handy when
+debugging optimizer passes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .dependency import build_dependency_edges
+from .generation import ExecutionPlan
+from .instructions import Instruction, InstructionType
+
+#: Node fill colors by instruction type (colorscheme: pastel).
+_TYPE_STYLE: Dict[InstructionType, str] = {
+    InstructionType.INI: "#c6dbef",
+    InstructionType.DBQ: "#fdd0a2",
+    InstructionType.INT: "#c7e9c0",
+    InstructionType.TRC: "#bcbddc",
+    InstructionType.ENU: "#fcbba1",
+    InstructionType.RES: "#d9d9d9",
+}
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def dependency_graph_dot(plan: ExecutionPlan, title: str = "") -> str:
+    """The Fig. 4 dependency graph as Graphviz dot text.
+
+    Nodes are instructions labeled by their target variable (the paper's
+    convention); edges are def-use dependencies.
+    """
+    instructions = plan.instructions
+    edges = build_dependency_edges(instructions, predefined=tuple(plan.constants))
+    lines: List[str] = ["digraph dependencies {"]
+    lines.append('  rankdir="LR";')
+    if title:
+        lines.append(f'  label="{_escape(title)}";')
+    lines.append('  node [shape=box, style=filled, fontname="monospace"];')
+    for i, inst in enumerate(instructions):
+        color = _TYPE_STYLE[inst.type]
+        lines.append(
+            f'  n{i} [label="{_escape(inst.target)}", fillcolor="{color}", '
+            f'tooltip="{_escape(str(inst))}"];'
+        )
+    for a, b in sorted(set(edges)):
+        lines.append(f"  n{a} -> n{b};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def plan_dot(plan: ExecutionPlan, title: str = "") -> str:
+    """The plan as a straight-line flowchart (one node per instruction)."""
+    lines: List[str] = ["digraph plan {"]
+    if title:
+        lines.append(f'  label="{_escape(title)}";')
+    lines.append('  node [shape=box, style=filled, fontname="monospace"];')
+    for i, inst in enumerate(plan.instructions):
+        color = _TYPE_STYLE[inst.type]
+        lines.append(
+            f'  n{i} [label="{_escape(str(inst))}", fillcolor="{color}"];'
+        )
+        if i:
+            lines.append(f"  n{i - 1} -> n{i};")
+    lines.append("}")
+    return "\n".join(lines)

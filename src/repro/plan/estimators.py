@@ -1,0 +1,92 @@
+"""A degree-aware cardinality estimator (pluggable cost model).
+
+Section IV-C adopts the Erdős–Rényi model of Lai et al. and notes "the
+estimation model can be replaced if a more accurate model is proposed".
+This module supplies that replacement: a *configuration-model* estimator
+driven by the data graph's falling-factorial degree moments.
+
+Under the configuration model, a pattern vertex of pattern-degree k does
+not land on a uniformly random data vertex but on one weighted by how many
+edge endpoints it can host; the correction per vertex is
+
+    r_k = ⟨ d·(d−1)···(d−k+1) ⟩ / ⟨d⟩^k
+
+(≈ 1 for ER graphs, ≫ 1 under power-law skew).  The estimate becomes
+
+    E[#matches] ≈ (N)_{n'} · ρ^{m'} · Π_v r_{deg_P(v)}
+
+which is exact in expectation for stars (e.g. wedges: N·⟨d(d−1)⟩ ordered)
+— exactly the counts the ER model underestimates most on the paper's
+power-law data graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..graph.graph import Graph
+from .cost import GraphStats
+
+#: Largest pattern degree the moment table covers (patterns are tiny).
+MAX_PATTERN_DEGREE = 10
+
+
+def falling_factorial_moments(graph: Graph, k_max: int = MAX_PATTERN_DEGREE) -> Tuple[float, ...]:
+    """``(⟨(d)_0⟩, ⟨(d)_1⟩, ..., ⟨(d)_k_max⟩)`` — averaged falling factorials."""
+    n = graph.num_vertices
+    if n == 0:
+        return tuple(0.0 for _ in range(k_max + 1))
+    sums = [0.0] * (k_max + 1)
+    for v in graph.vertices:
+        d = graph.degree(v)
+        term = 1.0
+        for k in range(k_max + 1):
+            sums[k] += term
+            term *= max(0, d - k)
+    return tuple(s / n for s in sums)
+
+
+@dataclass(frozen=True)
+class EmpiricalGraphStats(GraphStats):
+    """Graph statistics carrying degree moments for the improved model.
+
+    Drop-in replacement for :class:`repro.plan.cost.GraphStats`: pass it to
+    ``generate_best_plan`` / the cost estimators and the configuration-model
+    formula is used automatically.
+    """
+
+    moments: Tuple[float, ...] = field(default=())
+
+    @classmethod
+    def of(cls, graph: Graph) -> "EmpiricalGraphStats":
+        return cls(
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
+            moments=falling_factorial_moments(graph),
+        )
+
+    def degree_correction(self, pattern_degree: int) -> float:
+        """r_k for one pattern vertex of degree k."""
+        if pattern_degree <= 1:
+            return 1.0
+        mean_d = self.moments[1] if len(self.moments) > 1 else 0.0
+        if mean_d <= 0:
+            return 1.0
+        k = min(pattern_degree, len(self.moments) - 1)
+        return self.moments[k] / (mean_d ** k)
+
+    def estimate_matches(self, pattern: Graph) -> float:
+        """Configuration-model match estimate (components multiply)."""
+        total = 1.0
+        rho = self.edge_probability
+        for component in pattern.connected_components():
+            sub = pattern.induced_subgraph(component)
+            est = 1.0
+            for i in range(sub.num_vertices):
+                est *= max(0.0, self.num_vertices - i)
+            est *= rho ** sub.num_edges
+            for u in sub.vertices:
+                est *= self.degree_correction(sub.degree(u))
+            total *= est
+        return total

@@ -1,0 +1,223 @@
+"""Execution-plan instructions (Table III of the paper).
+
+A BENU execution plan is a straight-line program over set-valued and
+vertex-valued variables.  Variable names follow the paper's notation:
+
+* ``f<i>`` — the data vertex the pattern vertex ``u_i`` is mapped to;
+* ``A<i>`` — the adjacency set of ``f<i>`` fetched from the database;
+* ``C<i>`` — the refined candidate set for ``u_i``;
+* ``T<j>`` — a temporary set (raw candidates, CSE temporaries, ...);
+* ``V``    — the whole vertex set V(G) (operand only).
+
+Six instruction types exist (Table III): INI, DBQ, INT, ENU, TRC, RES.
+Filtering conditions attach to INT instructions: symmetry-breaking
+(``> f_i`` / ``< f_i`` under the total order ≺, realized as integer
+comparison after relabeling) and injectivity (``≠ f_i``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: The special operand denoting the full data-vertex set V(G).
+VG = "V"
+
+
+class InstructionType(enum.Enum):
+    """The six instruction types of Table III."""
+
+    INI = "INI"
+    DBQ = "DBQ"
+    INT = "INT"
+    ENU = "ENU"
+    TRC = "TRC"
+    RES = "RES"
+
+
+#: Instruction-type rank used by Optimization 2 (cheapest first):
+#: INI < INT < TRC < DBQ < ENU < RES.
+TYPE_RANK: Dict[InstructionType, int] = {
+    InstructionType.INI: 0,
+    InstructionType.INT: 1,
+    InstructionType.TRC: 2,
+    InstructionType.DBQ: 3,
+    InstructionType.ENU: 4,
+    InstructionType.RES: 5,
+}
+
+
+class FilterKind(enum.Enum):
+    """Filtering-condition kinds (Section IV-A)."""
+
+    GT = ">"   # symmetry breaking: result vertices must be ≻ the referenced f
+    LT = "<"   # symmetry breaking: result vertices must be ≺ the referenced f
+    NE = "!="  # injectivity: the referenced f is excluded
+
+
+@dataclass(frozen=True)
+class Filter:
+    """One filtering condition, e.g. ``> f3`` or ``≠ f2``."""
+
+    kind: FilterKind
+    var: str  # always an f-variable name like "f3"
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}{self.var}"
+
+
+def fvar(i: int) -> str:
+    """The match variable for pattern vertex u_i."""
+    return f"f{i}"
+
+
+def avar(i: int) -> str:
+    """The adjacency-set variable for f_i."""
+    return f"A{i}"
+
+
+def cvar(i: int) -> str:
+    """The refined-candidate-set variable for u_i."""
+    return f"C{i}"
+
+
+def tvar(i: int) -> str:
+    """A temporary set variable."""
+    return f"T{i}"
+
+
+def var_index(name: str) -> int:
+    """The numeric index of a variable name (``var_index("A12") == 12``)."""
+    return int(name[1:])
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One execution instruction ``X := Operation(operands) [| filters]``."""
+
+    target: str
+    type: InstructionType
+    operands: Tuple[str, ...] = ()
+    filters: Tuple[Filter, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.filters and self.type not in (InstructionType.INT,):
+            raise ValueError(
+                f"filters are only valid on INT instructions, not {self.type}"
+            )
+        if self.type is InstructionType.TRC:
+            # Generalized form: (f_x1, ..., f_xk, S1, S2) — k ≥ 2 key
+            # vertices (a clique in P) plus the two sets intersected on a
+            # cache miss.  The paper's triangle cache is the k = 2 case.
+            if len(self.operands) < 4:
+                raise ValueError(
+                    "TRC takes operands (f_x1, ..., f_xk, S1, S2) with k >= 2"
+                )
+            if any(not op.startswith("f") for op in self.operands[:-2]):
+                raise ValueError("TRC key operands must be f-variables")
+        if self.type is InstructionType.ENU and len(self.operands) != 1:
+            raise ValueError("ENU takes exactly one set operand")
+        if self.type is InstructionType.DBQ and len(self.operands) != 1:
+            raise ValueError("DBQ takes exactly one vertex operand")
+
+    # ------------------------------------------------------------------
+    @property
+    def used_vars(self) -> Tuple[str, ...]:
+        """Every variable read by this instruction (operands + filters)."""
+        out = [op for op in self.operands if op != VG and op != "start"]
+        out.extend(f.var for f in self.filters)
+        return tuple(out)
+
+    def with_operands(self, operands: Sequence[str]) -> "Instruction":
+        return replace(self, operands=tuple(operands))
+
+    def with_filters(self, filters: Sequence[Filter]) -> "Instruction":
+        return replace(self, filters=tuple(filters))
+
+    def rename(self, mapping: Dict[str, str]) -> "Instruction":
+        """Rewrite variable references (and the target) via ``mapping``."""
+        return Instruction(
+            target=mapping.get(self.target, self.target),
+            type=self.type,
+            operands=tuple(mapping.get(op, op) for op in self.operands),
+            filters=tuple(
+                Filter(f.kind, mapping.get(f.var, f.var)) for f in self.filters
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        op_name = {
+            InstructionType.INI: "Init",
+            InstructionType.DBQ: "GetAdj",
+            InstructionType.INT: "Intersect",
+            InstructionType.ENU: "Foreach",
+            InstructionType.TRC: "TCache",
+            InstructionType.RES: "ReportMatch",
+        }[self.type]
+        args = ", ".join(self.operands)
+        text = f"{self.target} := {op_name}({args})"
+        if self.filters:
+            text += " | " + ", ".join(str(f) for f in self.filters)
+        return text
+
+
+# ----------------------------------------------------------------------
+# Constructors matching Table III
+# ----------------------------------------------------------------------
+def ini(i: int) -> Instruction:
+    """``f_i := Init(start)``."""
+    return Instruction(fvar(i), InstructionType.INI, ("start",))
+
+
+def dbq(i: int) -> Instruction:
+    """``A_i := GetAdj(f_i)``."""
+    return Instruction(avar(i), InstructionType.DBQ, (fvar(i),))
+
+
+def intersect(
+    target: str, operands: Sequence[str], filters: Iterable[Filter] = ()
+) -> Instruction:
+    """``X := Intersect(...) [| filters]``."""
+    ordered = tuple(sorted(filters, key=lambda f: (f.kind.value, f.var)))
+    return Instruction(target, InstructionType.INT, tuple(operands), ordered)
+
+
+def enu(i: int, source: str) -> Instruction:
+    """``f_i := Foreach(source)``."""
+    return Instruction(fvar(i), InstructionType.ENU, (source,))
+
+
+def trc(target: str, fi: str, fj: str, ai: str, aj: str) -> Instruction:
+    """``X := TCache(f_i, f_j, A_i, A_j)`` — the paper's triangle cache."""
+    return Instruction(target, InstructionType.TRC, (fi, fj, ai, aj))
+
+
+def kcc(target: str, key_fvars: Sequence[str], s1: str, s2: str) -> Instruction:
+    """``X := TCache(f_x1, ..., f_xk, S1, S2)`` — generalized clique cache.
+
+    ``key_fvars`` map a k-clique of pattern vertices; X is the set of data
+    vertices completing it to a (k+1)-clique, computed as ``S1 & S2`` on a
+    miss (Section IV-B's proposed extension of Optimization 3).
+    """
+    return Instruction(
+        target, InstructionType.TRC, (*key_fvars, s1, s2)
+    )
+
+
+def res(operands: Sequence[str]) -> Instruction:
+    """``f := ReportMatch(f_1, ..., f_n)`` (or C_j for compressed vertices)."""
+    return Instruction("f", InstructionType.RES, tuple(operands))
+
+
+def format_plan(instructions: Sequence[Instruction]) -> str:
+    """Pretty-print a plan the way Fig. 3 of the paper does."""
+    lines = []
+    depth = 0
+    for idx, inst in enumerate(instructions, start=1):
+        indent = "  " * depth
+        lines.append(f"{idx:>3}: {indent}{inst}")
+        if inst.type is InstructionType.ENU:
+            depth += 1
+    return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""Static well-formedness checks for execution plans.
+
+Used by tests and by :func:`repro.engine.benu.run_benu` before compiling,
+so malformed plans fail loudly instead of producing wrong matches.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .generation import ExecutionPlan
+from .instructions import VG, FilterKind, InstructionType, fvar
+
+
+class PlanValidationError(ValueError):
+    """A plan violates a structural invariant."""
+
+
+def validate_plan(plan: ExecutionPlan) -> None:
+    """Raise :class:`PlanValidationError` on any structural violation.
+
+    Checks: single INI first; single RES last; single-assignment; defined
+    before use; every non-compressed pattern vertex has exactly one
+    INI/ENU; DBQ targets A-vars of f-vars defined earlier; filters
+    reference f-vars only.
+    """
+    instructions = plan.instructions
+    problems: List[str] = []
+    if not instructions:
+        raise PlanValidationError("plan has no instructions")
+
+    if instructions[0].type is not InstructionType.INI:
+        problems.append("first instruction must be INI")
+    if instructions[-1].type is not InstructionType.RES:
+        problems.append("last instruction must be RES")
+    if sum(1 for i in instructions if i.type is InstructionType.INI) != 1:
+        problems.append("plan must have exactly one INI")
+    if sum(1 for i in instructions if i.type is InstructionType.RES) != 1:
+        problems.append("plan must have exactly one RES")
+
+    defined = {"start", VG, *plan.constants}
+    for idx, inst in enumerate(instructions):
+        for var in inst.used_vars:
+            if var not in defined:
+                problems.append(
+                    f"instruction {idx} ({inst}) reads undefined {var!r}"
+                )
+        if inst.target in defined:
+            problems.append(f"variable {inst.target!r} assigned twice")
+        defined.add(inst.target)
+        for f in inst.filters:
+            if not f.var.startswith("f"):
+                problems.append(f"filter {f} must reference an f-variable")
+            if f.kind not in (FilterKind.GT, FilterKind.LT, FilterKind.NE):
+                problems.append(f"unknown filter kind in {f}")
+
+    enumerated = {
+        inst.target
+        for inst in instructions
+        if inst.type in (InstructionType.INI, InstructionType.ENU)
+    }
+    for u in plan.pattern.vertices:
+        expected = u not in plan.compressed_vertices
+        if expected and fvar(u) not in enumerated:
+            problems.append(f"pattern vertex u{u} is never mapped")
+        if not expected and fvar(u) in enumerated:
+            problems.append(f"compressed vertex u{u} still has an ENU")
+
+    res = instructions[-1]
+    if res.type is InstructionType.RES and len(res.operands) != plan.pattern.n:
+        problems.append(
+            f"RES reports {len(res.operands)} slots for an "
+            f"{plan.pattern.n}-vertex pattern"
+        )
+
+    if problems:
+        raise PlanValidationError("; ".join(problems))

@@ -1,0 +1,46 @@
+"""Storage substrate: distributed KV store, caches, serialization."""
+
+from .cache import CacheStats, DatabaseCache, LRUDatabaseCache, new_triangle_cache
+from .policies import (
+    POLICIES,
+    FIFOPolicy,
+    LFUPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
+from .kvstore import DistributedKVStore, LatencyModel, QueryStats
+from .serialization import (
+    adjacency_size_bytes,
+    decode_adjacency,
+    decode_varint,
+    encode_adjacency,
+    encode_varint,
+    graph_size_bytes,
+    varint_size,
+)
+
+__all__ = [
+    "CacheStats",
+    "DatabaseCache",
+    "POLICIES",
+    "FIFOPolicy",
+    "LFUPolicy",
+    "LRUPolicy",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "make_policy",
+    "LRUDatabaseCache",
+    "new_triangle_cache",
+    "DistributedKVStore",
+    "LatencyModel",
+    "QueryStats",
+    "adjacency_size_bytes",
+    "decode_adjacency",
+    "decode_varint",
+    "encode_adjacency",
+    "encode_varint",
+    "graph_size_bytes",
+    "varint_size",
+]

@@ -1,0 +1,145 @@
+"""Tests for graph analysis and the degree-aware cardinality estimator."""
+
+import pytest
+
+from repro.graph.analysis import (
+    GraphProfile,
+    degree_histogram,
+    degree_moments,
+    global_clustering_coefficient,
+    power_law_exponent_estimate,
+    triangle_count,
+    wedge_count,
+)
+from repro.graph.generators import chung_lu, erdos_renyi
+from repro.graph.graph import Graph, complete_graph, cycle_graph, path_graph, star_graph
+from repro.plan.cost import GraphStats, estimate_matches
+from repro.plan.estimators import EmpiricalGraphStats, falling_factorial_moments
+
+
+class TestAnalysis:
+    def test_degree_histogram(self):
+        g = star_graph(3)
+        assert degree_histogram(g) == {3: 1, 1: 3}
+
+    def test_degree_moments(self):
+        g = star_graph(3)  # degrees 3,1,1,1
+        mean, mean_sq = degree_moments(g)
+        assert mean == pytest.approx(1.5)
+        assert mean_sq == pytest.approx((9 + 1 + 1 + 1) / 4)
+
+    def test_wedge_count(self):
+        assert wedge_count(path_graph(3)) == 1
+        assert wedge_count(star_graph(4)) == 6  # C(4,2)
+        assert wedge_count(complete_graph(3)) == 3
+
+    def test_triangle_count(self):
+        assert triangle_count(complete_graph(4)) == 4
+        assert triangle_count(cycle_graph(5)) == 0
+        assert triangle_count(complete_graph(6)) == 20
+
+    def test_clustering(self):
+        assert global_clustering_coefficient(complete_graph(5)) == pytest.approx(1.0)
+        assert global_clustering_coefficient(cycle_graph(6)) == 0.0
+        assert global_clustering_coefficient(Graph()) == 0.0
+
+    def test_power_law_exponent_on_power_law_graph(self):
+        g = chung_lu(3000, 6.0, exponent=2.4, seed=2)
+        gamma = power_law_exponent_estimate(g)
+        assert 1.8 < gamma < 3.2
+
+    def test_profile(self):
+        g = chung_lu(500, 6.0, exponent=2.3, seed=7)
+        profile = GraphProfile.of(g)
+        assert profile.num_vertices == g.num_vertices
+        assert profile.triangles == triangle_count(g)
+        assert profile.skew_ratio > 1.5  # power-law skew
+        regular = GraphProfile.of(cycle_graph(50))
+        assert regular.skew_ratio == pytest.approx(1.0)
+
+
+class TestFallingMoments:
+    def test_k_regular(self):
+        g = cycle_graph(10)  # 2-regular
+        m = falling_factorial_moments(g, 3)
+        assert m[0] == 1.0
+        assert m[1] == 2.0
+        assert m[2] == 2.0  # d(d-1) = 2
+        assert m[3] == 0.0  # d(d-1)(d-2) = 0
+
+    def test_empty(self):
+        assert falling_factorial_moments(Graph(), 2) == (0.0, 0.0, 0.0)
+
+
+class TestEmpiricalEstimator:
+    def test_matches_er_model_on_er_graph(self):
+        """On a (near-)ER graph the correction factors are ≈ 1."""
+        g = erdos_renyi(400, 0.05, seed=3)
+        pattern = path_graph(3)
+        er = estimate_matches(pattern, GraphStats.of(g))
+        emp = estimate_matches(pattern, EmpiricalGraphStats.of(g))
+        assert emp == pytest.approx(er, rel=0.25)
+
+    def test_wedge_estimate_exact(self):
+        """The configuration model nails wedge (path-3) match counts."""
+        g = chung_lu(1500, 6.0, exponent=2.3, seed=5)
+        pattern = path_graph(3)
+        actual = 2 * wedge_count(g)  # ordered matches
+        emp = estimate_matches(pattern, EmpiricalGraphStats.of(g))
+        assert emp == pytest.approx(actual, rel=0.02)
+
+    @staticmethod
+    def _star3_matches(g):
+        """Ordered star-3 matches in closed form: Σ d(d−1)(d−2)."""
+        return sum(
+            d * (d - 1) * (d - 2) for d in (g.degree(v) for v in g.vertices)
+        )
+
+    def test_beats_er_model_on_power_law(self):
+        g = chung_lu(800, 6.0, exponent=2.2, seed=9)
+        cases = [
+            (path_graph(3), 2 * wedge_count(g)),
+            (star_graph(3), self._star3_matches(g)),
+        ]
+        for pattern, actual in cases:
+            er = estimate_matches(pattern, GraphStats.of(g))
+            emp = estimate_matches(pattern, EmpiricalGraphStats.of(g))
+            assert abs(emp - actual) < abs(er - actual)
+
+    def test_star_estimate_close(self):
+        g = chung_lu(800, 6.0, exponent=2.2, seed=11)
+        actual = self._star3_matches(g)
+        emp = estimate_matches(star_graph(3), EmpiricalGraphStats.of(g))
+        assert emp == pytest.approx(actual, rel=0.05)
+
+    def test_usable_in_plan_search(self):
+        from repro.graph.patterns import get_pattern
+        from repro.pattern.pattern_graph import PatternGraph
+        from repro.plan.search import generate_best_plan
+        from repro.plan.validate import validate_plan
+
+        g = chung_lu(500, 6.0, seed=13)
+        result = generate_best_plan(
+            PatternGraph(get_pattern("q1"), "q1"), EmpiricalGraphStats.of(g)
+        )
+        validate_plan(result.plan)
+
+    def test_plan_choice_can_differ_between_models(self):
+        """The models rank orders differently on skewed graphs (that is
+        the point); both must still produce correct plans."""
+        from repro.engine.interpreter import interpret_all
+        from repro.graph.order import relabel_by_degree_order
+        from repro.graph.patterns import get_pattern
+        from repro.pattern.pattern_graph import PatternGraph
+        from repro.plan.search import generate_best_plan
+
+        g, _ = relabel_by_degree_order(chung_lu(300, 5.0, exponent=2.1, seed=17))
+        pattern = PatternGraph(get_pattern("q2"), "q2")
+        plans = [
+            generate_best_plan(pattern, GraphStats.of(g)).plan,
+            generate_best_plan(pattern, EmpiricalGraphStats.of(g)).plan,
+        ]
+        counts = {
+            interpret_all(p, g.vertices, g.neighbors).results for p in plans
+        }
+        assert len(counts) == 1

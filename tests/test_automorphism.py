@@ -1,0 +1,87 @@
+"""Tests for automorphism-group enumeration."""
+
+import pytest
+
+from repro.graph.graph import Graph, complete_graph, cycle_graph, path_graph, star_graph
+from repro.graph.patterns import get_pattern
+from repro.pattern.automorphism import (
+    automorphism_count,
+    automorphisms,
+    is_automorphism,
+    orbits,
+    stabilizer,
+)
+
+
+class TestAutomorphismCount:
+    @pytest.mark.parametrize(
+        "graph,expected",
+        [
+            (complete_graph(3), 6),      # S3
+            (complete_graph(4), 24),     # S4
+            (cycle_graph(4), 8),         # dihedral D4
+            (cycle_graph(5), 10),        # dihedral D5
+            (path_graph(3), 2),          # flip
+            (star_graph(3), 6),          # S3 on leaves
+        ],
+    )
+    def test_known_groups(self, graph, expected):
+        assert automorphism_count(graph) == expected
+
+    def test_asymmetric_pattern(self):
+        # Triangle with a 2-tail on one corner and a pendant on another:
+        # the smallest handy graph with a trivial automorphism group.
+        g = Graph([(1, 2), (2, 3), (1, 3), (3, 4), (4, 5), (2, 6)])
+        assert automorphism_count(g) == 1
+
+    def test_chordal_square(self):
+        # Swap the two degree-2 vertices, swap the diagonal — Z2 × Z2.
+        assert automorphism_count(get_pattern("chordal_square")) == 4
+
+
+class TestGroupStructure:
+    def test_identity_always_present(self):
+        for name in ["q1", "q5", "demo"]:
+            group = automorphisms(get_pattern(name))
+            identity = {v: v for v in get_pattern(name).vertices}
+            assert identity in group
+
+    def test_all_elements_valid(self):
+        p = get_pattern("q5")
+        for g in automorphisms(p):
+            assert is_automorphism(p, g)
+
+    def test_closed_under_composition(self):
+        p = cycle_graph(4)
+        group = automorphisms(p)
+        as_tuples = {tuple(sorted(g.items())) for g in group}
+        for g1 in group:
+            for g2 in group:
+                composed = {v: g1[g2[v]] for v in p.vertices}
+                assert tuple(sorted(composed.items())) in as_tuples
+
+    def test_is_automorphism_rejects_bad_mappings(self):
+        p = path_graph(3)  # 1-2-3
+        assert not is_automorphism(p, {1: 2, 2: 1, 3: 3})  # breaks edges
+        assert not is_automorphism(p, {1: 1, 2: 2})        # wrong domain
+        assert not is_automorphism(p, {1: 1, 2: 2, 3: 2})  # not injective
+
+
+class TestOrbitsAndStabilizers:
+    def test_orbits_of_star(self):
+        g = star_graph(3)  # hub 1
+        orbs = sorted(orbits(g), key=len)
+        assert orbs == [frozenset({1}), frozenset({2, 3, 4})]
+
+    def test_orbits_partition_vertices(self):
+        p = get_pattern("q7")
+        orbs = orbits(p)
+        seen = [v for orb in orbs for v in orb]
+        assert sorted(seen) == list(p.vertices)
+
+    def test_stabilizer_is_subgroup(self):
+        g = cycle_graph(4)
+        group = automorphisms(g)
+        stab = stabilizer(group, 1)
+        assert all(s[1] == 1 for s in stab)
+        assert len(stab) == 2  # identity + the reflection fixing vertex 1

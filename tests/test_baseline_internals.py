@@ -1,0 +1,118 @@
+"""White-box tests for the join and WCOJ baselines' internals."""
+
+import pytest
+
+from repro.baselines.decompose import decompose
+from repro.baselines.joins import JoinBaseline, JoinOverflowError, run_join_baseline
+from repro.baselines.wcoj import WCOJEnumerator, _extension_order
+from repro.graph.generators import erdos_renyi
+from repro.graph.graph import Graph, complete_graph, star_graph
+from repro.graph.order import relabel_by_degree_order
+from repro.graph.patterns import get_pattern
+from repro.pattern.isomorphism import enumerate_matches
+from repro.pattern.pattern_graph import PatternGraph
+
+
+@pytest.fixture(scope="module")
+def data_graph():
+    g, _ = relabel_by_degree_order(erdos_renyi(25, 0.3, seed=61))
+    return g
+
+
+class TestUnitMatches:
+    def test_unit_matches_equal_oracle(self, data_graph):
+        """Each unit's matches equal the oracle's on the unit subgraph,
+        restricted to the applicable symmetry conditions."""
+        pattern = PatternGraph(get_pattern("q1"), "q1")
+        baseline = JoinBaseline(pattern, data_graph, "twintwig")
+        for unit in baseline.units:
+            rows = baseline._unit_matches(unit)
+            unit_graph = Graph(unit.edges, vertices=unit.vertices)
+            conditions = [
+                (lo, hi)
+                for lo, hi in pattern.symmetry_conditions
+                if lo in unit.vertices and hi in unit.vertices
+            ]
+            # Oracle matches on the unit subgraph with those conditions.
+            want = set(
+                enumerate_matches(unit_graph, data_graph, partial_order=conditions)
+            )
+            # Reorder oracle tuples (sorted unit vertices) to unit order.
+            sorted_vs = sorted(unit.vertices)
+            perm = [sorted_vs.index(v) for v in unit.vertices]
+            got = {tuple(r[i] for i in range(len(r))) for r in rows}
+            want_in_unit_order = {
+                tuple(m[sorted_vs.index(v)] for v in unit.vertices) for m in want
+            }
+            assert got == want_in_unit_order
+
+    def test_unit_matches_respect_injectivity(self, data_graph):
+        pattern = PatternGraph(star_graph(3), "star")
+        baseline = JoinBaseline(pattern, data_graph, "star")
+        (unit,) = baseline.units
+        for row in baseline._unit_matches(unit):
+            assert len(set(row)) == len(row)
+
+
+class TestJoinBehavior:
+    def test_join_order_strategies_agree(self, data_graph):
+        pattern = PatternGraph(get_pattern("q4"), "q4")
+        counts = {
+            strategy: run_join_baseline(pattern, data_graph, strategy).count
+            for strategy in ("edge", "twintwig", "star", "clique")
+        }
+        assert len(set(counts.values())) == 1
+
+    def test_overflow_raised_mid_join(self, data_graph):
+        pattern = PatternGraph(get_pattern("q1"), "q1")
+        with pytest.raises(JoinOverflowError):
+            run_join_baseline(pattern, data_graph, "edge", max_tuples=10)
+
+    def test_overflow_budget_large_enough_passes(self, data_graph):
+        pattern = PatternGraph(get_pattern("triangle"), "t")
+        result = run_join_baseline(pattern, data_graph, "edge", max_tuples=10**7)
+        assert result.count > 0
+
+    def test_round_accounting_monotone_width(self, data_graph):
+        pattern = PatternGraph(get_pattern("q2"), "q2")
+        result = run_join_baseline(pattern, data_graph, "twintwig")
+        assert result.rounds[0].shuffled_bytes > 0
+        assert result.total_shuffled_bytes == sum(
+            r.shuffled_bytes for r in result.rounds
+        )
+
+    def test_single_unit_pattern_no_join_rounds(self, data_graph):
+        """A star decomposes into one unit: only the enumeration round."""
+        pattern = PatternGraph(star_graph(3), "star")
+        result = run_join_baseline(pattern, data_graph, "star")
+        assert len(result.rounds) == 1
+
+
+class TestWCOJInternals:
+    def test_extension_order_connectivity(self):
+        for name in ("q1", "q5", "q7", "demo"):
+            pattern = PatternGraph(get_pattern(name), name)
+            order = _extension_order(pattern)
+            assert sorted(order) == list(pattern.vertices)
+            seen = {order[0]}
+            for u in order[1:]:
+                assert any(w in seen for w in pattern.neighbors(u)), name
+                seen.add(u)
+
+    def test_level_outputs_decrease_only_with_constraints(self, data_graph):
+        pattern = PatternGraph(complete_graph(4), "k4")
+        result = WCOJEnumerator(pattern, data_graph).run()
+        assert result.level_output_tuples[0] == data_graph.num_vertices
+        assert result.count == result.level_output_tuples[-1] or result.count >= 0
+
+    def test_peak_accounting_grows_with_batch(self, data_graph):
+        pattern = PatternGraph(get_pattern("square"), "square")
+        small = WCOJEnumerator(pattern, data_graph, batch_size=8).run()
+        large = WCOJEnumerator(pattern, data_graph, batch_size=10**6).run()
+        assert small.count == large.count
+        assert small.peak_prefixes <= large.peak_prefixes
+
+    def test_intersections_counted(self, data_graph):
+        pattern = PatternGraph(complete_graph(4), "k4")
+        result = WCOJEnumerator(pattern, data_graph).run()
+        assert result.intersections > 0

@@ -1,0 +1,214 @@
+"""Tests for the baseline enumerators (QFrag / join / WCOJ / multiway)."""
+
+import pytest
+
+from repro.baselines.decompose import (
+    DECOMPOSITIONS,
+    decompose,
+    edge_decomposition,
+    star_decomposition,
+    twintwig_decomposition,
+)
+from repro.baselines.inmemory import run_inmemory
+from repro.baselines.joins import run_join_baseline
+from repro.baselines.multiway import run_multiway
+from repro.baselines.wcoj import MemoryBudgetExceeded, WCOJEnumerator, run_wcoj
+from repro.engine.benu import count_subgraphs
+from repro.engine.config import BenuConfig
+from repro.graph.generators import erdos_renyi
+from repro.graph.graph import complete_graph, star_graph
+from repro.graph.order import relabel_by_degree_order
+from repro.graph.patterns import get_pattern
+from repro.pattern.pattern_graph import PatternGraph
+
+
+@pytest.fixture(scope="module")
+def data_graph():
+    g, _ = relabel_by_degree_order(erdos_renyi(32, 0.25, seed=55))
+    return g
+
+
+def benu_count(name, data):
+    return count_subgraphs(get_pattern(name), data, BenuConfig(relabel=False))
+
+
+class TestDecompositions:
+    @pytest.mark.parametrize("strategy", sorted(DECOMPOSITIONS))
+    @pytest.mark.parametrize("name", ["q1", "q5", "q7", "clique4", "demo"])
+    def test_units_cover_all_edges_once(self, strategy, name):
+        pattern = get_pattern(name)
+        units = decompose(pattern, strategy)
+        covered = [frozenset(e) for u in units for e in u.edges]
+        assert sorted(covered, key=sorted) == sorted(
+            (frozenset(e) for e in pattern.edges()), key=sorted
+        )
+
+    def test_edge_units(self):
+        units = edge_decomposition(get_pattern("triangle"))
+        assert len(units) == 3
+        assert all(u.kind == "edge" for u in units)
+
+    def test_twintwig_cap(self):
+        units = twintwig_decomposition(star_graph(5))
+        assert all(u.num_edges <= 2 for u in units)
+
+    def test_star_prefers_hubs(self):
+        units = star_decomposition(star_graph(5))
+        assert len(units) == 1
+        assert units[0].num_edges == 5
+
+    def test_clique_units_on_clique(self):
+        units = decompose(complete_graph(4), "clique")
+        assert units[0].kind == "clique"
+        assert units[0].num_edges == 6
+
+    def test_unknown_strategy(self):
+        with pytest.raises(KeyError):
+            decompose(get_pattern("q1"), "nope")
+
+
+class TestInMemory:
+    def test_count_agrees_with_benu(self, data_graph):
+        for name in ["triangle", "q2", "q6"]:
+            assert run_inmemory(
+                PatternGraph(get_pattern(name), name), data_graph
+            ).count == benu_count(name, data_graph)
+
+    def test_collect(self, data_graph):
+        res = run_inmemory(
+            PatternGraph(get_pattern("triangle"), "t"), data_graph, collect=True
+        )
+        assert len(res.matches) == res.count
+
+    def test_broadcast_cost_scales_with_workers(self, data_graph):
+        one = run_inmemory(PatternGraph(get_pattern("triangle"), "t"), data_graph)
+        four = run_inmemory(
+            PatternGraph(get_pattern("triangle"), "t"), data_graph, num_workers=4
+        )
+        assert four.broadcast_bytes == 4 * one.broadcast_bytes
+
+
+class TestJoinBaseline:
+    @pytest.mark.parametrize("strategy", ["edge", "twintwig", "star", "clique"])
+    @pytest.mark.parametrize("name", ["triangle", "square", "q1", "q4", "q8"])
+    def test_counts_agree_with_benu(self, strategy, name, data_graph):
+        res = run_join_baseline(
+            PatternGraph(get_pattern(name), name), data_graph, strategy
+        )
+        assert res.count == benu_count(name, data_graph)
+
+    def test_matches_collected(self, data_graph):
+        res = run_join_baseline(
+            PatternGraph(get_pattern("triangle"), "t"), data_graph, collect=True
+        )
+        assert len(res.matches) == res.count
+        for a, b, c in res.matches:
+            assert a < b < c
+
+    def test_rounds_and_shuffle_accounting(self, data_graph):
+        res = run_join_baseline(
+            PatternGraph(get_pattern("q1"), "q1"), data_graph, "twintwig"
+        )
+        assert len(res.rounds) >= 2  # at least unit enumeration + one join
+        assert res.total_shuffled_bytes > 0
+        assert res.max_intermediate_tuples > 0
+        assert res.simulated_seconds() > 0
+
+    def test_shuffle_volume_exceeds_benu_communication(self, data_graph):
+        """The Table V shape: join shuffles ≫ BENU on-demand reads for
+        patterns whose partial results blow up."""
+        from repro.engine.benu import run_benu
+
+        pattern = PatternGraph(get_pattern("q1"), "q1")
+        join = run_join_baseline(pattern, data_graph, "edge")
+        benu = run_benu(
+            pattern.graph, data_graph, BenuConfig(relabel=False, num_workers=1)
+        )
+        assert join.total_shuffled_bytes > benu.communication.bytes_transferred
+
+
+class TestWCOJ:
+    @pytest.mark.parametrize("name", ["triangle", "square", "q5", "clique4"])
+    def test_counts_agree_with_benu(self, name, data_graph):
+        res = run_wcoj(PatternGraph(get_pattern(name), name), data_graph)
+        assert res.count == benu_count(name, data_graph)
+
+    def test_small_batches_same_count(self, data_graph):
+        pattern = PatternGraph(get_pattern("q1"), "q1")
+        big = run_wcoj(pattern, data_graph, batch_size=100_000)
+        small = run_wcoj(pattern, data_graph, batch_size=16)
+        assert big.count == small.count
+        assert small.peak_prefixes <= big.peak_prefixes
+
+    def test_collect(self, data_graph):
+        res = run_wcoj(
+            PatternGraph(get_pattern("triangle"), "t"), data_graph, collect=True
+        )
+        assert len(res.matches) == res.count
+        for a, b, c in res.matches:
+            assert data_graph.has_edge(a, b)
+
+    def test_memory_budget_enforced(self, data_graph):
+        pattern = PatternGraph(get_pattern("q1"), "q1")
+        with pytest.raises(MemoryBudgetExceeded):
+            run_wcoj(pattern, data_graph, memory_budget_bytes=64)
+
+    def test_accounting_fields(self, data_graph):
+        res = run_wcoj(PatternGraph(get_pattern("q5"), "q5"), data_graph)
+        assert res.peak_prefixes > 0
+        assert res.peak_bytes > 0
+        assert sum(res.level_output_tuples) > 0
+        assert res.simulated_seconds() > 0
+
+    def test_explicit_order(self, data_graph):
+        pattern = PatternGraph(get_pattern("square"), "square")
+        res = WCOJEnumerator(pattern, data_graph, order=[1, 2, 3, 4]).run()
+        assert res.count == benu_count("square", data_graph)
+
+    def test_bad_order_rejected(self, data_graph):
+        with pytest.raises(ValueError):
+            WCOJEnumerator(
+                PatternGraph(get_pattern("square"), "square"),
+                data_graph,
+                order=[1, 2],
+            )
+
+    def test_bad_batch_size(self, data_graph):
+        with pytest.raises(ValueError):
+            WCOJEnumerator(
+                PatternGraph(get_pattern("square"), "square"),
+                data_graph,
+                batch_size=0,
+            )
+
+
+class TestMultiway:
+    @pytest.mark.parametrize("name", ["triangle", "square"])
+    def test_counts_agree_with_benu(self, name, data_graph):
+        res = run_multiway(
+            PatternGraph(get_pattern(name), name), data_graph, num_reducers=8
+        )
+        assert res.count == benu_count(name, data_graph)
+
+    def test_single_reducer_no_replication_blowup(self, data_graph):
+        res = run_multiway(
+            PatternGraph(get_pattern("triangle"), "t"), data_graph, num_reducers=1
+        )
+        assert res.share == 1
+        assert res.replicated_edges <= data_graph.num_edges
+
+    def test_replication_grows_with_reducers(self, data_graph):
+        pattern = PatternGraph(get_pattern("triangle"), "t")
+        small = run_multiway(pattern, data_graph, num_reducers=1)
+        large = run_multiway(pattern, data_graph, num_reducers=8)
+        assert large.replicated_edges > small.replicated_edges
+        assert large.replication_factor > small.replication_factor
+
+    def test_collect(self, data_graph):
+        res = run_multiway(
+            PatternGraph(get_pattern("triangle"), "t"),
+            data_graph,
+            num_reducers=8,
+            collect=True,
+        )
+        assert len(res.matches) == res.count

@@ -1,0 +1,152 @@
+"""Tests for the top-level BENU API (run_benu and friends)."""
+
+import pytest
+
+from repro.engine.benu import (
+    build_plan,
+    count_subgraphs,
+    enumerate_subgraphs,
+    run_benu,
+)
+from repro.engine.config import BenuConfig
+from repro.graph.generators import erdos_renyi
+from repro.graph.graph import Graph, complete_graph
+from repro.graph.patterns import get_pattern
+from repro.pattern.isomorphism import find_subgraph_instances
+from repro.pattern.pattern_graph import PatternGraph
+
+
+@pytest.fixture
+def data_graph():
+    # Deliberately NOT relabeled: the API must handle that itself.
+    return erdos_renyi(30, 0.25, seed=77, offset=1000)
+
+
+class TestBuildPlan:
+    def test_fixed_order(self):
+        plan = build_plan(get_pattern("triangle"), order=[1, 2, 3])
+        assert plan.order == (1, 2, 3)
+
+    def test_searched(self, data_graph):
+        plan = build_plan(get_pattern("q1"), data_graph)
+        assert sorted(plan.order) == [1, 2, 3, 4, 5]
+
+    def test_compressed(self):
+        plan = build_plan(get_pattern("q4"), compressed=True)
+        assert plan.compressed
+
+    def test_accepts_pattern_graph_instance(self):
+        pg = PatternGraph(get_pattern("square"), "square")
+        plan = build_plan(pg)
+        assert plan.pattern is pg
+
+
+class TestCountSubgraphs:
+    def test_triangles_in_k4(self):
+        assert count_subgraphs(get_pattern("triangle"), complete_graph(4)) == 4
+
+    def test_counts_equal_subgraph_instances(self, data_graph):
+        for name in ["triangle", "square", "q2"]:
+            p = get_pattern(name)
+            got = count_subgraphs(p, data_graph)
+            want = sum(1 for _ in find_subgraph_instances(p, data_graph))
+            assert got == want, name
+
+    def test_compressed_config_rejected(self):
+        with pytest.raises(ValueError):
+            count_subgraphs(
+                get_pattern("triangle"),
+                complete_graph(4),
+                BenuConfig(compressed=True),
+            )
+
+    def test_zero_matches(self):
+        # No triangles in a square.
+        assert count_subgraphs(get_pattern("triangle"), Graph([(1, 2), (2, 3), (3, 4), (4, 1)])) == 0
+
+
+class TestEnumerateSubgraphs:
+    def test_matches_in_original_ids(self, data_graph):
+        matches = enumerate_subgraphs(get_pattern("triangle"), data_graph)
+        for a, b, c in matches:
+            assert data_graph.has_edge(a, b)
+            assert data_graph.has_edge(b, c)
+            assert data_graph.has_edge(a, c)
+
+    def test_no_duplicate_subgraphs(self, data_graph):
+        matches = enumerate_subgraphs(get_pattern("triangle"), data_graph)
+        as_sets = {frozenset(m) for m in matches}
+        assert len(as_sets) == len(matches)
+
+    def test_collect_forced(self, data_graph):
+        """A count-only config is upgraded to collect automatically."""
+        matches = enumerate_subgraphs(
+            get_pattern("triangle"), data_graph, BenuConfig(collect=False)
+        )
+        assert isinstance(matches, list)
+
+    def test_compressed_expansion(self, data_graph):
+        plain = sorted(enumerate_subgraphs(get_pattern("q1"), data_graph))
+        via_codes = sorted(
+            enumerate_subgraphs(
+                get_pattern("q1"),
+                data_graph,
+                BenuConfig(collect=True, compressed=True),
+            )
+        )
+        assert plain == via_codes
+
+
+class TestRunBenu:
+    def test_relabeling_roundtrip(self, data_graph):
+        """Offsets ids (1000+) must come back in collected matches."""
+        result = run_benu(
+            get_pattern("triangle"), data_graph, BenuConfig(collect=True)
+        )
+        for match in result.matches:
+            assert all(v >= 1000 for v in match)
+
+    def test_relabel_disabled(self):
+        g, = [complete_graph(4, offset=0)]
+        result = run_benu(
+            get_pattern("triangle"), g, BenuConfig(relabel=False)
+        )
+        assert result.count == 4
+
+    def test_custom_plan_accepted(self, data_graph):
+        plan = build_plan(get_pattern("triangle"), order=[1, 2, 3])
+        result = run_benu(get_pattern("triangle"), data_graph, plan=plan)
+        assert result.count == count_subgraphs(get_pattern("triangle"), data_graph)
+
+    def test_invalid_custom_plan_rejected(self, data_graph):
+        from repro.plan.validate import PlanValidationError
+
+        plan = build_plan(get_pattern("triangle"), order=[1, 2, 3])
+        plan.instructions = plan.instructions[:-1]
+        with pytest.raises(PlanValidationError):
+            run_benu(get_pattern("triangle"), data_graph, plan=plan)
+
+    def test_expanded_count_for_compressed_runs(self, data_graph):
+        plain = run_benu(get_pattern("q4"), data_graph)
+        compressed = run_benu(
+            get_pattern("q4"),
+            data_graph,
+            BenuConfig(collect=True, compressed=True),
+        )
+        assert compressed.expanded_count() == plain.count
+        assert compressed.count <= plain.count
+
+    def test_count_only_run_has_no_matches(self, data_graph):
+        result = run_benu(get_pattern("triangle"), data_graph)
+        assert result.matches is None
+        # Uncompressed count is directly available without collection.
+        assert result.expanded_count() == result.count
+        with pytest.raises(ValueError):
+            list(result.expanded_matches())
+
+    def test_compressed_count_only_needs_collect_to_expand(self, data_graph):
+        result = run_benu(
+            get_pattern("q1"), data_graph, BenuConfig(compressed=True)
+        )
+        with pytest.raises(ValueError):
+            result.expanded_count()

@@ -1,0 +1,123 @@
+"""Tests for the LRU database cache (Section V-A)."""
+
+import pytest
+
+from repro.graph.graph import complete_graph, star_graph
+from repro.storage.cache import CacheStats, LRUDatabaseCache, new_triangle_cache
+from repro.storage.kvstore import DistributedKVStore
+
+
+def store_for(graph):
+    return DistributedKVStore.from_graph(graph)
+
+
+class TestHitsAndMisses:
+    def test_first_get_misses_second_hits(self):
+        cache = LRUDatabaseCache(store_for(complete_graph(3)))
+        cache.get(1)
+        cache.get(1)
+        assert (cache.stats.hits, cache.stats.misses) == (1, 1)
+        assert cache.store.stats.queries == 1
+
+    def test_hit_rate(self):
+        cache = LRUDatabaseCache(store_for(complete_graph(3)))
+        assert cache.stats.hit_rate == 0.0
+        cache.get(1)
+        cache.get(1)
+        cache.get(1)
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_values_correct_after_cache(self):
+        g = complete_graph(4)
+        cache = LRUDatabaseCache(store_for(g))
+        for _ in range(2):
+            for v in g.vertices:
+                assert cache.get(v) == g.neighbors(v)
+
+    def test_merge_stats(self):
+        a = CacheStats(1, 2, 3)
+        a.merge(CacheStats(10, 20, 30))
+        assert (a.hits, a.misses, a.evictions) == (11, 22, 33)
+
+
+class TestCapacity:
+    def test_unbounded_never_evicts(self):
+        g = star_graph(50)
+        cache = LRUDatabaseCache(store_for(g), capacity_bytes=None)
+        for v in g.vertices:
+            cache.get(v)
+        assert cache.stats.evictions == 0
+        assert len(cache) == g.num_vertices
+
+    def test_zero_capacity_disables_caching(self):
+        g = complete_graph(3)
+        cache = LRUDatabaseCache(store_for(g), capacity_bytes=0)
+        cache.get(1)
+        cache.get(1)
+        assert cache.stats.hits == 0
+        assert cache.store.stats.queries == 2
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUDatabaseCache(store_for(complete_graph(3)), capacity_bytes=-1)
+
+    def test_eviction_respects_capacity(self):
+        g = complete_graph(6)
+        store = store_for(g)
+        per_entry = store.value_bytes(1)
+        cache = LRUDatabaseCache(store, capacity_bytes=per_entry * 2)
+        for v in g.vertices:
+            cache.get(v)
+        assert cache.used_bytes <= per_entry * 2
+        assert cache.stats.evictions > 0
+
+    def test_lru_order(self):
+        g = complete_graph(4)
+        store = store_for(g)
+        per_entry = store.value_bytes(1)
+        cache = LRUDatabaseCache(store, capacity_bytes=per_entry * 2)
+        cache.get(1)
+        cache.get(2)
+        cache.get(1)       # refresh 1: now 2 is least recent
+        cache.get(3)       # evicts 2
+        cache.get(1)
+        assert cache.stats.hits == 2  # the refresh + the final get(1)
+        before = cache.store.stats.queries
+        cache.get(2)       # 2 was evicted: must re-query
+        assert cache.store.stats.queries == before + 1
+
+    def test_oversized_value_not_admitted(self):
+        g = star_graph(100)  # hub adjacency is big
+        store = store_for(g)
+        hub_bytes = store.value_bytes(1)
+        cache = LRUDatabaseCache(store, capacity_bytes=hub_bytes - 1)
+        cache.get(1)
+        assert len(cache) == 0  # too big to cache, nothing evicted for it
+
+    def test_clear(self):
+        cache = LRUDatabaseCache(store_for(complete_graph(3)))
+        cache.get(1)
+        cache.clear()
+        assert len(cache) == 0 and cache.used_bytes == 0
+
+
+class TestInterfaces:
+    def test_as_getter(self):
+        g = complete_graph(3)
+        cache = LRUDatabaseCache(store_for(g))
+        get = cache.as_getter()
+        assert get(2) == g.neighbors(2)
+
+    def test_query_stats_ledger_counts_misses_only(self):
+        from repro.storage.kvstore import QueryStats
+
+        ledger = QueryStats()
+        cache = LRUDatabaseCache(store_for(complete_graph(3)), query_stats=ledger)
+        cache.get(1)
+        cache.get(1)
+        assert ledger.queries == 1
+
+    def test_new_triangle_cache_is_fresh_dict(self):
+        a, b = new_triangle_cache(), new_triangle_cache()
+        assert a == {} and a is not b

@@ -1,0 +1,120 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.engine.benu import count_subgraphs
+from repro.graph.graph import complete_graph
+from repro.graph.io import write_edge_list
+from repro.graph.patterns import get_pattern
+
+
+@pytest.fixture
+def edge_file(tmp_path):
+    path = tmp_path / "k5.txt"
+    write_edge_list(complete_graph(5), path)
+    return str(path)
+
+
+class TestCount:
+    def test_count_from_edge_file(self, edge_file, capsys):
+        assert main(["count", "--pattern", "triangle", "--edges", edge_file]) == 0
+        assert capsys.readouterr().out.strip() == "10"
+
+    def test_count_from_dataset(self, capsys):
+        assert main(["count", "--pattern", "triangle", "--dataset", "as_sim"]) == 0
+        count = int(capsys.readouterr().out.strip())
+        from repro.engine.config import BenuConfig
+        from repro.graph.datasets import load_dataset
+
+        assert count == count_subgraphs(
+            get_pattern("triangle"), load_dataset("as_sim"), BenuConfig(relabel=False)
+        )
+
+    def test_verbose_summary_on_stderr(self, edge_file, capsys):
+        main(["count", "--pattern", "triangle", "--edges", edge_file, "-v"])
+        err = capsys.readouterr().err
+        assert "makespan" in err
+
+    def test_requires_data_source(self):
+        with pytest.raises(SystemExit):
+            main(["count", "--pattern", "triangle"])
+
+    def test_rejects_both_sources(self, edge_file):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "count",
+                    "--pattern",
+                    "triangle",
+                    "--edges",
+                    edge_file,
+                    "--dataset",
+                    "as_sim",
+                ]
+            )
+
+
+class TestEnumerate:
+    def test_lists_matches(self, edge_file, capsys):
+        main(["enumerate", "--pattern", "triangle", "--edges", edge_file])
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 10
+        assert all(len(line.split("\t")) == 3 for line in lines)
+
+    def test_limit(self, edge_file, capsys):
+        main(
+            ["enumerate", "--pattern", "triangle", "--edges", edge_file, "--limit", "3"]
+        )
+        captured = capsys.readouterr()
+        assert len(captured.out.strip().splitlines()) == 3
+        assert "7 more" in captured.err
+
+
+class TestPlan:
+    def test_searched_plan(self, capsys):
+        assert main(["plan", "--pattern", "q4"]) == 0
+        captured = capsys.readouterr()
+        assert "Init(start)" in captured.out
+        assert "ReportMatch" in captured.out
+        assert "alpha=" in captured.err
+
+    def test_fixed_order(self, capsys):
+        main(["plan", "--pattern", "triangle", "--order", "1,2,3"])
+        out = capsys.readouterr().out
+        assert "f1 := Init(start)" in out
+
+    def test_compressed_flag(self, capsys):
+        main(["plan", "--pattern", "q4", "--compressed"])
+        out = capsys.readouterr().out
+        # The gem compresses: fewer Foreach loops than vertices - 1.
+        assert out.count("Foreach") < 4
+
+
+class TestListings:
+    def test_patterns(self, capsys):
+        main(["patterns"])
+        out = capsys.readouterr().out
+        for name in ("triangle", "q1", "q9", "demo"):
+            assert name in out
+
+    def test_datasets_lazy(self, capsys):
+        main(["datasets"])
+        out = capsys.readouterr().out
+        assert "as-Skitter" in out
+        assert "(lazy)" in out
+
+    def test_datasets_loaded(self, capsys):
+        main(["datasets", "--load"])
+        out = capsys.readouterr().out
+        assert "(lazy)" not in out
+
+
+class TestParser:
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_pattern_errors(self, edge_file):
+        with pytest.raises(KeyError):
+            main(["count", "--pattern", "q42", "--edges", edge_file])

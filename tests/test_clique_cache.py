@@ -1,0 +1,174 @@
+"""Tests for the generalized clique cache (the paper's future-work §IV-B)."""
+
+import pytest
+
+from repro.engine.benu import build_plan, count_subgraphs
+from repro.engine.config import BenuConfig
+from repro.engine.interpreter import interpret_plan
+from repro.graph.generators import erdos_renyi
+from repro.graph.graph import complete_graph
+from repro.graph.order import relabel_by_degree_order
+from repro.graph.patterns import get_pattern
+from repro.pattern.pattern_graph import PatternGraph
+from repro.plan.codegen import compile_plan
+from repro.plan.generation import generate_raw_plan
+from repro.plan.instructions import InstructionType, kcc, trc
+from repro.plan.optimizer import (
+    _restorations,
+    apply_generalized_clique_cache,
+    optimize,
+)
+from repro.plan.validate import validate_plan
+
+
+@pytest.fixture
+def data_graph():
+    g, _ = relabel_by_degree_order(erdos_renyi(26, 0.4, seed=19))
+    return g
+
+
+def gcc_plan(name, order=None, compressed=False):
+    pg = PatternGraph(get_pattern(name), name)
+    plan = optimize(generate_raw_plan(pg, order or list(pg.vertices)))
+    apply_generalized_clique_cache(plan)
+    return plan
+
+
+class TestInstructionForm:
+    def test_kcc_constructor(self):
+        inst = kcc("T9", ["f1", "f2", "f3"], "T7", "A3")
+        assert inst.type is InstructionType.TRC
+        assert inst.operands == ("f1", "f2", "f3", "T7", "A3")
+
+    def test_key_operands_must_be_fvars(self):
+        with pytest.raises(ValueError, match="f-variables"):
+            kcc("T9", ["f1", "A2"], "T7", "A3")
+
+    def test_minimum_arity(self):
+        with pytest.raises(ValueError):
+            kcc("T9", [], "T7", "A3")
+
+
+class TestRestorations:
+    def test_adjacency_vars_restore_to_singletons(self):
+        pg = PatternGraph(complete_graph(4), "k4")
+        plan = optimize(generate_raw_plan(pg, [1, 2, 3, 4]), 2)
+        restored = _restorations(plan)
+        assert restored["A1"] == frozenset({1})
+
+    def test_chained_temporaries_restore_to_unions(self):
+        pg = PatternGraph(complete_graph(5), "k5")
+        plan = optimize(generate_raw_plan(pg, [1, 2, 3, 4, 5]), 2)
+        restored = _restorations(plan)
+        # Some temporary composes at least three adjacency sets in K5.
+        assert any(len(v) >= 3 for v in restored.values())
+
+    def test_filtered_ints_not_restorable(self):
+        pg = PatternGraph(complete_graph(4), "k4")
+        plan = optimize(generate_raw_plan(pg, [1, 2, 3, 4]), 2)
+        restored = _restorations(plan)
+        filtered = [i.target for i in plan.instructions if i.filters]
+        assert all(t not in restored for t in filtered)
+
+
+class TestTransformation:
+    def test_clique_pattern_gets_multi_key_trc(self):
+        plan = gcc_plan("clique5")
+        multi = [
+            i
+            for i in plan.instructions
+            if i.type is InstructionType.TRC and len(i.operands) > 4
+        ]
+        assert multi, "K5 plans have higher-clique intersections to cache"
+        validate_plan(plan)
+
+    def test_non_clique_intersections_untouched(self):
+        # In the square, candidate sets intersect adjacency of two
+        # *non-adjacent* corners: not a clique, never cached.
+        plan = gcc_plan("square", [1, 3, 2, 4])
+        assert not plan.instructions_of_type(InstructionType.TRC)
+
+    def test_triangle_cache_subsumed(self):
+        """Every start-adjacent pair Opt3 would cache is also a 2-clique."""
+        pg = PatternGraph(get_pattern("demo"), "demo")
+        opt3 = optimize(generate_raw_plan(pg, [1, 3, 5, 2, 6, 4]), 3)
+        opt3_trcs = len(opt3.instructions_of_type(InstructionType.TRC))
+        gcc = gcc_plan("demo", [1, 3, 5, 2, 6, 4])
+        gcc_trcs = len(gcc.instructions_of_type(InstructionType.TRC))
+        assert gcc_trcs >= opt3_trcs
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "name", ["triangle", "clique4", "clique5", "q3", "q7", "demo"]
+    )
+    def test_results_unchanged(self, name, data_graph):
+        pg = PatternGraph(get_pattern(name), name)
+        base = optimize(generate_raw_plan(pg, list(pg.vertices)))
+        gcc = gcc_plan(name)
+        vset = frozenset(data_graph.vertices)
+
+        def collect(plan):
+            compiled = compile_plan(plan, mode="collect")
+            out = []
+            for v in data_graph.vertices:
+                compiled.run(v, data_graph.neighbors, vset=vset, emit=out.append)
+            return sorted(out)
+
+        assert collect(base) == collect(gcc)
+
+    def test_interpreter_agrees_with_codegen(self, data_graph):
+        plan = gcc_plan("clique4")
+        vset = frozenset(data_graph.vertices)
+        compiled = compile_plan(plan)
+        for v in list(data_graph.vertices)[:10]:
+            a = compiled.run(v, data_graph.neighbors, vset=vset, tcache={})
+            b = interpret_plan(plan, v, data_graph.neighbors, vset, tcache={})
+            assert (a.results, a.trc_ops, a.trc_misses) == (
+                b.results,
+                b.trc_ops,
+                b.trc_misses,
+            )
+
+    def test_config_flag_end_to_end(self, data_graph):
+        for name in ("clique4", "q3"):
+            plain = count_subgraphs(
+                get_pattern(name), data_graph, BenuConfig(relabel=False)
+            )
+            cached = count_subgraphs(
+                get_pattern(name),
+                data_graph,
+                BenuConfig(relabel=False, generalized_clique_cache=True),
+            )
+            assert plain == cached
+
+    def test_build_plan_flag(self):
+        plan = build_plan(
+            get_pattern("clique5"),
+            order=[1, 2, 3, 4, 5],
+            generalized_clique_cache=True,
+        )
+        validate_plan(plan)
+        assert any(
+            i.type is InstructionType.TRC and len(i.operands) > 4
+            for i in plan.instructions
+        )
+
+
+class TestReuse:
+    def test_cache_hits_on_clique_pattern(self, data_graph):
+        """On K5, the 3-clique set around (f1, f2, f3) is recomputed by
+        deeper levels without the cache; with it, repeats hit."""
+        pg = PatternGraph(complete_graph(5), "k5")
+        # An order that revisits earlier cliques deeper in the search.
+        plan = optimize(generate_raw_plan(pg, [1, 2, 3, 4, 5]))
+        apply_generalized_clique_cache(plan)
+        compiled = compile_plan(plan)
+        vset = frozenset(data_graph.vertices)
+        totals = [
+            compiled.run(v, data_graph.neighbors, vset=vset)
+            for v in data_graph.vertices
+        ]
+        assert sum(t.trc_ops for t in totals) >= sum(
+            t.trc_misses for t in totals
+        )

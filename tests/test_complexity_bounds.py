@@ -1,0 +1,82 @@
+"""Tests for the Section V-A communication-complexity bounds."""
+
+import pytest
+
+from repro.engine.cluster import SimulatedCluster
+from repro.engine.config import BenuConfig
+from repro.graph.generators import chung_lu
+from repro.graph.graph import star_graph
+from repro.graph.order import relabel_by_degree_order
+from repro.graph.patterns import get_pattern
+from repro.pattern.pattern_graph import PatternGraph
+from repro.plan.generation import generate_raw_plan
+from repro.plan.optimizer import optimize
+
+
+@pytest.fixture(scope="module")
+def data_graph():
+    g, _ = relabel_by_degree_order(chung_lu(300, 6.0, exponent=2.3, seed=3))
+    return g
+
+
+def plan_for(name):
+    pg = PatternGraph(get_pattern(name), name)
+    return optimize(generate_raw_plan(pg, list(pg.vertices)))
+
+
+class TestUnboundedCacheBound:
+    """With C larger than the data graph, the paper's tight bound is
+    O(p · |V(G)|) database queries, independent of the pattern."""
+
+    @pytest.mark.parametrize("name", ["triangle", "q1", "q6"])
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_queries_at_most_workers_times_vertices(
+        self, name, workers, data_graph
+    ):
+        config = BenuConfig(
+            num_workers=workers, cache_capacity_bytes=None, relabel=False
+        )
+        result = SimulatedCluster(data_graph, config).run_plan(plan_for(name))
+        assert result.communication.queries <= workers * data_graph.num_vertices
+
+    def test_single_worker_fetches_each_vertex_once(self, data_graph):
+        """One worker with an unbounded cache misses each key at most once."""
+        config = BenuConfig(num_workers=1, relabel=False)
+        result = SimulatedCluster(data_graph, config).run_plan(plan_for("q1"))
+        assert result.cache.misses <= data_graph.num_vertices
+        assert result.communication.queries == result.cache.misses
+
+
+class TestLocalityBound:
+    def test_queried_vertices_within_pattern_radius(self, data_graph):
+        """A task only ever queries γ^r(start) for r = radius(P) — the
+        locality Fig. 5 illustrates and the cache bound relies on."""
+        from repro.plan.codegen import compile_plan
+
+        pattern = PatternGraph(get_pattern("q8"), "q8")
+        plan = optimize(generate_raw_plan(pattern, list(pattern.vertices)))
+        radius = pattern.graph.radius()
+        compiled = compile_plan(plan)
+        vset = frozenset(data_graph.vertices)
+        for start in list(data_graph.vertices)[::40]:
+            queried = set()
+
+            def spy(v, queried=queried):
+                queried.add(v)
+                return data_graph.neighbors(v)
+
+            compiled.run(start, spy, vset=vset)
+            assert queried <= data_graph.r_hop_neighborhood(start, radius)
+
+    def test_star_task_queries_only_the_start(self, data_graph):
+        """Matching a star hub-first needs exactly one adjacency set per
+        task: radius(star) = 1 and leaves need no DBQ."""
+        pg = PatternGraph(star_graph(3), "star")
+        plan = optimize(generate_raw_plan(pg, [1, 2, 3, 4]))
+        from repro.plan.codegen import compile_plan
+
+        compiled = compile_plan(plan)
+        vset = frozenset(data_graph.vertices)
+        hub = max(data_graph.vertices, key=data_graph.degree)
+        counters = compiled.run(hub, data_graph.neighbors, vset=vset)
+        assert counters.dbq_ops == 1

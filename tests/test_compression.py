@@ -1,0 +1,142 @@
+"""Tests for VCBC compression (Section IV-B) and its exact expansion."""
+
+import pytest
+
+from repro.graph.generators import erdos_renyi
+from repro.graph.graph import complete_graph, cycle_graph, star_graph
+from repro.graph.order import relabel_by_degree_order
+from repro.graph.patterns import get_pattern
+from repro.pattern.pattern_graph import PatternGraph
+from repro.plan.codegen import compile_plan
+from repro.plan.compression import CompressedCode, compress_plan, expand_code
+from repro.plan.generation import generate_raw_plan
+from repro.plan.instructions import InstructionType, fvar
+from repro.plan.optimizer import optimize
+
+
+@pytest.fixture
+def data_graph():
+    g, _ = relabel_by_degree_order(erdos_renyi(26, 0.3, seed=17))
+    return g
+
+
+def optimized_plan(name, order):
+    return optimize(generate_raw_plan(PatternGraph(get_pattern(name), name), order))
+
+
+def run_collect(plan, data):
+    compiled = compile_plan(plan, mode="collect")
+    out = []
+    vset = frozenset(data.vertices)
+    for v in data.vertices:
+        compiled.run(v, data.neighbors, vset=vset, emit=out.append)
+    return out
+
+
+class TestCompressPlan:
+    def test_demo_cover_prefix_enumerated_only(self):
+        plan = compress_plan(optimized_plan("demo", [1, 3, 5, 2, 6, 4]))
+        assert plan.compressed
+        assert set(plan.compressed_vertices) == {2, 6, 4}
+        enumerated = {
+            i.target for i in plan.instructions if i.type is InstructionType.ENU
+        }
+        assert enumerated == {"f3", "f5"}
+
+    def test_res_reports_sets_for_dropped_vertices(self):
+        plan = compress_plan(optimized_plan("demo", [1, 3, 5, 2, 6, 4]))
+        res = plan.instructions[-1]
+        assert res.operands[0] == "f1"  # cover vertex
+        # u2, u4, u6 report candidate-set variables, not f-vars.
+        for u in (2, 4, 6):
+            assert res.operands[u - 1] != fvar(u)
+
+    def test_dropped_fvar_filters_removed(self):
+        plan = compress_plan(optimized_plan("demo", [1, 3, 5, 2, 6, 4]))
+        dropped = {fvar(u) for u in plan.compressed_vertices}
+        for inst in plan.instructions:
+            for f in inst.filters:
+                assert f.var not in dropped
+
+    def test_double_compression_rejected(self):
+        plan = compress_plan(optimized_plan("triangle", [1, 2, 3]))
+        with pytest.raises(ValueError):
+            compress_plan(plan)
+
+    def test_full_cover_pattern_compresses_to_same_plan(self):
+        """A clique's cover prefix is n−1 vertices: only the last drops."""
+        plan = compress_plan(optimized_plan("clique4", [1, 2, 3, 4]))
+        assert plan.compressed_vertices == (4,)
+
+    def test_star_compresses_to_hub_only(self):
+        pg = PatternGraph(star_graph(3), "star")
+        plan = compress_plan(optimize(generate_raw_plan(pg, [1, 2, 3, 4])))
+        assert set(plan.compressed_vertices) == {2, 3, 4}
+        assert plan.enu_count == 0
+
+
+class TestCompressedCode:
+    def test_slots_classification(self):
+        code = CompressedCode((1, 2, 3), (5, frozenset({7, 8}), 6))
+        assert code.helve == (5, 6)
+        assert code.image_sets() == {2: frozenset({7, 8})}
+
+    def test_expansion_distinctness(self):
+        code = CompressedCode(
+            (1, 2, 3), (5, frozenset({5, 6, 7}), frozenset({6, 7}))
+        )
+        expansions = set(code.expansions())
+        # 5 excluded (helve), u2/u3 must differ.
+        assert expansions == {(5, 6, 7), (5, 7, 6)}
+
+    def test_expansion_conditions(self):
+        code = CompressedCode(
+            (1, 2, 3), (5, frozenset({6, 7}), frozenset({6, 7}))
+        )
+        assert set(code.expansions([(1, 2)])) == {(5, 6, 7)}
+
+    def test_match_count(self):
+        code = CompressedCode(
+            (1, 2, 3), (1, frozenset({2, 3, 4}), frozenset({2, 3}))
+        )
+        assert code.match_count() == len(list(code.expansions()))
+
+
+class TestRoundTrip:
+    """Compressed codes must expand to exactly the uncompressed matches."""
+
+    @pytest.mark.parametrize(
+        "name,order",
+        [
+            ("triangle", [1, 2, 3]),
+            ("square", [1, 3, 2, 4]),
+            ("chordal_square", [1, 3, 2, 4]),
+            ("q1", [2, 5, 1, 3, 4]),
+            ("q4", [5, 2, 3, 1, 4]),
+            ("demo", [1, 3, 5, 2, 6, 4]),
+        ],
+    )
+    def test_expansion_equals_uncompressed(self, name, order, data_graph):
+        plain = optimized_plan(name, order)
+        compressed = compress_plan(plain)
+        expected = sorted(run_collect(plain, data_graph))
+        codes = run_collect(compressed, data_graph)
+        expanded = sorted(
+            match for code in codes for match in expand_code(compressed, code)
+        )
+        assert expanded == expected
+
+    def test_code_count_not_larger_than_match_count(self, data_graph):
+        plain = optimized_plan("q1", [2, 5, 1, 3, 4])
+        compressed = compress_plan(plain)
+        codes = run_collect(compressed, data_graph)
+        matches = run_collect(plain, data_graph)
+        assert len(codes) <= len(matches)
+
+    def test_compression_reduces_result_volume(self, data_graph):
+        """The point of VCBC: fewer reported units on dense patterns."""
+        plain = optimized_plan("q4", [5, 2, 3, 1, 4])
+        compressed = compress_plan(plain)
+        codes = run_collect(compressed, data_graph)
+        matches = run_collect(plain, data_graph)
+        assert len(codes) < len(matches)

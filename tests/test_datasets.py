@@ -1,0 +1,62 @@
+"""Tests for the synthetic stand-in datasets."""
+
+import pytest
+
+from repro.graph.datasets import (
+    DATASET_ORDER,
+    DATASET_SPECS,
+    load_dataset,
+    tiny_dataset,
+)
+from repro.graph.order import degree_order_key
+
+
+class TestSpecs:
+    def test_five_datasets_in_table_one_order(self):
+        assert DATASET_ORDER == ("as_sim", "lj_sim", "ok_sim", "uk_sim", "fs_sim")
+        assert set(DATASET_SPECS) == set(DATASET_ORDER)
+
+    def test_descriptions_mention_paper_graph(self):
+        assert "as-Skitter" in DATASET_SPECS["as_sim"].description
+
+
+class TestLoading:
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("nope")
+
+    def test_memoized(self):
+        assert load_dataset("as_sim") is load_dataset("as_sim")
+
+    @pytest.mark.parametrize("name", DATASET_ORDER)
+    def test_connected_and_nonempty(self, name):
+        g = load_dataset(name)
+        assert g.num_vertices > 100
+        assert g.num_edges > g.num_vertices  # average degree > 2
+        assert g.is_connected()
+
+    @pytest.mark.parametrize("name", DATASET_ORDER)
+    def test_relabeled_under_total_order(self, name):
+        """Vertex ids must realize ≺ so plan filters are plain int compares."""
+        g = load_dataset(name)
+        vs = g.vertices
+        assert vs[0] == 0 and vs[-1] == len(vs) - 1
+        keys = [degree_order_key(g, v) for v in vs]
+        assert keys == sorted(keys)
+
+    def test_power_law_skew(self):
+        g = load_dataset("uk_sim")
+        degrees = g.degree_sequence()
+        avg = sum(degrees) / len(degrees)
+        assert degrees[0] > 8 * avg  # heavy hub
+
+    def test_relative_sizes_follow_table_one(self):
+        """as < lj < ok ≤ uk < fs by edge count (mirrors Table I scale)."""
+        edges = [load_dataset(n).num_edges for n in DATASET_ORDER]
+        assert edges[0] == min(edges)
+        assert edges[-1] == max(edges)
+
+    def test_tiny_dataset(self):
+        g = tiny_dataset()
+        assert g.is_connected()
+        assert g.num_vertices < 1000

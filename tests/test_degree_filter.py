@@ -1,0 +1,127 @@
+"""Tests for the degree-filter hook (Section IV-A)."""
+
+import pytest
+
+from repro.engine.benu import build_plan, count_subgraphs
+from repro.engine.config import BenuConfig
+from repro.graph.generators import chung_lu, erdos_renyi
+from repro.graph.graph import star_graph
+from repro.graph.order import relabel_by_degree_order
+from repro.graph.patterns import get_pattern
+from repro.pattern.pattern_graph import PatternGraph
+from repro.plan.codegen import compile_plan
+from repro.plan.compression import compress_plan
+from repro.plan.degree_filter import apply_degree_filter, degree_pools
+from repro.plan.generation import generate_raw_plan
+from repro.plan.optimizer import optimize
+from repro.plan.validate import validate_plan
+
+
+@pytest.fixture(scope="module")
+def data_graph():
+    g, _ = relabel_by_degree_order(chung_lu(200, 5.0, exponent=2.2, seed=81))
+    return g
+
+
+def plan_for(name, compressed=False):
+    pg = PatternGraph(get_pattern(name), name)
+    plan = optimize(generate_raw_plan(pg, list(pg.vertices)))
+    return compress_plan(plan) if compressed else plan
+
+
+class TestPools:
+    def test_pool_contents(self, data_graph):
+        pools = degree_pools(data_graph, [2, 5])
+        for v in pools["VD2"]:
+            assert data_graph.degree(v) >= 2
+        assert pools["VD5"] <= pools["VD2"]
+
+    def test_thresholds_deduplicated(self, data_graph):
+        pools = degree_pools(data_graph, [3, 3, 3])
+        assert list(pools) == ["VD3"]
+
+
+class TestTransformation:
+    def test_constants_injected(self, data_graph):
+        plan = apply_degree_filter(plan_for("chordal_square"), data_graph)
+        validate_plan(plan)
+        assert any(name.startswith("VD") for name in plan.constants)
+
+    def test_degree_one_pattern_untouched(self, data_graph):
+        pg = PatternGraph(star_graph(3), "star")
+        plan = optimize(generate_raw_plan(pg, [1, 2, 3, 4]))
+        filtered = apply_degree_filter(plan, data_graph)
+        # Only the hub (degree 3) needs a pool; leaves are degree 1.
+        pools = [n for n in filtered.constants if n.startswith("VD")]
+        assert pools == ["VD3"]
+
+    def test_compressed_res_sets_filtered(self, data_graph):
+        plan = apply_degree_filter(
+            plan_for("chordal_square", compressed=True), data_graph
+        )
+        validate_plan(plan)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("name", ["triangle", "q1", "q4", "q9", "chordal_square"])
+    def test_results_unchanged(self, name, data_graph):
+        base = plan_for(name)
+        filtered = apply_degree_filter(base, data_graph)
+        vset = frozenset(data_graph.vertices)
+
+        def count(plan):
+            compiled = compile_plan(plan)
+            return sum(
+                compiled.run(v, data_graph.neighbors, vset=vset).results
+                for v in data_graph.vertices
+            )
+
+        assert count(base) == count(filtered)
+
+    def test_filter_reduces_enumeration_steps(self, data_graph):
+        """On a skewed graph the filter prunes low-degree candidates for
+        high-degree pattern vertices."""
+        base = plan_for("clique4")
+        filtered = apply_degree_filter(base, data_graph)
+        vset = frozenset(data_graph.vertices)
+
+        def enu_steps(plan):
+            compiled = compile_plan(plan)
+            return sum(
+                compiled.run(v, data_graph.neighbors, vset=vset).enu_steps
+                for v in data_graph.vertices
+            )
+
+        assert enu_steps(filtered) <= enu_steps(base)
+
+    def test_end_to_end_config_flag(self):
+        g = erdos_renyi(40, 0.25, seed=5)
+        for name in ("q3", "q6"):
+            plain = count_subgraphs(get_pattern(name), g, BenuConfig())
+            filtered = count_subgraphs(
+                get_pattern(name), g, BenuConfig(degree_filter=True)
+            )
+            assert plain == filtered
+
+    def test_build_plan_parameter(self, data_graph):
+        plan = build_plan(
+            get_pattern("q4"),
+            order=[1, 2, 3, 4, 5],
+            degree_filter_data=data_graph,
+        )
+        validate_plan(plan)
+        assert any(n.startswith("VD") for n in plan.constants)
+
+    def test_combines_with_clique_cache(self, data_graph):
+        g = data_graph
+        plain = count_subgraphs(get_pattern("q3"), g, BenuConfig(relabel=False))
+        both = count_subgraphs(
+            get_pattern("q3"),
+            g,
+            BenuConfig(
+                relabel=False,
+                degree_filter=True,
+                generalized_clique_cache=True,
+            ),
+        )
+        assert plain == both

@@ -1,0 +1,125 @@
+"""Tests for dependency graphs and the ranked topological sort."""
+
+import pytest
+
+from repro.graph.patterns import get_pattern
+from repro.pattern.pattern_graph import PatternGraph
+from repro.plan.dependency import build_dependency_edges, ranked_topological_sort
+from repro.plan.generation import generate_raw_plan
+from repro.plan.instructions import (
+    InstructionType,
+    dbq,
+    enu,
+    ini,
+    intersect,
+    res,
+)
+
+
+def demo_plan():
+    return generate_raw_plan(
+        PatternGraph(get_pattern("demo"), "demo"), [1, 3, 5, 2, 6, 4]
+    )
+
+
+class TestDependencyEdges:
+    def test_edges_follow_variable_flow(self):
+        instructions = [ini(1), dbq(1), enu(2, "A1"), res(["f1", "f2"])]
+        edges = set(build_dependency_edges(instructions))
+        assert (0, 1) in edges  # DBQ reads f1
+        assert (1, 2) in edges  # ENU reads A1
+        assert (2, 3) in edges and (0, 3) in edges  # RES reads f1, f2
+
+    def test_filter_dependencies_included(self):
+        from repro.plan.instructions import Filter, FilterKind
+
+        instructions = [
+            ini(1),
+            dbq(1),
+            intersect("C2", ("A1",), [Filter(FilterKind.GT, "f1")]),
+            enu(2, "C2"),
+            res(["f1", "f2"]),
+        ]
+        edges = set(build_dependency_edges(instructions))
+        assert (0, 2) in edges  # the filter reads f1
+
+    def test_undefined_variable_rejected(self):
+        with pytest.raises(ValueError, match="undefined"):
+            build_dependency_edges([enu(2, "C2")])
+
+    def test_double_assignment_rejected(self):
+        with pytest.raises(ValueError, match="twice"):
+            build_dependency_edges([ini(1), ini(1)])
+
+
+class TestRankedTopologicalSort:
+    def test_preserves_dependencies(self):
+        plan = demo_plan()
+        ordered = ranked_topological_sort(plan.instructions)
+        seen = {"start", "V"}
+        for inst in ordered:
+            assert all(v in seen for v in inst.used_vars)
+            seen.add(inst.target)
+
+    def test_permutation_of_input(self):
+        plan = demo_plan()
+        ordered = ranked_topological_sort(plan.instructions)
+        assert sorted(map(str, ordered)) == sorted(map(str, plan.instructions))
+
+    def test_ini_first_res_last(self):
+        plan = demo_plan()
+        ordered = ranked_topological_sort(plan.instructions)
+        assert ordered[0].type is InstructionType.INI
+        assert ordered[-1].type is InstructionType.RES
+
+    def test_dbq_enu_backbone_order_preserved(self):
+        """The matching order must survive reordering (Section IV-B)."""
+        plan = demo_plan()
+        before = [
+            i.target
+            for i in plan.instructions
+            if i.type in (InstructionType.DBQ, InstructionType.ENU)
+        ]
+        after = [
+            i.target
+            for i in ranked_topological_sort(plan.instructions)
+            if i.type in (InstructionType.DBQ, InstructionType.ENU)
+        ]
+        assert before == after
+
+    def test_cheap_types_hoisted(self):
+        """Available INT instructions run before available ENUs."""
+        plan = demo_plan()
+        ordered = ranked_topological_sort(plan.instructions)
+        # Every INT appears as early as its dependencies allow: directly
+        # verify no INT could swap with the ENU right before it.
+        producer = {}
+        for idx, inst in enumerate(ordered):
+            producer[inst.target] = idx
+        for idx, inst in enumerate(ordered):
+            if inst.type is not InstructionType.INT:
+                continue
+            prev = ordered[idx - 1]
+            if prev.type is InstructionType.ENU:
+                # The INT must actually depend (perhaps transitively) on the
+                # ENU's variable, otherwise the sort failed to hoist it.
+                assert _depends_on(ordered, idx, idx - 1)
+
+
+def _depends_on(instructions, consumer: int, producer: int) -> bool:
+    """True if instruction ``consumer`` transitively reads ``producer``."""
+    produced = {inst.target: i for i, inst in enumerate(instructions)}
+    frontier = [consumer]
+    seen = set()
+    while frontier:
+        i = frontier.pop()
+        if i == producer:
+            return True
+        if i in seen:
+            continue
+        seen.add(i)
+        for var in instructions[i].used_vars:
+            j = produced.get(var)
+            if j is not None:
+                frontier.append(j)
+    return False

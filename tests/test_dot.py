@@ -1,0 +1,54 @@
+"""Tests for the Graphviz exporters."""
+
+from repro.graph.patterns import get_pattern
+from repro.pattern.pattern_graph import PatternGraph
+from repro.plan.dot import dependency_graph_dot, plan_dot
+from repro.plan.generation import generate_raw_plan
+from repro.plan.optimizer import optimize
+
+
+def demo_plan():
+    return optimize(
+        generate_raw_plan(PatternGraph(get_pattern("demo"), "demo"), [1, 3, 5, 2, 6, 4])
+    )
+
+
+class TestDependencyDot:
+    def test_valid_structure(self):
+        text = dependency_graph_dot(demo_plan(), title="demo")
+        assert text.startswith("digraph dependencies {")
+        assert text.rstrip().endswith("}")
+        assert 'label="demo"' in text
+
+    def test_one_node_per_instruction(self):
+        plan = demo_plan()
+        text = dependency_graph_dot(plan)
+        for i in range(len(plan.instructions)):
+            assert f"n{i} [" in text
+
+    def test_edges_reference_existing_nodes(self):
+        plan = demo_plan()
+        text = dependency_graph_dot(plan)
+        n = len(plan.instructions)
+        for line in text.splitlines():
+            line = line.strip()
+            if "->" in line:
+                a, b = line.rstrip(";").split(" -> ")
+                assert 0 <= int(a[1:]) < n
+                assert 0 <= int(b[1:]) < n
+
+    def test_targets_shown(self):
+        text = dependency_graph_dot(demo_plan())
+        assert '"f1"' in text and '"A1"' in text
+
+
+class TestPlanDot:
+    def test_sequential_chain(self):
+        plan = demo_plan()
+        text = plan_dot(plan)
+        assert text.count("->") == len(plan.instructions) - 1
+
+    def test_instruction_text_escaped(self):
+        text = plan_dot(demo_plan())
+        assert "Init(start)" in text
+        assert "ReportMatch" in text

@@ -1,0 +1,91 @@
+"""Tests for syntactic equivalence and the dual-pruning condition."""
+
+import pytest
+
+from repro.graph.graph import Graph, complete_graph, cycle_graph, star_graph
+from repro.graph.patterns import get_pattern
+from repro.pattern.equivalence import (
+    class_index,
+    equivalence_classes,
+    passes_dual_condition,
+    syntactically_equivalent,
+)
+
+
+class TestSERelation:
+    def test_adjacent_se_pair(self):
+        """In K3, any two vertices are SE (Γ(u)−{v} = Γ(v)−{u})."""
+        g = complete_graph(3)
+        assert syntactically_equivalent(g, 1, 2)
+
+    def test_non_adjacent_se_pair(self):
+        """Square: opposite corners share both neighbors."""
+        g = cycle_graph(4)  # 1-2-3-4-1
+        assert syntactically_equivalent(g, 1, 3)
+        assert syntactically_equivalent(g, 2, 4)
+        assert not syntactically_equivalent(g, 1, 2)
+
+    def test_reflexive(self):
+        g = get_pattern("q1")
+        assert all(syntactically_equivalent(g, v, v) for v in g.vertices)
+
+    def test_symmetric(self):
+        g = get_pattern("q4")
+        for u in g.vertices:
+            for v in g.vertices:
+                assert syntactically_equivalent(g, u, v) == syntactically_equivalent(
+                    g, v, u
+                )
+
+    def test_named_pattern_classes(self):
+        """SE pairs in the Fig. 6 reconstructions: q7's diagonal ends and
+        q9's two square corners are interchangeable."""
+        assert syntactically_equivalent(get_pattern("q7"), 1, 3)
+        assert syntactically_equivalent(get_pattern("q9"), 2, 4)
+        assert not syntactically_equivalent(get_pattern("q4"), 1, 4)
+
+
+class TestClasses:
+    def test_classes_partition(self):
+        for name in ["q1", "q5", "demo", "clique4"]:
+            g = get_pattern(name)
+            classes = equivalence_classes(g)
+            flat = sorted(v for cls in classes for v in cls)
+            assert flat == list(g.vertices)
+
+    def test_clique_single_class(self):
+        assert equivalence_classes(complete_graph(4)) == [[1, 2, 3, 4]]
+
+    def test_star_leaves_one_class(self):
+        classes = equivalence_classes(star_graph(3))
+        assert [1] in classes
+        assert [2, 3, 4] in classes
+
+    def test_class_index_consistent(self):
+        g = get_pattern("q7")
+        idx = class_index(g)
+        for cls in equivalence_classes(g):
+            assert len({idx[v] for v in cls}) == 1
+
+
+class TestDualCondition:
+    def test_smaller_class_member_must_come_first(self):
+        g = complete_graph(3)
+        # Placing 2 before 1 is a dual of placing 1 before 2 — rejected.
+        assert passes_dual_condition(g, [], 1)
+        assert not passes_dual_condition(g, [], 2)
+        assert passes_dual_condition(g, [1], 2)
+        assert not passes_dual_condition(g, [1], 3)
+
+    def test_independent_classes_unaffected(self):
+        g = star_graph(2)  # hub 1, leaves 2, 3
+        assert passes_dual_condition(g, [], 1)  # hub is its own class
+        assert passes_dual_condition(g, [1], 2)
+        assert not passes_dual_condition(g, [1], 3)
+
+    def test_asymmetric_pattern_everything_passes(self):
+        g = Graph([(1, 2), (2, 3), (1, 3), (3, 4), (4, 5)])
+        for v in g.vertices:
+            assert passes_dual_condition(g, [], v) or any(
+                syntactically_equivalent(g, v, w) for w in g.vertices if w < v
+            )

@@ -1,0 +1,152 @@
+"""Tests for raw execution-plan generation (Section IV-A)."""
+
+import pytest
+
+from repro.graph.graph import Graph, complete_graph, star_graph
+from repro.graph.patterns import get_pattern
+from repro.pattern.pattern_graph import PatternGraph
+from repro.plan.generation import ExecutionPlan, generate_raw_plan
+from repro.plan.instructions import (
+    VG,
+    FilterKind,
+    InstructionType,
+    fvar,
+)
+
+
+def plan_for(name: str, order):
+    return generate_raw_plan(PatternGraph(get_pattern(name), name), order)
+
+
+class TestStructure:
+    def test_triangle_plan_shape(self):
+        plan = plan_for("triangle", [1, 2, 3])
+        types = [i.type.value for i in plan.instructions]
+        assert types == ["INI", "DBQ", "INT", "ENU", "DBQ", "INT", "INT", "ENU", "RES"]
+
+    def test_first_two_instructions(self):
+        plan = plan_for("q1", [2, 1, 3, 4, 5])
+        assert str(plan.instructions[0]) == "f2 := Init(start)"
+        assert str(plan.instructions[1]) == "A2 := GetAdj(f2)"
+
+    def test_res_reports_sorted_pattern_vertices(self):
+        plan = plan_for("q1", [2, 1, 3, 4, 5])
+        assert plan.instructions[-1].operands == ("f1", "f2", "f3", "f4", "f5")
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            plan_for("triangle", [1, 2])
+
+    def test_enu_count_matches_pattern_size(self):
+        for name, order in [("q1", [1, 2, 3, 4, 5]), ("q7", [1, 2, 3, 4, 5, 6])]:
+            plan = plan_for(name, order)
+            # INI covers the first vertex; each other vertex gets one ENU.
+            assert plan.enu_count == len(order) - 1
+
+
+class TestDBQGeneration:
+    def test_no_dbq_without_later_neighbors(self):
+        """The last vertex never needs its adjacency set."""
+        plan = plan_for("triangle", [1, 2, 3])
+        dbq_targets = [
+            i.target for i in plan.instructions if i.type is InstructionType.DBQ
+        ]
+        assert "A3" not in dbq_targets
+
+    def test_star_leaves_have_no_dbq(self):
+        """Matching hub first, leaves never feed later intersections."""
+        star = PatternGraph(star_graph(3), "star")
+        plan = generate_raw_plan(star, [1, 2, 3, 4])
+        dbq_targets = [
+            i.target for i in plan.instructions if i.type is InstructionType.DBQ
+        ]
+        assert dbq_targets == ["A1"]
+
+
+class TestCandidateSets:
+    def test_vg_operand_for_disconnected_prefix(self):
+        """A vertex with no earlier neighbor draws candidates from V(G)."""
+        # Path 1-2-3 matched in order [1, 3, 2]: u3 is not adjacent to u1.
+        path = PatternGraph(Graph([(1, 2), (2, 3)]), "path3")
+        plan = generate_raw_plan(path, [1, 3, 2])
+        int_ops = [
+            i for i in plan.instructions if i.type is InstructionType.INT
+        ]
+        assert any(VG in i.operands for i in int_ops)
+
+    def test_injective_filter_only_for_non_neighbors(self):
+        """Neighbors are excluded implicitly (T ⊆ A_w and f_w ∉ A_w)."""
+        # Asymmetric pattern (no symmetry conditions to subsume filters):
+        # triangle 1-2-3 with tail 3-4-5 and pendant 2-6.
+        pg = PatternGraph(
+            Graph([(1, 2), (2, 3), (1, 3), (3, 4), (4, 5), (2, 6)]), "asym"
+        )
+        plan = generate_raw_plan(pg, [1, 2, 3, 4, 5, 6])
+        c5 = next(i for i in plan.instructions if i.target == "C5")
+        kinds = {(f.kind, f.var) for f in c5.filters}
+        # u5 adjacent to u4 only: explicit ≠ for u1..u3, none for u4.
+        assert (FilterKind.NE, "f1") in kinds
+        assert (FilterKind.NE, "f2") in kinds
+        assert (FilterKind.NE, "f3") in kinds
+        assert (FilterKind.NE, "f4") not in kinds
+
+    def test_symmetry_filter_subsumes_injective(self):
+        """Path 1-2-3 has the automorphism 1 ↔ 3: the symmetry filter >f1
+        replaces u3's injectivity filter entirely."""
+        pg = PatternGraph(Graph([(1, 2), (2, 3)]), "path3")
+        plan = generate_raw_plan(pg, [1, 2, 3])
+        c3 = next(i for i in plan.instructions if i.target == "C3")
+        assert [(f.kind, f.var) for f in c3.filters] == [(FilterKind.GT, "f1")]
+
+    def test_symmetry_filter_replaces_injective(self):
+        plan = plan_for("triangle", [1, 2, 3])
+        c2 = next(i for i in plan.instructions if i.target == "C2")
+        assert [(f.kind, f.var) for f in c2.filters] == [(FilterKind.GT, "f1")]
+
+
+class TestUniOperandElimination:
+    def test_single_operand_no_filters_removed(self):
+        plan = plan_for("triangle", [1, 2, 3])
+        # T2 := Intersect(A1) would be single-operand — eliminated.
+        assert all(i.target != "T2" for i in plan.instructions)
+
+    def test_chain_elimination_resolves_to_final_name(self):
+        """C := Intersect(T), T := Intersect(A1) both collapse to A1."""
+        pg = PatternGraph(Graph([(1, 2), (2, 3)]), "path3")
+        plan = generate_raw_plan(pg, [2, 1, 3])
+        # u1 and u3 are both neighbors of u2 only; their ENUs draw from A2
+        # directly once filters permit.
+        enu_sources = [
+            i.operands[0]
+            for i in plan.instructions
+            if i.type is InstructionType.ENU
+        ]
+        assert all(src.startswith(("C", "A")) for src in enu_sources)
+
+    def test_filtered_single_operand_kept(self):
+        plan = plan_for("triangle", [1, 2, 3])
+        c2 = next(i for i in plan.instructions if i.target == "C2")
+        assert c2.operands == ("A1",)
+        assert c2.filters
+
+
+class TestPlanHelpers:
+    def test_defined_before_use(self):
+        plan = plan_for("q5", [1, 2, 3, 4, 5])
+        assert plan.defined_before_use()
+
+    def test_loop_depths_monotone(self):
+        plan = plan_for("q1", [1, 2, 3, 4, 5])
+        depths = plan.loop_depths()
+        assert depths[0] == 0
+        assert depths[-1] == plan.enu_count
+        assert all(b - a in (0, 1) for a, b in zip(depths, depths[1:]))
+
+    def test_every_order_yields_valid_plan(self):
+        from itertools import permutations
+
+        pg = PatternGraph(get_pattern("square"), "square")
+        for order in permutations(pg.vertices):
+            plan = generate_raw_plan(pg, order)
+            assert plan.defined_before_use()
+            assert plan.instructions[-1].type is InstructionType.RES

@@ -1,0 +1,115 @@
+"""Tests for repro.graph.generators."""
+
+import pytest
+
+from repro.graph.generators import (
+    chung_lu,
+    ensure_connected,
+    erdos_renyi,
+    largest_connected_component,
+    random_connected_graph,
+    random_graph_with_degree_sequence_hint,
+    sample_pattern_graphs,
+)
+from repro.graph.graph import GraphError
+
+
+class TestErdosRenyi:
+    def test_deterministic(self):
+        assert erdos_renyi(20, 0.3, seed=1) == erdos_renyi(20, 0.3, seed=1)
+
+    def test_seed_changes_graph(self):
+        assert erdos_renyi(20, 0.3, seed=1) != erdos_renyi(20, 0.3, seed=2)
+
+    def test_extremes(self):
+        assert erdos_renyi(10, 0.0, seed=0).num_edges == 0
+        assert erdos_renyi(10, 1.0, seed=0).num_edges == 45
+
+    def test_bad_probability(self):
+        with pytest.raises(GraphError):
+            erdos_renyi(5, 1.5)
+
+    def test_all_vertices_present(self):
+        g = erdos_renyi(15, 0.0, seed=0)
+        assert g.num_vertices == 15
+
+    def test_edge_count_near_expectation(self):
+        g = erdos_renyi(100, 0.2, seed=3)
+        expected = 0.2 * 100 * 99 / 2
+        assert 0.7 * expected < g.num_edges < 1.3 * expected
+
+
+class TestChungLu:
+    def test_deterministic(self):
+        assert chung_lu(100, 5.0, seed=9) == chung_lu(100, 5.0, seed=9)
+
+    def test_average_degree_in_range(self):
+        g = chung_lu(500, 8.0, seed=2)
+        avg = 2 * g.num_edges / g.num_vertices
+        assert 4.0 < avg < 16.0
+
+    def test_heavy_tail(self):
+        """Max degree should far exceed the average (power-law skew)."""
+        g = chung_lu(1000, 6.0, exponent=2.3, seed=4)
+        degrees = g.degree_sequence()
+        avg = sum(degrees) / len(degrees)
+        assert degrees[0] > 4 * avg
+
+    def test_trivial_sizes(self):
+        assert chung_lu(0, 5.0).num_vertices == 0
+        assert chung_lu(1, 5.0).num_vertices == 1
+
+    def test_bad_exponent(self):
+        with pytest.raises(GraphError):
+            chung_lu(10, 3.0, exponent=1.0)
+
+
+class TestRandomConnected:
+    @pytest.mark.parametrize("n", [1, 2, 5, 9])
+    def test_always_connected(self, n):
+        for seed in range(5):
+            g = random_connected_graph(n, seed=seed)
+            assert g.num_vertices == n
+            assert g.is_connected()
+
+    def test_deterministic(self):
+        assert random_connected_graph(7, seed=3) == random_connected_graph(7, seed=3)
+
+    def test_sample_pattern_graphs(self):
+        graphs = sample_pattern_graphs(6, count=20, seed=11)
+        assert len(graphs) == 20
+        assert all(g.is_connected() and g.num_vertices == 6 for g in graphs)
+        # Samples vary.
+        assert len({tuple(g.edges()) for g in graphs}) > 1
+
+
+class TestHelpers:
+    def test_degree_sequence_hint(self):
+        g = random_graph_with_degree_sequence_hint(30, 60, seed=1)
+        assert g.num_edges == 60
+        with pytest.raises(GraphError):
+            random_graph_with_degree_sequence_hint(4, 100)
+
+    def test_ensure_connected(self):
+        from repro.graph.graph import Graph
+
+        g = Graph([(1, 2), (3, 4), (5, 6)])
+        connected = ensure_connected(g, seed=0)
+        assert connected.is_connected()
+        assert connected.num_vertices == 6
+        # Never removes edges.
+        for e in g.edges():
+            assert connected.has_edge(*e)
+
+    def test_ensure_connected_noop(self):
+        from repro.graph.graph import complete_graph
+
+        g = complete_graph(4)
+        assert ensure_connected(g) is g
+
+    def test_largest_connected_component(self):
+        from repro.graph.graph import Graph
+
+        g = Graph([(1, 2), (2, 3), (10, 11)])
+        core = largest_connected_component(g)
+        assert core.vertices == (1, 2, 3)

@@ -1,0 +1,189 @@
+"""Tests for repro.graph.graph."""
+
+import pytest
+
+from repro.graph.graph import (
+    Graph,
+    GraphError,
+    complete_graph,
+    cycle_graph,
+    normalize_edge,
+    path_graph,
+    star_graph,
+    union_graphs,
+)
+
+
+class TestNormalizeEdge:
+    def test_orders_endpoints(self):
+        assert normalize_edge(3, 1) == (1, 3)
+        assert normalize_edge(1, 3) == (1, 3)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(GraphError):
+            normalize_edge(2, 2)
+
+
+class TestGraphConstruction:
+    def test_empty_graph(self):
+        g = Graph()
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert list(g.edges()) == []
+
+    def test_isolated_vertices(self):
+        g = Graph(vertices=[1, 2, 3])
+        assert g.num_vertices == 3
+        assert g.num_edges == 0
+        assert g.degree(2) == 0
+
+    def test_duplicate_edges_collapse(self):
+        g = Graph([(1, 2), (2, 1), (1, 2)])
+        assert g.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            Graph([(1, 1)])
+
+    def test_vertices_sorted(self):
+        g = Graph([(5, 3), (1, 9)])
+        assert g.vertices == (1, 3, 5, 9)
+
+    def test_edges_canonical_sorted(self):
+        g = Graph([(4, 2), (3, 1), (2, 1)])
+        assert list(g.edges()) == [(1, 2), (1, 3), (2, 4)]
+
+
+class TestAccessors:
+    def test_neighbors_and_degree(self):
+        g = Graph([(1, 2), (1, 3), (2, 3), (3, 4)])
+        assert g.neighbors(3) == frozenset({1, 2, 4})
+        assert g.degree(3) == 3
+        assert g.degree(4) == 1
+
+    def test_neighbors_unknown_vertex(self):
+        with pytest.raises(KeyError):
+            Graph([(1, 2)]).neighbors(99)
+
+    def test_has_edge_both_orientations(self):
+        g = Graph([(1, 2)])
+        assert g.has_edge(1, 2) and g.has_edge(2, 1)
+        assert not g.has_edge(1, 3)
+        assert not g.has_edge(7, 8)  # unknown vertices do not raise
+
+    def test_contains_iter_len(self):
+        g = Graph([(1, 2), (2, 3)])
+        assert 2 in g and 9 not in g
+        assert list(g) == [1, 2, 3]
+        assert len(g) == 3
+
+    def test_equality_and_hash(self):
+        g1 = Graph([(1, 2), (2, 3)])
+        g2 = Graph([(2, 3), (1, 2)])
+        assert g1 == g2
+        assert hash(g1) == hash(g2)
+        assert g1 != Graph([(1, 2)])
+
+    def test_degree_sequence(self):
+        g = Graph([(1, 2), (1, 3), (1, 4)])
+        assert g.degree_sequence() == [3, 1, 1, 1]
+
+
+class TestInducedSubgraph:
+    def test_keeps_internal_edges_only(self):
+        g = complete_graph(4)
+        sub = g.induced_subgraph([1, 2, 3])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 3
+
+    def test_isolated_vertex_preserved(self):
+        g = Graph([(1, 2), (3, 4)])
+        sub = g.induced_subgraph([1, 3])
+        assert sub.num_vertices == 2
+        assert sub.num_edges == 0
+
+    def test_unknown_vertices_ignored(self):
+        g = Graph([(1, 2)])
+        sub = g.induced_subgraph([1, 99])
+        assert sub.vertices == (1,)
+
+
+class TestRelabel:
+    def test_relabel_preserves_structure(self):
+        g = Graph([(1, 2), (2, 3)])
+        h = g.relabel({1: 10, 2: 20, 3: 30})
+        assert h.has_edge(10, 20) and h.has_edge(20, 30)
+        assert h.num_edges == 2
+
+    def test_non_injective_rejected(self):
+        g = Graph([(1, 2), (2, 3)])
+        with pytest.raises(GraphError):
+            g.relabel({1: 5, 2: 5, 3: 6})
+
+
+class TestTraversal:
+    def test_connected_components(self):
+        g = Graph([(1, 2), (3, 4), (4, 5)])
+        comps = sorted(g.connected_components(), key=min)
+        assert comps == [frozenset({1, 2}), frozenset({3, 4, 5})]
+
+    def test_is_connected(self):
+        assert complete_graph(4).is_connected()
+        assert not Graph([(1, 2), (3, 4)]).is_connected()
+        assert Graph().is_connected()
+
+    def test_bfs_hops(self):
+        g = path_graph(4)  # 1-2-3-4
+        assert g.bfs_hops(1) == {1: 0, 2: 1, 3: 2, 4: 3}
+
+    def test_eccentricity_and_radius(self):
+        g = path_graph(5)
+        assert g.eccentricity(1) == 4
+        assert g.eccentricity(3) == 2
+        assert g.radius() == 2
+
+    def test_r_hop_neighborhood(self):
+        g = path_graph(5)
+        assert g.r_hop_neighborhood(3, 1) == frozenset({2, 3, 4})
+        assert g.r_hop_neighborhood(3, 0) == frozenset({3})
+        with pytest.raises(GraphError):
+            g.r_hop_neighborhood(3, -1)
+
+    def test_neighborhood_size(self):
+        g = star_graph(3)  # hub=1, leaves 2..4
+        # γ^1(hub) = whole graph, S = 3 + 1 + 1 + 1
+        assert g.neighborhood_size(1, 1) == 6
+
+
+class TestFactories:
+    def test_complete_graph(self):
+        g = complete_graph(5)
+        assert g.num_vertices == 5
+        assert g.num_edges == 10
+
+    def test_cycle_graph(self):
+        g = cycle_graph(6)
+        assert g.num_edges == 6
+        assert all(g.degree(v) == 2 for v in g.vertices)
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_path_graph(self):
+        g = path_graph(4)
+        assert g.num_edges == 3
+        assert g.degree(1) == 1 and g.degree(2) == 2
+
+    def test_star_graph(self):
+        g = star_graph(4)
+        assert g.num_vertices == 5
+        assert g.degree(1) == 4
+
+    def test_union_graphs(self):
+        g = union_graphs([complete_graph(3, offset=1), complete_graph(3, offset=10)])
+        assert g.num_vertices == 6
+        assert g.num_edges == 6
+        assert not g.is_connected()
+
+    def test_offset(self):
+        g = complete_graph(3, offset=7)
+        assert g.vertices == (7, 8, 9)

@@ -1,0 +1,127 @@
+"""Tests for the instruction model (Table III)."""
+
+import pytest
+
+from repro.plan.instructions import (
+    TYPE_RANK,
+    VG,
+    Filter,
+    FilterKind,
+    Instruction,
+    InstructionType,
+    avar,
+    cvar,
+    dbq,
+    enu,
+    format_plan,
+    fvar,
+    ini,
+    intersect,
+    res,
+    trc,
+    tvar,
+    var_index,
+)
+
+
+class TestVariableNames:
+    def test_constructors(self):
+        assert fvar(3) == "f3"
+        assert avar(1) == "A1"
+        assert cvar(12) == "C12"
+        assert tvar(7) == "T7"
+
+    def test_var_index(self):
+        assert var_index("A12") == 12
+        assert var_index("f3") == 3
+
+
+class TestConstructors:
+    def test_ini(self):
+        inst = ini(1)
+        assert inst.type is InstructionType.INI
+        assert str(inst) == "f1 := Init(start)"
+
+    def test_dbq(self):
+        assert str(dbq(2)) == "A2 := GetAdj(f2)"
+
+    def test_intersect_with_filters(self):
+        inst = intersect(
+            "C3",
+            ("A1", "A2"),
+            [Filter(FilterKind.GT, "f2"), Filter(FilterKind.NE, "f1")],
+        )
+        assert str(inst) == "C3 := Intersect(A1, A2) | !=f1, >f2"
+
+    def test_filters_sorted_deterministically(self):
+        f1 = [Filter(FilterKind.GT, "f2"), Filter(FilterKind.GT, "f1")]
+        f2 = list(reversed(f1))
+        assert intersect("X", ("A1",), f1) == intersect("X", ("A1",), f2)
+
+    def test_enu(self):
+        assert str(enu(4, "C4")) == "f4 := Foreach(C4)"
+
+    def test_trc(self):
+        inst = trc("T7", "f1", "f3", "A1", "A3")
+        assert str(inst) == "T7 := TCache(f1, f3, A1, A3)"
+
+    def test_res(self):
+        assert str(res(["f1", "f2"])) == "f := ReportMatch(f1, f2)"
+
+
+class TestValidation:
+    def test_filters_only_on_int(self):
+        with pytest.raises(ValueError):
+            Instruction(
+                "f1",
+                InstructionType.ENU,
+                ("C1",),
+                (Filter(FilterKind.NE, "f2"),),
+            )
+
+    def test_trc_arity(self):
+        with pytest.raises(ValueError):
+            Instruction("X", InstructionType.TRC, ("f1", "A1"))
+
+    def test_enu_arity(self):
+        with pytest.raises(ValueError):
+            Instruction("f1", InstructionType.ENU, ("C1", "C2"))
+
+    def test_dbq_arity(self):
+        with pytest.raises(ValueError):
+            Instruction("A1", InstructionType.DBQ, ())
+
+
+class TestHelpers:
+    def test_used_vars_excludes_start_and_vg(self):
+        assert ini(1).used_vars == ()
+        assert intersect("T2", (VG,)).used_vars == ()
+        inst = intersect("C3", ("A1",), [Filter(FilterKind.NE, "f2")])
+        assert inst.used_vars == ("A1", "f2")
+
+    def test_rename(self):
+        inst = intersect("C3", ("T9", "A1"), [Filter(FilterKind.GT, "f1")])
+        renamed = inst.rename({"T9": "A2", "C3": "C5"})
+        assert renamed.target == "C5"
+        assert renamed.operands == ("A2", "A1")
+        assert renamed.filters[0].var == "f1"
+
+    def test_type_rank_ordering(self):
+        """INI < INT < TRC < DBQ < ENU < RES (Section IV-B)."""
+        order = [
+            InstructionType.INI,
+            InstructionType.INT,
+            InstructionType.TRC,
+            InstructionType.DBQ,
+            InstructionType.ENU,
+            InstructionType.RES,
+        ]
+        ranks = [TYPE_RANK[t] for t in order]
+        assert ranks == sorted(ranks)
+        assert len(set(ranks)) == 6
+
+    def test_format_plan_indents_after_enu(self):
+        text = format_plan([ini(1), enu(2, "C2"), res(["f1", "f2"])])
+        lines = text.splitlines()
+        assert "f1 := Init" in lines[0]
+        assert lines[2].startswith("  3:   ")  # indented under the loop

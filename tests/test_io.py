@@ -1,0 +1,54 @@
+"""Tests for edge-list I/O."""
+
+import io
+
+import pytest
+
+from repro.graph.graph import Graph
+from repro.graph.io import (
+    format_edge_list,
+    iter_edge_list,
+    parse_edge_list,
+    read_edge_list,
+    write_edge_list,
+)
+
+
+class TestParsing:
+    def test_basic(self):
+        g = parse_edge_list("1 2\n2 3\n")
+        assert g.num_edges == 2
+
+    def test_comments_and_blanks(self):
+        text = "# SNAP header\n\n% other comment\n1\t2\n"
+        g = parse_edge_list(text)
+        assert list(g.edges()) == [(1, 2)]
+
+    def test_self_loops_dropped(self):
+        g = parse_edge_list("1 1\n1 2\n")
+        assert g.num_edges == 1
+
+    def test_duplicate_edges_collapse(self):
+        g = parse_edge_list("1 2\n2 1\n")
+        assert g.num_edges == 1
+
+    def test_malformed_line(self):
+        with pytest.raises(ValueError, match="line 1"):
+            list(iter_edge_list(io.StringIO("oops\n")))
+
+    def test_extra_columns_tolerated(self):
+        g = parse_edge_list("1 2 99\n")
+        assert list(g.edges()) == [(1, 2)]
+
+
+class TestRoundTrip:
+    def test_write_read(self, tmp_path):
+        g = Graph([(1, 2), (2, 3), (1, 3)])
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path, header="test graph\nsecond line")
+        assert read_edge_list(path) == g
+        text = path.read_text()
+        assert text.startswith("# test graph\n# second line\n")
+
+    def test_format_edge_list(self):
+        assert format_edge_list([(1, 2), (3, 4)]) == "1\t2\n3\t4\n"

@@ -1,0 +1,108 @@
+"""Tests for the backtracking matcher (the correctness oracle)."""
+
+import math
+
+import pytest
+
+from repro.graph.graph import Graph, complete_graph, cycle_graph, path_graph
+from repro.graph.patterns import get_pattern
+from repro.pattern.isomorphism import (
+    are_isomorphic,
+    count_matches,
+    enumerate_matches,
+    find_subgraph_instances,
+)
+
+
+class TestEnumerateMatches:
+    def test_triangle_in_k4(self):
+        """K4 has C(4,3)=4 triangles, each with 3!=6 matches."""
+        assert count_matches(complete_graph(3), complete_graph(4)) == 24
+
+    def test_clique_in_clique_formula(self):
+        """Matches of K_a in K_b = b!/(b-a)!."""
+        for a, b in [(2, 4), (3, 5), (4, 6)]:
+            expected = math.factorial(b) // math.factorial(b - a)
+            assert count_matches(complete_graph(a), complete_graph(b)) == expected
+
+    def test_no_match_in_triangle_free_graph(self):
+        assert count_matches(complete_graph(3), cycle_graph(5)) == 0
+
+    def test_path_in_path(self):
+        # P3 in P4: 2 subgraphs × 2 automorphisms.
+        assert count_matches(path_graph(3), path_graph(4)) == 4
+
+    def test_match_tuple_indexing(self):
+        """f = (f1, ..., fn) indexed by sorted pattern vertex."""
+        p = Graph([(1, 2)], vertices=[1, 2])
+        g = Graph([(10, 20)])
+        matches = set(enumerate_matches(p, g))
+        assert matches == {(10, 20), (20, 10)}
+
+    def test_explicit_order(self):
+        p = complete_graph(3)
+        g = complete_graph(4)
+        default = sorted(enumerate_matches(p, g))
+        explicit = sorted(enumerate_matches(p, g, order=[3, 1, 2]))
+        assert default == explicit
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(ValueError):
+            list(enumerate_matches(complete_graph(3), complete_graph(3), order=[1, 2]))
+
+    def test_empty_pattern(self):
+        assert list(enumerate_matches(Graph(), complete_graph(3))) == [()]
+
+    def test_partial_order_constraints(self):
+        p = complete_graph(3)
+        g = complete_graph(4)
+        constrained = list(
+            enumerate_matches(p, g, partial_order=[(1, 2), (1, 3), (2, 3)])
+        )
+        # 24 matches / 6 automorphisms = 4 ordered matches.
+        assert len(constrained) == 4
+        assert all(m[0] < m[1] < m[2] for m in constrained)
+
+    def test_partial_order_single_condition(self):
+        p = Graph([(1, 2)])
+        g = complete_graph(3)
+        matches = list(enumerate_matches(p, g, partial_order=[(1, 2)]))
+        assert len(matches) == 3
+        assert all(a < b for a, b in matches)
+
+
+class TestAreIsomorphic:
+    def test_same_graph(self):
+        assert are_isomorphic(cycle_graph(5), cycle_graph(5, offset=10))
+
+    def test_different_degree_sequences(self):
+        assert not are_isomorphic(path_graph(4), Graph([(1, 2), (1, 3), (1, 4)]))
+
+    def test_same_degrees_different_structure(self):
+        # C6 vs two triangles: both 2-regular on 6 vertices.
+        two_triangles = Graph([(1, 2), (2, 3), (1, 3), (4, 5), (5, 6), (4, 6)])
+        assert not are_isomorphic(cycle_graph(6), two_triangles)
+
+    def test_size_mismatch(self):
+        assert not are_isomorphic(cycle_graph(4), cycle_graph(5))
+
+    @pytest.mark.parametrize("name", ["q1", "q4", "q7", "demo"])
+    def test_relabel_invariance(self, name):
+        p = get_pattern(name)
+        shifted = p.relabel({v: v + 100 for v in p.vertices})
+        assert are_isomorphic(p, shifted)
+
+
+class TestFindSubgraphInstances:
+    def test_triangles_in_k4(self):
+        instances = list(find_subgraph_instances(complete_graph(3), complete_graph(4)))
+        assert len(instances) == 4  # deduplicated by edge set
+
+    def test_instances_are_edge_sets(self):
+        instances = list(
+            find_subgraph_instances(Graph([(1, 2)]), Graph([(5, 6), (6, 7)]))
+        )
+        assert sorted(instances, key=sorted) == [
+            frozenset({frozenset({5, 6})}),
+            frozenset({frozenset({6, 7})}),
+        ]

@@ -1,0 +1,47 @@
+"""Tests for reporting helpers."""
+
+import pytest
+
+from repro.metrics import format_bytes, format_count, format_table, speedup_series
+
+
+class TestFormatBytes:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(0, "0 B"), (512, "512 B"), (1536, "1.5 KB"), (3 * 1024**2, "3.0 MB")],
+    )
+    def test_values(self, value, expected):
+        assert format_bytes(value) == expected
+
+
+class TestFormatCount:
+    def test_small_values_plain(self):
+        assert format_count(0) == "0"
+        assert format_count(123) == "123"
+
+    def test_large_values_scientific(self):
+        assert format_count(2.9e7) == "2.9E+07"
+
+    def test_fractional(self):
+        assert format_count(12.34) == "12.3"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "n"], [["triangle", 3], ["q1", 5]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert all(len(l) >= len("triangle") for l in lines[2:])
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestSpeedup:
+    def test_series(self):
+        assert speedup_series(10.0, [10.0, 5.0, 2.5]) == [1.0, 2.0, 4.0]
+
+    def test_zero_time(self):
+        assert speedup_series(1.0, [0.0]) == [float("inf")]

@@ -1,0 +1,238 @@
+"""Tests for the three plan optimizations (Section IV-B)."""
+
+import pytest
+
+from repro.graph.generators import erdos_renyi
+from repro.graph.graph import complete_graph
+from repro.graph.order import relabel_by_degree_order
+from repro.graph.patterns import get_pattern
+from repro.pattern.pattern_graph import PatternGraph
+from repro.plan.codegen import compile_plan
+from repro.plan.generation import generate_raw_plan
+from repro.plan.instructions import InstructionType
+from repro.plan.optimizer import (
+    LEVEL_CSE,
+    LEVEL_RAW,
+    LEVEL_REORDER,
+    LEVEL_TRIANGLE,
+    apply_triangle_cache,
+    eliminate_common_subexpressions,
+    flatten_intersections,
+    optimize,
+)
+
+
+def demo_plan():
+    return generate_raw_plan(
+        PatternGraph(get_pattern("demo"), "demo"), [1, 3, 5, 2, 6, 4]
+    )
+
+
+def count_type(plan, type_):
+    return sum(1 for i in plan.instructions if i.type is type_)
+
+
+def run_count(plan, data):
+    compiled = compile_plan(plan)
+    vset = frozenset(data.vertices)
+    return sum(
+        compiled.run(v, data.neighbors, vset=vset).results for v in data.vertices
+    )
+
+
+@pytest.fixture
+def data_graph():
+    g, _ = relabel_by_degree_order(erdos_renyi(28, 0.3, seed=9))
+    return g
+
+
+class TestCSE:
+    def test_demo_common_subexpression_hoisted(self):
+        """The running example hoists {A1, A3} into a temporary."""
+        plan = demo_plan()
+        eliminate_common_subexpressions(plan)
+        # Some INT now computes exactly (A1, A3) and is reused.
+        targets = [
+            i.target
+            for i in plan.instructions
+            if i.type is InstructionType.INT and set(i.operands) == {"A1", "A3"}
+            and not i.filters
+        ]
+        assert len(targets) == 1
+        temp = targets[0]
+        uses = sum(
+            1
+            for i in plan.instructions
+            if temp in i.operands and i.target != temp
+        )
+        assert uses >= 2
+
+    def test_no_duplicate_pairs_remain(self):
+        """After CSE no operand pair appears in two filter-free INTs."""
+        for name, order in [
+            ("demo", [1, 3, 5, 2, 6, 4]),
+            ("clique5", [1, 2, 3, 4, 5]),
+            ("q7", [1, 3, 2, 4, 5, 6]),
+        ]:
+            plan = generate_raw_plan(PatternGraph(get_pattern(name), name), order)
+            eliminate_common_subexpressions(plan)
+            seen = {}
+            for inst in plan.instructions:
+                if inst.type is InstructionType.INT and len(inst.operands) >= 2:
+                    key = frozenset(inst.operands)
+                    for other in seen:
+                        shared = key & other
+                        assert len(shared) < 2, f"{name}: {shared} still common"
+                    seen[key] = True
+
+    def test_cse_preserves_results(self, data_graph):
+        raw = demo_plan()
+        opt = optimize(raw, LEVEL_CSE)
+        assert run_count(raw, data_graph) == run_count(opt, data_graph)
+
+    def test_clique_cse_reduces_intersections_executed(self, data_graph):
+        pg = PatternGraph(complete_graph(5), "clique5")
+        raw = generate_raw_plan(pg, [1, 2, 3, 4, 5])
+        opt = optimize(raw, LEVEL_CSE)
+        # The candidate computation for u5 reuses u4's intersection work.
+        compiled_raw = compile_plan(raw)
+        compiled_opt = compile_plan(opt)
+        vset = frozenset(data_graph.vertices)
+
+        def total_int(c):
+            return sum(
+                c.run(v, data_graph.neighbors, vset=vset).int_ops
+                for v in data_graph.vertices
+            )
+
+        assert total_int(compiled_opt) <= total_int(compiled_raw)
+
+
+class TestFlattening:
+    def test_no_int_exceeds_two_operands(self):
+        plan = generate_raw_plan(
+            PatternGraph(complete_graph(5), "clique5"), [1, 2, 3, 4, 5]
+        )
+        flatten_intersections(plan)
+        for inst in plan.instructions:
+            if inst.type is InstructionType.INT:
+                assert len(inst.operands) <= 2
+
+    def test_flattening_preserves_results(self, data_graph):
+        pg = PatternGraph(complete_graph(4), "clique4")
+        raw = generate_raw_plan(pg, [1, 2, 3, 4])
+        flat = generate_raw_plan(pg, [1, 2, 3, 4])
+        flatten_intersections(flat)
+        assert run_count(raw, data_graph) == run_count(flat, data_graph)
+
+    def test_final_link_keeps_filters(self):
+        pg = PatternGraph(complete_graph(4), "clique4")
+        plan = generate_raw_plan(pg, [1, 2, 3, 4])
+        filtered_targets = {
+            i.target for i in plan.instructions if i.filters
+        }
+        flatten_intersections(plan)
+        still_filtered = {i.target for i in plan.instructions if i.filters}
+        assert filtered_targets == still_filtered
+
+
+class TestReordering:
+    def test_reorder_preserves_results(self, data_graph):
+        raw = demo_plan()
+        opt = optimize(raw, LEVEL_REORDER)
+        assert run_count(raw, data_graph) == run_count(opt, data_graph)
+
+    def test_reorder_reduces_executed_instructions(self, data_graph):
+        """Hoisting INTs out of loops must not increase executions."""
+        raw = demo_plan()
+        opt = optimize(raw, LEVEL_REORDER)
+        vset = frozenset(data_graph.vertices)
+
+        def total_ops(plan):
+            compiled = compile_plan(plan)
+            total = 0
+            for v in data_graph.vertices:
+                c = compiled.run(v, data_graph.neighbors, vset=vset)
+                total += c.int_ops + c.trc_ops
+            return total
+
+        assert total_ops(opt) <= total_ops(raw)
+
+
+class TestTriangleCache:
+    def test_demo_gets_trc_instructions(self):
+        plan = optimize(demo_plan(), LEVEL_TRIANGLE)
+        trcs = [i for i in plan.instructions if i.type is InstructionType.TRC]
+        assert trcs, "demo pattern has start-adjacent intersections to cache"
+        for inst in trcs:
+            # Operands are (f_i, f_j, A_i, A_j) with the start vertex present.
+            assert inst.operands[0].startswith("f")
+            assert "f1" in inst.operands[:2]
+
+    def test_trc_only_replaces_start_adjacent_pairs(self):
+        plan = optimize(demo_plan(), LEVEL_TRIANGLE)
+        first = plan.order[0]
+        for inst in plan.instructions:
+            if inst.type is InstructionType.TRC:
+                indices = {int(op[1:]) for op in inst.operands[:2]}
+                assert first in indices
+
+    def test_triangle_cache_preserves_results(self, data_graph):
+        raw = demo_plan()
+        opt = optimize(raw, LEVEL_TRIANGLE)
+        assert run_count(raw, data_graph) == run_count(opt, data_graph)
+
+    def test_cache_hits_recorded(self, data_graph):
+        """Intra-task reuse: a TRC nested under unrelated loops re-sees its
+        key across outer iterations (q6 matched far-triangle-first)."""
+        pg = PatternGraph(get_pattern("q6"), "q6")
+        plan = optimize(generate_raw_plan(pg, [1, 4, 5, 6, 2, 3]), LEVEL_TRIANGLE)
+        assert count_type(plan, InstructionType.TRC) >= 1
+        compiled = compile_plan(plan)
+        vset = frozenset(data_graph.vertices)
+        total_hits = 0
+        for v in data_graph.vertices:
+            c = compiled.run(v, data_graph.neighbors, vset=vset)
+            total_hits += c.trc_hits
+        assert total_hits > 0, "q6 re-enumerates triangles around the start"
+
+    def test_demo_trc_runs_once_per_key(self, data_graph):
+        """With Opt2 hoisting, the demo's TRC sits at depth 1: every key is
+        seen exactly once, so all executions are misses (no reuse to win)."""
+        plan = optimize(demo_plan(), LEVEL_TRIANGLE)
+        compiled = compile_plan(plan)
+        vset = frozenset(data_graph.vertices)
+        for v in data_graph.vertices:
+            c = compiled.run(v, data_graph.neighbors, vset=vset)
+            assert c.trc_hits == 0
+            assert c.trc_ops == c.trc_misses
+
+
+class TestPipeline:
+    def test_level_bounds(self):
+        with pytest.raises(ValueError):
+            optimize(demo_plan(), 4)
+        with pytest.raises(ValueError):
+            optimize(demo_plan(), -1)
+
+    def test_raw_level_copies(self):
+        raw = demo_plan()
+        copy = optimize(raw, LEVEL_RAW)
+        assert copy is not raw
+        assert list(map(str, copy.instructions)) == list(map(str, raw.instructions))
+
+    @pytest.mark.parametrize("level", [0, 1, 2, 3])
+    def test_all_levels_equivalent(self, level, data_graph):
+        raw = demo_plan()
+        opt = optimize(raw, level)
+        assert opt.defined_before_use()
+        assert run_count(raw, data_graph) == run_count(opt, data_graph)
+
+    @pytest.mark.parametrize("name", ["q1", "q3", "q5", "q8", "clique4"])
+    def test_all_levels_equivalent_across_patterns(self, name, data_graph):
+        pg = PatternGraph(get_pattern(name), name)
+        order = list(pg.vertices)
+        raw = generate_raw_plan(pg, order)
+        expected = run_count(raw, data_graph)
+        for level in (1, 2, 3):
+            assert run_count(optimize(raw, level), data_graph) == expected

@@ -1,0 +1,67 @@
+"""Tests for the (degree, id) total order ≺ and relabeling."""
+
+from repro.graph.graph import Graph, star_graph
+from repro.graph.order import (
+    degree_order_key,
+    degree_order_relabeling,
+    invert_mapping,
+    precedes,
+    relabel_by_degree_order,
+)
+
+
+class TestPrecedes:
+    def test_degree_dominates(self):
+        g = star_graph(3)  # hub 1 has degree 3, leaves degree 1
+        assert precedes(g, 2, 1)  # leaf ≺ hub
+        assert not precedes(g, 1, 2)
+
+    def test_id_breaks_ties(self):
+        g = Graph([(1, 2), (3, 4)])
+        assert precedes(g, 1, 2)
+        assert precedes(g, 3, 4)
+
+    def test_total_order_is_strict(self):
+        g = Graph([(1, 2), (2, 3)])
+        for u in g.vertices:
+            assert not precedes(g, u, u)
+            for v in g.vertices:
+                if u != v:
+                    assert precedes(g, u, v) != precedes(g, v, u)
+
+
+class TestRelabeling:
+    def test_new_ids_realize_order(self):
+        g = star_graph(4)
+        mapping = degree_order_relabeling(g)
+        for u in g.vertices:
+            for v in g.vertices:
+                if u != v:
+                    assert (mapping[u] < mapping[v]) == precedes(g, u, v)
+
+    def test_ids_consecutive_from_zero(self):
+        g = Graph([(1, 2), (2, 3), (3, 4)])
+        mapping = degree_order_relabeling(g)
+        assert sorted(mapping.values()) == list(range(g.num_vertices))
+
+    def test_relabel_preserves_isomorphism_class(self):
+        g = Graph([(1, 2), (2, 3), (1, 3), (3, 9)])
+        h, mapping = relabel_by_degree_order(g)
+        assert h.num_edges == g.num_edges
+        assert sorted(h.degree_sequence()) == sorted(g.degree_sequence())
+        for u, v in g.edges():
+            assert h.has_edge(mapping[u], mapping[v])
+
+    def test_relabeled_integer_order_matches_degree_order(self):
+        """After relabeling, plain ``<`` realizes ≺ on the new graph."""
+        g = Graph([(1, 2), (2, 3), (1, 3), (3, 4), (4, 5)])
+        h, _ = relabel_by_degree_order(g)
+        for u in h.vertices:
+            for v in h.vertices:
+                if u < v:
+                    assert degree_order_key(h, u) < degree_order_key(h, v)
+
+    def test_invert_mapping(self):
+        mapping = {1: 0, 5: 1, 9: 2}
+        inv = invert_mapping(mapping)
+        assert inv == {0: 1, 1: 5, 2: 9}

@@ -1,0 +1,211 @@
+"""Golden walkthrough of the paper's running example (Figs. 1, 3, 4, 5).
+
+Replays Section III/IV on the Fig. 1(a)-style demo pattern with the
+paper's matching order u1, u3, u5, u2, u6, u4 and pins the exact plan text
+at each stage — executable documentation of the whole Section IV pipeline.
+The textual properties the paper states are all asserted:
+
+* the raw plan's per-vertex instruction blocks (Section IV-A);
+* {A1, A3} is a common subexpression, hoisted into a temporary that later
+  candidate computations reuse (Optimization 1);
+* instruction reordering hoists intersections across ENU levels
+  (Optimization 2);
+* the start-adjacent intersection becomes a triangle-cache instruction
+  (Optimization 3);
+* the VCBC plan enumerates only the cover prefix {u1, u3, u5} and reports
+  candidate sets for u2, u6, u4 (Fig. 3(f)).
+"""
+
+from repro.graph.patterns import DEMO_PATTERN
+from repro.pattern.pattern_graph import PatternGraph
+from repro.plan.compression import compress_plan
+from repro.plan.generation import generate_raw_plan
+from repro.plan.instructions import InstructionType
+from repro.plan.optimizer import optimize
+
+ORDER = [1, 3, 5, 2, 6, 4]
+
+
+def pattern():
+    return PatternGraph(DEMO_PATTERN, "demo")
+
+
+def golden(text: str) -> str:
+    """Strip exactly the 4-space source indent (dedent would also eat the
+    line-number alignment padding)."""
+    lines = [line[4:] for line in text.splitlines() if line.strip()]
+    return "\n".join(lines)
+
+
+RAW_PLAN = golden(
+    """
+      1: f1 := Init(start)
+      2: A1 := GetAdj(f1)
+      3: f3 := Foreach(A1)
+      4:   A3 := GetAdj(f3)
+      5:   T5 := Intersect(A1, A3)
+      6:   C5 := Intersect(T5) | >f3
+      7:   f5 := Foreach(C5)
+      8:     A5 := GetAdj(f5)
+      9:     T2 := Intersect(A1, A3, A5)
+     10:     f2 := Foreach(T2)
+     11:       C6 := Intersect(A1) | !=f2, !=f3, !=f5
+     12:       f6 := Foreach(C6)
+     13:         T4 := Intersect(A3, A5)
+     14:         C4 := Intersect(T4) | !=f1, !=f2, !=f6
+     15:         f4 := Foreach(C4)
+     16:           f := ReportMatch(f1, f2, f3, f4, f5, f6)
+    """
+)
+
+CSE_PLAN = golden(
+    """
+      1: f1 := Init(start)
+      2: A1 := GetAdj(f1)
+      3: f3 := Foreach(A1)
+      4:   A3 := GetAdj(f3)
+      5:   T7 := Intersect(A1, A3)
+      6:   C5 := Intersect(T7) | >f3
+      7:   f5 := Foreach(C5)
+      8:     A5 := GetAdj(f5)
+      9:     T2 := Intersect(T7, A5)
+     10:     f2 := Foreach(T2)
+     11:       C6 := Intersect(A1) | !=f2, !=f3, !=f5
+     12:       f6 := Foreach(C6)
+     13:         T4 := Intersect(A3, A5)
+     14:         C4 := Intersect(T4) | !=f1, !=f2, !=f6
+     15:         f4 := Foreach(C4)
+     16:           f := ReportMatch(f1, f2, f3, f4, f5, f6)
+    """
+)
+
+COMPRESSED_PLAN = golden(
+    """
+      1: f1 := Init(start)
+      2: A1 := GetAdj(f1)
+      3: f3 := Foreach(A1)
+      4:   A3 := GetAdj(f3)
+      5:   T7 := TCache(f1, f3, A1, A3)
+      6:   C5 := Intersect(T7) | >f3
+      7:   f5 := Foreach(C5)
+      8:     A5 := GetAdj(f5)
+      9:     T2 := Intersect(T7, A5)
+     10:     T4 := Intersect(A3, A5)
+     11:     C6 := Intersect(A1) | !=f3, !=f5
+     12:     C4 := Intersect(T4) | !=f1
+     13:     f := ReportMatch(f1, T2, f3, C4, f5, C6)
+    """
+)
+
+
+class TestSectionIVA:
+    """Raw plan generation (Fig. 3(b))."""
+
+    def test_raw_plan_golden(self):
+        assert str(generate_raw_plan(pattern(), ORDER)) == RAW_PLAN
+
+    def test_symmetry_condition_is_u3_before_u5(self):
+        """The partial order of Fig. 1: only u3 < u5 — realized as the
+        single symmetry filter >f3 on C5."""
+        plan = generate_raw_plan(pattern(), ORDER)
+        sym_filters = [
+            (inst.target, str(f))
+            for inst in plan.instructions
+            for f in inst.filters
+            if f.kind.value in ("<", ">")
+        ]
+        assert sym_filters == [("C5", ">f3")]
+
+    def test_last_vertex_has_no_dbq(self):
+        """u4 is last in the order: A4 is never fetched (Section IV-A)."""
+        plan = generate_raw_plan(pattern(), ORDER)
+        assert all(i.target != "A4" for i in plan.instructions)
+
+
+class TestOptimization1:
+    """Common subexpression elimination (Fig. 3(c))."""
+
+    def test_cse_plan_golden(self):
+        assert str(optimize(generate_raw_plan(pattern(), ORDER), 1)) == CSE_PLAN
+
+    def test_a1_a3_hoisted_and_reused(self):
+        """The paper: "{A1, A3} is a common subexpression"."""
+        plan = optimize(generate_raw_plan(pattern(), ORDER), 1)
+        host = next(
+            i
+            for i in plan.instructions
+            if i.type is InstructionType.INT and set(i.operands) == {"A1", "A3"}
+        )
+        uses = [
+            i for i in plan.instructions if host.target in i.operands
+        ]
+        assert len(uses) == 2  # C5's filter pass + u2's raw candidates
+
+
+class TestOptimizations2And3:
+    """Reordering + triangle caching + VCBC (Figs. 3(d)-(f))."""
+
+    def test_reordering_hoists_t4(self):
+        """T4 := Intersect(A3, A5) moves from under f6's loop (depth 4 in
+        the raw plan) up to f5's level (the paper's 15th-instruction
+        example)."""
+        raw = generate_raw_plan(pattern(), ORDER)
+        opt = optimize(raw, 2)
+
+        def depth_of(plan, target):
+            depth = 0
+            for inst in plan.instructions:
+                if inst.target == target:
+                    return depth
+                if inst.type is InstructionType.ENU:
+                    depth += 1
+            raise AssertionError(f"{target} not found")
+
+        assert depth_of(raw, "T4") == 4
+        assert depth_of(opt, "T4") == 2
+
+    def test_triangle_cache_replaces_start_adjacent_intersection(self):
+        plan = optimize(generate_raw_plan(pattern(), ORDER), 3)
+        trc = plan.instructions_of_type(InstructionType.TRC)
+        assert [str(i) for i in trc] == ["T7 := TCache(f1, f3, A1, A3)"]
+
+    def test_compressed_plan_golden(self):
+        plan = compress_plan(optimize(generate_raw_plan(pattern(), ORDER), 3))
+        assert str(plan) == COMPRESSED_PLAN
+
+    def test_compressed_enumerates_cover_only(self):
+        """Fig. 3(f): the vertex cover {u1, u3, u5} is enumerated; u2, u6,
+        u4 are reported as conditional image sets."""
+        plan = compress_plan(optimize(generate_raw_plan(pattern(), ORDER), 3))
+        assert set(plan.compressed_vertices) == {2, 6, 4}
+        enu_targets = [
+            i.target for i in plan.instructions_of_type(InstructionType.ENU)
+        ]
+        assert enu_targets == ["f3", "f5"]
+
+
+class TestSectionVA:
+    """The locality claims behind the database cache (Fig. 5)."""
+
+    def test_task_locality_bounded_by_pattern_radius(self):
+        """Every vertex a task visits lies within radius(P) hops of the
+        start vertex."""
+        from repro.graph.generators import erdos_renyi
+        from repro.graph.order import relabel_by_degree_order
+        from repro.plan.codegen import compile_plan
+
+        g, _ = relabel_by_degree_order(erdos_renyi(25, 0.35, seed=3))
+        plan = optimize(generate_raw_plan(pattern(), ORDER), 3)
+        radius = pattern().graph.radius()
+        compiled = compile_plan(plan)
+        vset = frozenset(g.vertices)
+        for start in list(g.vertices)[:8]:
+            touched = set()
+
+            def spy(v, touched=touched):
+                touched.add(v)
+                return g.neighbors(v)
+
+            compiled.run(start, spy, vset=vset)
+            reach = g.r_hop_neighborhood(start, radius)
+            assert touched <= reach

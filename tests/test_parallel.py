@@ -1,0 +1,72 @@
+"""Tests for the real multiprocessing executor."""
+
+import os
+
+import pytest
+
+from repro.engine.benu import build_plan, count_subgraphs
+from repro.engine.config import BenuConfig
+from repro.engine.parallel import ParallelRunner, parallel_count
+from repro.graph.generators import chung_lu
+from repro.graph.order import relabel_by_degree_order
+from repro.graph.patterns import get_pattern
+
+
+@pytest.fixture(scope="module")
+def data_graph():
+    g, _ = relabel_by_degree_order(chung_lu(400, 6.0, seed=31))
+    return g
+
+
+@pytest.fixture(scope="module")
+def plan(data_graph):
+    return build_plan(get_pattern("chordal_square"), data_graph)
+
+
+class TestCorrectness:
+    def test_single_worker_matches_reference(self, plan, data_graph):
+        result = parallel_count(plan, data_graph, num_workers=1)
+        reference = count_subgraphs(
+            get_pattern("chordal_square"), data_graph, BenuConfig(relabel=False)
+        )
+        assert result.count == reference
+
+    def test_multi_worker_matches_single(self, plan, data_graph):
+        one = parallel_count(plan, data_graph, num_workers=1)
+        many = parallel_count(plan, data_graph, num_workers=3)
+        assert many.count == one.count
+        assert many.counters.enu_steps == one.counters.enu_steps
+        assert many.num_workers == 3
+
+    def test_task_splitting_consistent(self, plan, data_graph):
+        unsplit = parallel_count(
+            plan, data_graph, num_workers=2, split_threshold=None
+        )
+        split = parallel_count(plan, data_graph, num_workers=2, split_threshold=8)
+        assert unsplit.count == split.count
+        assert split.num_tasks > unsplit.num_tasks
+
+    def test_counters_aggregated(self, plan, data_graph):
+        result = parallel_count(plan, data_graph, num_workers=2)
+        assert result.counters.results == result.count
+        assert result.counters.dbq_ops > 0
+        assert result.wall_seconds > 0
+
+    def test_runner_defaults(self, plan, data_graph):
+        runner = ParallelRunner(plan, data_graph)
+        assert runner.num_workers >= 1
+        result = runner.run()
+        assert result.count == parallel_count(plan, data_graph, 1).count
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2, reason="speedup needs multiple CPU cores"
+)
+class TestSpeedup:
+    def test_parallelism_helps_on_heavy_workload(self):
+        g, _ = relabel_by_degree_order(chung_lu(1500, 8.0, seed=5))
+        plan = build_plan(get_pattern("q4"), g, compressed=True)
+        one = parallel_count(plan, g, num_workers=1)
+        many = parallel_count(plan, g, num_workers=min(4, os.cpu_count()))
+        assert many.count == one.count
+        assert many.wall_seconds < one.wall_seconds

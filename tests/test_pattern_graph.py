@@ -1,0 +1,52 @@
+"""Tests for the PatternGraph analysis bundle."""
+
+import pytest
+
+from repro.graph.graph import Graph, complete_graph
+from repro.graph.patterns import get_pattern
+from repro.pattern.pattern_graph import PatternGraph
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PatternGraph(Graph())
+
+    def test_rejects_disconnected(self):
+        with pytest.raises(ValueError, match="connected"):
+            PatternGraph(Graph([(1, 2), (3, 4)]))
+
+    def test_accepts_single_vertex(self):
+        p = PatternGraph(Graph(vertices=[1]))
+        assert p.n == 1 and p.m == 0
+
+
+class TestCachedAnalysis:
+    def test_basic_counts(self):
+        p = PatternGraph(get_pattern("q1"), "q1")
+        assert (p.n, p.m) == (5, 6)
+
+    def test_triangle_bundle(self):
+        p = PatternGraph(complete_graph(3))
+        assert p.num_automorphisms == 6
+        assert p.symmetry_conditions == [(1, 2), (1, 3), (2, 3)]
+        assert p.se_classes == [[1, 2, 3]]
+        assert p.min_vertex_cover == frozenset({1, 2})
+
+    def test_caching_returns_same_object(self):
+        p = PatternGraph(get_pattern("q4"), "q4")
+        assert p.automorphisms is p.automorphisms
+        assert p.symmetry_conditions is p.symmetry_conditions
+
+    def test_neighbors_and_degree_delegate(self):
+        p = PatternGraph(get_pattern("q3"), "q3")
+        assert p.degree(4) == p.graph.degree(4)
+        assert p.neighbors(1) == p.graph.neighbors(1)
+
+    def test_cover_prefix_delegates(self):
+        p = PatternGraph(get_pattern("demo"), "demo")
+        assert p.cover_prefix([1, 3, 5, 2, 6, 4]) == 3
+
+    def test_repr(self):
+        p = PatternGraph(get_pattern("q2"), "q2")
+        assert "q2" in repr(p)

@@ -1,0 +1,84 @@
+"""Tests for the named pattern graphs of Fig. 6 (and the Fig. 1 demo)."""
+
+import pytest
+
+from repro.graph.patterns import (
+    CHORDAL_SQUARE,
+    DEMO_PATTERN,
+    FIG6_PATTERNS,
+    PATTERNS,
+    get_pattern,
+)
+from repro.pattern.automorphism import automorphism_count
+from repro.pattern.isomorphism import count_matches
+from repro.pattern.pattern_graph import PatternGraph
+from repro.pattern.symmetry import symmetry_breaking_conditions
+from repro.pattern.vertex_cover import is_vertex_cover
+
+
+class TestRegistry:
+    def test_known_patterns(self):
+        assert get_pattern("triangle").num_edges == 3
+
+    def test_unknown_pattern(self):
+        with pytest.raises(KeyError, match="unknown pattern"):
+            get_pattern("q99")
+
+    def test_all_connected(self):
+        for name, p in PATTERNS.items():
+            assert p.is_connected(), name
+
+    def test_vertices_numbered_from_one(self):
+        for name, p in PATTERNS.items():
+            assert p.vertices == tuple(range(1, p.num_vertices + 1)), name
+
+
+class TestTextualConstraints:
+    """Every property of Fig. 6 the paper's text pins down."""
+
+    @pytest.mark.parametrize("name", ["q1", "q2", "q3", "q4", "q5"])
+    def test_q1_to_q5_have_five_vertices(self, name):
+        assert get_pattern(name).num_vertices == 5
+
+    @pytest.mark.parametrize("name", ["q6", "q7", "q8", "q9"])
+    def test_q6_to_q9_have_six_vertices(self, name):
+        assert get_pattern(name).num_vertices == 6
+
+    @pytest.mark.parametrize("name", ["q7", "q8", "q9"])
+    def test_q7_q8_q9_contain_chordal_square_core(self, name):
+        """The hard cases share the chordal square core (Section VII-B)."""
+        p = get_pattern(name)
+        assert count_matches(CHORDAL_SQUARE, p) > 0
+
+    def test_fig6_order(self):
+        assert FIG6_PATTERNS == [f"q{i}" for i in range(1, 10)]
+
+    def test_cliques(self):
+        assert get_pattern("clique4").num_edges == 6
+        assert get_pattern("clique5").num_edges == 10
+
+
+class TestDemoPattern:
+    """Constraints the running example of Figs. 1/3 states explicitly."""
+
+    def test_six_vertices(self):
+        assert DEMO_PATTERN.num_vertices == 6
+
+    def test_partial_order_is_u3_before_u5(self):
+        assert symmetry_breaking_conditions(DEMO_PATTERN) == [(3, 5)]
+
+    def test_u1_u3_u5_is_a_vertex_cover(self):
+        assert is_vertex_cover(DEMO_PATTERN, [1, 3, 5])
+
+    def test_prefix_cover_matches_paper_matching_order(self):
+        """Under O: u1,u3,u5,u2,u6,u4 the first three form the cover."""
+        pg = PatternGraph(DEMO_PATTERN, "demo")
+        assert pg.cover_prefix([1, 3, 5, 2, 6, 4]) == 3
+
+    def test_automorphism_group_is_z2(self):
+        assert automorphism_count(DEMO_PATTERN) == 2
+
+    def test_u3_adjacent_to_u1_and_u2(self):
+        """Section III-B's candidate example: C3 = Γ(f1) ∩ Γ(f2)."""
+        assert DEMO_PATTERN.has_edge(3, 1)
+        assert DEMO_PATTERN.has_edge(3, 2)

@@ -1,0 +1,89 @@
+"""Tests for BenuResult and BenuConfig."""
+
+import pytest
+
+from repro.engine.config import BenuConfig, SimulationCostModel
+from repro.engine.results import BenuResult
+from repro.graph.patterns import get_pattern
+from repro.pattern.pattern_graph import PatternGraph
+from repro.plan.codegen import TaskCounters
+from repro.plan.generation import generate_raw_plan
+from repro.plan.optimizer import optimize
+from repro.storage.cache import CacheStats
+from repro.storage.kvstore import QueryStats
+
+
+def make_result(**kwargs):
+    plan = optimize(
+        generate_raw_plan(PatternGraph(get_pattern("triangle"), "t"), [1, 2, 3])
+    )
+    defaults = dict(plan=plan, count=5)
+    defaults.update(kwargs)
+    return BenuResult(**defaults)
+
+
+class TestBenuResult:
+    def test_summary_contains_key_metrics(self):
+        result = make_result(
+            counters=TaskCounters(int_ops=10, dbq_ops=3, results=5),
+            communication=QueryStats(queries=3, bytes_transferred=1000),
+            cache=CacheStats(hits=7, misses=3),
+            num_tasks=4,
+            num_workers=2,
+            makespan_seconds=0.5,
+        )
+        text = result.summary()
+        assert "matches=5" in text
+        assert "workers=2" in text
+        assert "70.0%" in text  # hit rate
+
+    def test_expanded_matches_requires_collection(self):
+        result = make_result(matches=None)
+        with pytest.raises(ValueError, match="collect"):
+            list(result.expanded_matches())
+
+    def test_uncompressed_expanded_count_is_count(self):
+        assert make_result().expanded_count() == 5
+
+    def test_communication_bytes_property(self):
+        result = make_result(
+            communication=QueryStats(queries=2, bytes_transferred=123)
+        )
+        assert result.communication_bytes == 123
+
+    def test_cache_hit_rate_property(self):
+        result = make_result(cache=CacheStats(hits=1, misses=1))
+        assert result.cache_hit_rate == 0.5
+
+
+class TestBenuConfig:
+    def test_defaults_valid(self):
+        config = BenuConfig()
+        assert config.num_workers >= 1
+        assert config.cache_policy == "lru"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_workers": 0},
+            {"threads_per_worker": 0},
+            {"split_threshold": 0},
+            {"optimization_level": 5},
+            {"optimization_level": -1},
+            {"cache_policy": "clock"},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            BenuConfig(**kwargs)
+
+    def test_split_threshold_none_allowed(self):
+        assert BenuConfig(split_threshold=None).split_threshold is None
+
+    def test_cost_model_defaults_ordered(self):
+        """The INT ≪ cache hit ≪ DBQ ordering the ranking assumes."""
+        cm = SimulationCostModel()
+        assert cm.enu_seconds < cm.int_seconds
+        from repro.storage.kvstore import LatencyModel
+
+        assert cm.cache_hit_seconds < LatencyModel().per_query_seconds

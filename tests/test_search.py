@@ -1,0 +1,119 @@
+"""Tests for Algorithm 3 (best-plan search with dual + cost pruning)."""
+
+import math
+
+import pytest
+
+from repro.graph.generators import erdos_renyi, random_connected_graph
+from repro.graph.graph import complete_graph, cycle_graph, star_graph
+from repro.graph.order import relabel_by_degree_order
+from repro.graph.patterns import get_pattern
+from repro.pattern.pattern_graph import PatternGraph
+from repro.plan.codegen import compile_plan
+from repro.plan.cost import GraphStats, order_communication_cost
+from repro.plan.generation import generate_raw_plan
+from repro.plan.search import generate_best_plan
+from repro.plan.validate import validate_plan
+
+
+class TestSearchOutput:
+    def test_plan_is_valid(self):
+        for name in ["triangle", "q1", "q5", "q7"]:
+            result = generate_best_plan(PatternGraph(get_pattern(name), name))
+            validate_plan(result.plan)
+
+    def test_candidate_orders_share_min_cost(self):
+        pg = PatternGraph(get_pattern("q2"), "q2")
+        stats = GraphStats(100_000, 1_000_000)
+        result = generate_best_plan(pg, stats)
+        costs = {
+            round(order_communication_cost(pg.graph, o, stats), 6)
+            for o in result.candidate_orders
+        }
+        assert len(costs) == 1
+        assert result.communication_cost == pytest.approx(costs.pop())
+
+    def test_best_order_beats_exhaustive_enumeration(self):
+        """The searched minimum equals the true minimum over all orders."""
+        from itertools import permutations
+
+        pg = PatternGraph(get_pattern("square"), "square")
+        stats = GraphStats(100_000, 1_000_000)
+        result = generate_best_plan(pg, stats)
+        true_min = min(
+            order_communication_cost(pg.graph, order, stats)
+            for order in permutations(pg.vertices)
+        )
+        assert result.communication_cost == pytest.approx(true_min)
+
+    def test_compressed_flag(self):
+        result = generate_best_plan(
+            PatternGraph(get_pattern("q4"), "q4"), compressed=True
+        )
+        assert result.plan.compressed
+
+    def test_clique_has_single_candidate_after_dual_pruning(self):
+        """All K4 orders are pairwise dual: only the identity survives."""
+        result = generate_best_plan(PatternGraph(complete_graph(4), "k4"))
+        assert result.candidate_orders == [(1, 2, 3, 4)]
+
+
+class TestSearchStats:
+    def test_alpha_beta_recorded(self):
+        result = generate_best_plan(PatternGraph(get_pattern("q1"), "q1"))
+        stats = result.stats
+        assert stats.alpha > 0
+        assert stats.beta == len(result.candidate_orders)
+        assert stats.elapsed_seconds >= 0
+
+    def test_upper_bounds(self):
+        result = generate_best_plan(PatternGraph(get_pattern("q1"), "q1"))
+        stats = result.stats
+        assert stats.alpha_upper_bound == sum(
+            math.perm(5, i) for i in range(1, 6)
+        )
+        assert stats.beta_upper_bound == math.factorial(5)
+
+    def test_relative_values_below_bounds(self):
+        """The Table IV observation: pruning keeps α/β well below bounds."""
+        for name in ["q1", "q5", "q9"]:
+            result = generate_best_plan(PatternGraph(get_pattern(name), name))
+            assert 0 < result.stats.relative_alpha < 1
+            assert 0 < result.stats.relative_beta <= 0.5
+
+    def test_clique_beta_tiny(self):
+        """Dual pruning collapses the n! clique orders to one."""
+        result = generate_best_plan(PatternGraph(complete_graph(5), "k5"))
+        assert result.stats.beta == 1
+
+
+class TestCorrectness:
+    def test_best_plan_enumerates_correctly(self):
+        data, _ = relabel_by_degree_order(erdos_renyi(25, 0.3, seed=21))
+        stats = GraphStats.of(data)
+        for name in ["q1", "q6", "chordal_square"]:
+            pg = PatternGraph(get_pattern(name), name)
+            best = generate_best_plan(pg, stats).plan
+            reference = generate_raw_plan(pg, list(pg.vertices))
+            vset = frozenset(data.vertices)
+
+            def count(plan):
+                compiled = compile_plan(plan)
+                return sum(
+                    compiled.run(v, data.neighbors, vset=vset).results
+                    for v in data.vertices
+                )
+
+            assert count(best) == count(reference)
+
+    def test_random_patterns_searchable(self):
+        for seed in range(5):
+            pattern = random_connected_graph(5, seed=seed)
+            result = generate_best_plan(PatternGraph(pattern, f"rand{seed}"))
+            validate_plan(result.plan)
+
+    def test_star_pattern(self):
+        result = generate_best_plan(PatternGraph(star_graph(3), "star"))
+        validate_plan(result.plan)
+        # Only the hub needs a DBQ: matching hub-first is communication-minimal.
+        assert result.plan.order[0] == 1

@@ -1,0 +1,77 @@
+"""Tests for adjacency-set serialization (communication byte accounting)."""
+
+import pytest
+
+from repro.graph.generators import erdos_renyi
+from repro.graph.graph import complete_graph
+from repro.storage.serialization import (
+    adjacency_size_bytes,
+    decode_adjacency,
+    decode_varint,
+    encode_adjacency,
+    encode_varint,
+    graph_size_bytes,
+    varint_size,
+)
+
+
+class TestVarint:
+    @pytest.mark.parametrize(
+        "value,size",
+        [(0, 1), (127, 1), (128, 2), (16383, 2), (16384, 3), (2**31, 5)],
+    )
+    def test_sizes(self, value, size):
+        assert varint_size(value) == size
+        assert len(encode_varint(value)) == size
+
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2**20, 2**40])
+    def test_round_trip(self, value):
+        data = encode_varint(value)
+        decoded, offset = decode_varint(data)
+        assert decoded == value
+        assert offset == len(data)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_varint(-1)
+        with pytest.raises(ValueError):
+            varint_size(-1)
+
+    def test_decode_with_offset(self):
+        data = encode_varint(5) + encode_varint(300)
+        v1, off = decode_varint(data, 0)
+        v2, off = decode_varint(data, off)
+        assert (v1, v2) == (5, 300)
+
+
+class TestAdjacencyCodec:
+    @pytest.mark.parametrize(
+        "neighbors",
+        [set(), {1}, {3, 1, 2}, {100, 200, 300}, set(range(0, 1000, 7))],
+    )
+    def test_round_trip(self, neighbors):
+        assert decode_adjacency(encode_adjacency(neighbors)) == frozenset(neighbors)
+
+    def test_size_matches_encoding(self):
+        for nbrs in [{1, 5, 9}, set(range(50)), {2**20, 2**21}]:
+            assert adjacency_size_bytes(nbrs) == len(encode_adjacency(nbrs))
+
+    def test_delta_encoding_compresses_dense_runs(self):
+        dense = set(range(1000, 1128))       # 128 consecutive ids
+        sparse = set(range(0, 128 * 1000, 1000))  # 128 spread ids
+        assert adjacency_size_bytes(dense) < adjacency_size_bytes(sparse)
+
+
+class TestGraphSize:
+    def test_positive_and_monotone(self):
+        small = erdos_renyi(50, 0.1, seed=1)
+        large = erdos_renyi(50, 0.4, seed=1)
+        assert 0 < graph_size_bytes(small) < graph_size_bytes(large)
+
+    def test_complete_graph_size(self):
+        g = complete_graph(10)
+        # 10 vertices × (count byte + 9 neighbor bytes) + key bytes.
+        assert graph_size_bytes(g) == sum(
+            adjacency_size_bytes(g.neighbors(v)) + varint_size(v)
+            for v in g.vertices
+        )

@@ -1,0 +1,120 @@
+"""Tests for match sinks and streaming runs."""
+
+import pytest
+
+from repro.engine.cluster import SimulatedCluster
+from repro.engine.config import BenuConfig
+from repro.engine.sinks import (
+    CallbackSink,
+    CollectSink,
+    CountSink,
+    FileSink,
+    ReservoirSink,
+)
+from repro.graph.generators import erdos_renyi
+from repro.graph.order import relabel_by_degree_order
+from repro.graph.patterns import get_pattern
+from repro.pattern.pattern_graph import PatternGraph
+from repro.plan.compression import compress_plan
+from repro.plan.generation import generate_raw_plan
+from repro.plan.optimizer import optimize
+
+
+@pytest.fixture(scope="module")
+def setting():
+    g, _ = relabel_by_degree_order(erdos_renyi(30, 0.3, seed=71))
+    plan = optimize(
+        generate_raw_plan(PatternGraph(get_pattern("triangle"), "t"), [1, 2, 3])
+    )
+    cluster = SimulatedCluster(g, BenuConfig(relabel=False))
+    return g, plan, cluster
+
+
+class TestSinkObjects:
+    def test_count_sink(self):
+        sink = CountSink()
+        for i in range(5):
+            sink.emit((i,))
+        assert sink.count == 5
+
+    def test_collect_sink(self):
+        sink = CollectSink()
+        sink.emit((1, 2))
+        sink.emit((3, 4))
+        assert sink.results == [(1, 2), (3, 4)]
+        assert sink.count == 2
+
+    def test_callback_sink(self):
+        seen = []
+        sink = CallbackSink(seen.append)
+        sink.emit((9,))
+        assert seen == [(9,)] and sink.count == 1
+
+    def test_file_sink(self, tmp_path):
+        path = tmp_path / "out.tsv"
+        with FileSink(path) as sink:
+            sink.emit((1, 2, 3))
+            sink.emit((4, frozenset({7, 5}), 6))
+        text = path.read_text()
+        assert text.splitlines() == ["1\t2\t3", "4\t{5,7}\t6"]
+        assert sink.count == 2
+
+    def test_reservoir_basic(self):
+        sink = ReservoirSink(capacity=3, seed=1)
+        for i in range(100):
+            sink.emit((i,))
+        assert sink.count == 100
+        assert len(sink.sample) == 3
+        assert all(0 <= s[0] < 100 for s in sink.sample)
+
+    def test_reservoir_under_capacity_keeps_all(self):
+        sink = ReservoirSink(capacity=10)
+        for i in range(4):
+            sink.emit((i,))
+        assert sorted(s[0] for s in sink.sample) == [0, 1, 2, 3]
+
+    def test_reservoir_uniformity(self):
+        """Each item lands in the sample with probability ≈ capacity/N."""
+        hits = [0] * 20
+        for seed in range(300):
+            sink = ReservoirSink(capacity=5, seed=seed)
+            for i in range(20):
+                sink.emit((i,))
+            for (i,) in sink.sample:
+                hits[i] += 1
+        expected = 300 * 5 / 20
+        assert all(0.5 * expected < h < 1.6 * expected for h in hits)
+
+    def test_reservoir_bad_capacity(self):
+        with pytest.raises(ValueError):
+            ReservoirSink(0)
+
+
+class TestStreamingRuns:
+    def test_file_sink_streams_matches(self, setting, tmp_path):
+        g, plan, cluster = setting
+        path = tmp_path / "matches.tsv"
+        with FileSink(path) as sink:
+            result = cluster.run_plan(plan, sink=sink)
+        assert result.matches is None  # streamed, not collected
+        lines = path.read_text().splitlines()
+        assert len(lines) == result.count == sink.count
+
+    def test_collect_sink_equals_internal_collection(self, setting):
+        g, plan, cluster = setting
+        sink = CollectSink()
+        streamed = cluster.run_plan(plan, sink=sink)
+        collected_cluster = SimulatedCluster(
+            g, BenuConfig(relabel=False, collect=True)
+        )
+        collected = collected_cluster.run_plan(plan)
+        assert sorted(sink.results) == sorted(collected.matches)
+        assert streamed.count == collected.count
+
+    def test_reservoir_on_compressed_codes(self, setting):
+        g, plan, cluster = setting
+        compressed = compress_plan(plan)
+        sink = ReservoirSink(capacity=5, seed=2)
+        result = cluster.run_plan(compressed, sink=sink)
+        assert sink.count == result.count
+        assert len(sink.sample) == min(5, result.count)

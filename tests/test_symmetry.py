@@ -1,0 +1,91 @@
+"""Tests for symmetry breaking (Grochow–Kellis partial order)."""
+
+import pytest
+
+from repro.graph.generators import erdos_renyi, random_connected_graph
+from repro.graph.graph import Graph, complete_graph, cycle_graph, star_graph
+from repro.graph.order import relabel_by_degree_order
+from repro.graph.patterns import PATTERNS, get_pattern
+from repro.pattern.automorphism import automorphism_count
+from repro.pattern.isomorphism import enumerate_matches, find_subgraph_instances
+from repro.pattern.symmetry import (
+    conditions_as_map,
+    satisfies_conditions,
+    symmetry_breaking_conditions,
+)
+
+
+class TestConditions:
+    def test_clique_total_order(self):
+        assert symmetry_breaking_conditions(complete_graph(3)) == [
+            (1, 2),
+            (1, 3),
+            (2, 3),
+        ]
+
+    def test_trivial_group_no_conditions(self):
+        g = Graph([(1, 2), (2, 3), (1, 3), (3, 4), (4, 5), (2, 6)])
+        assert symmetry_breaking_conditions(g) == []
+
+    def test_edge_single_condition(self):
+        assert symmetry_breaking_conditions(Graph([(1, 2)])) == [(1, 2)]
+
+    def test_star_orders_leaves(self):
+        conditions = symmetry_breaking_conditions(star_graph(3))
+        # Leaves {2,3,4} must be totally ordered; hub unconstrained.
+        assert all(1 not in pair for pair in conditions)
+
+    def test_conditions_as_map(self):
+        m = conditions_as_map([(1, 2), (1, 3)])
+        assert m[1]["lt"] == [2, 3]
+        assert m[2]["gt"] == [1]
+
+    def test_satisfies_conditions(self):
+        conditions = [(1, 2)]
+        assert satisfies_conditions({1: 5, 2: 9}, conditions)
+        assert not satisfies_conditions({1: 9, 2: 5}, conditions)
+
+
+class TestBijection:
+    """The heart of Section II-A: with the partial order, matches ↔ subgraphs."""
+
+    @pytest.mark.parametrize(
+        "name", ["triangle", "square", "chordal_square", "q1", "q5", "q6", "demo"]
+    )
+    def test_constrained_matches_equal_subgraphs(self, name):
+        pattern = get_pattern(name)
+        data, _ = relabel_by_degree_order(erdos_renyi(25, 0.3, seed=13))
+        conditions = symmetry_breaking_conditions(pattern)
+        constrained = sum(
+            1 for _ in enumerate_matches(pattern, data, partial_order=conditions)
+        )
+        subgraphs = sum(1 for _ in find_subgraph_instances(pattern, data))
+        assert constrained == subgraphs
+
+    @pytest.mark.parametrize("name", ["triangle", "square", "clique4", "q2"])
+    def test_unconstrained_matches_are_subgraphs_times_aut(self, name):
+        pattern = get_pattern(name)
+        data, _ = relabel_by_degree_order(erdos_renyi(20, 0.35, seed=3))
+        total = sum(1 for _ in enumerate_matches(pattern, data))
+        subgraphs = sum(1 for _ in find_subgraph_instances(pattern, data))
+        assert total == subgraphs * automorphism_count(pattern)
+
+    def test_bijection_on_random_patterns(self):
+        data, _ = relabel_by_degree_order(erdos_renyi(18, 0.4, seed=1))
+        for seed in range(6):
+            pattern = random_connected_graph(4, seed=seed)
+            conditions = symmetry_breaking_conditions(pattern)
+            constrained = sum(
+                1
+                for _ in enumerate_matches(pattern, data, partial_order=conditions)
+            )
+            subgraphs = sum(1 for _ in find_subgraph_instances(pattern, data))
+            assert constrained == subgraphs, f"seed={seed}"
+
+
+class TestAllNamedPatterns:
+    @pytest.mark.parametrize("name", sorted(PATTERNS))
+    def test_conditions_reference_pattern_vertices(self, name):
+        p = get_pattern(name)
+        for lo, hi in symmetry_breaking_conditions(p):
+            assert lo in p and hi in p and lo != hi

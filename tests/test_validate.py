@@ -1,0 +1,82 @@
+"""Tests for static plan validation."""
+
+import pytest
+
+from repro.graph.patterns import get_pattern
+from repro.pattern.pattern_graph import PatternGraph
+from repro.plan.compression import compress_plan
+from repro.plan.generation import ExecutionPlan, generate_raw_plan
+from repro.plan.instructions import dbq, enu, ini, intersect, res
+from repro.plan.optimizer import optimize
+from repro.plan.search import generate_best_plan
+from repro.plan.validate import PlanValidationError, validate_plan
+
+
+def valid_plan(name="triangle", order=(1, 2, 3)):
+    return generate_raw_plan(PatternGraph(get_pattern(name), name), list(order))
+
+
+class TestValidPlans:
+    @pytest.mark.parametrize("name", ["triangle", "q1", "q5", "q9", "demo"])
+    def test_raw_plans_validate(self, name):
+        pg = PatternGraph(get_pattern(name), name)
+        validate_plan(generate_raw_plan(pg, list(pg.vertices)))
+
+    @pytest.mark.parametrize("level", [0, 1, 2, 3])
+    def test_optimized_plans_validate(self, level):
+        validate_plan(optimize(valid_plan("demo", (1, 3, 5, 2, 6, 4)), level))
+
+    def test_compressed_plans_validate(self):
+        plan = compress_plan(optimize(valid_plan("demo", (1, 3, 5, 2, 6, 4))))
+        validate_plan(plan)
+
+    def test_searched_plans_validate(self):
+        for name in ["q2", "q8"]:
+            result = generate_best_plan(PatternGraph(get_pattern(name), name))
+            validate_plan(result.plan)
+
+
+class TestInvalidPlans:
+    def test_empty_plan(self):
+        plan = valid_plan()
+        plan.instructions = []
+        with pytest.raises(PlanValidationError, match="no instructions"):
+            validate_plan(plan)
+
+    def test_missing_res(self):
+        plan = valid_plan()
+        plan.instructions = plan.instructions[:-1]
+        with pytest.raises(PlanValidationError):
+            validate_plan(plan)
+
+    def test_first_not_ini(self):
+        plan = valid_plan()
+        plan.instructions = plan.instructions[1:]
+        with pytest.raises(PlanValidationError):
+            validate_plan(plan)
+
+    def test_undefined_variable(self):
+        plan = valid_plan()
+        plan.instructions.insert(1, intersect("T9", ("A7",)))
+        with pytest.raises(PlanValidationError, match="undefined"):
+            validate_plan(plan)
+
+    def test_double_assignment(self):
+        plan = valid_plan()
+        plan.instructions.insert(2, dbq(1))
+        with pytest.raises(PlanValidationError, match="twice"):
+            validate_plan(plan)
+
+    def test_unmapped_pattern_vertex(self):
+        plan = valid_plan()
+        plan.instructions = [
+            i for i in plan.instructions if i.target != "f3"
+        ]
+        with pytest.raises(PlanValidationError, match="never mapped"):
+            validate_plan(plan)
+
+    def test_res_arity(self):
+        plan = valid_plan()
+        plan.instructions[-1] = res(["f1", "f2"])
+        with pytest.raises(PlanValidationError, match="slots"):
+            validate_plan(plan)

@@ -1,0 +1,71 @@
+"""Tests for vertex-cover utilities (VCBC support)."""
+
+import pytest
+
+from repro.graph.graph import Graph, complete_graph, cycle_graph, star_graph
+from repro.graph.patterns import get_pattern
+from repro.pattern.vertex_cover import (
+    cover_prefix_length,
+    is_vertex_cover,
+    minimal_covers,
+    minimum_vertex_cover,
+)
+
+
+class TestIsVertexCover:
+    def test_full_vertex_set_covers(self):
+        g = get_pattern("q1")
+        assert is_vertex_cover(g, g.vertices)
+
+    def test_empty_cover_only_for_edgeless(self):
+        assert is_vertex_cover(Graph(vertices=[1, 2]), [])
+        assert not is_vertex_cover(Graph([(1, 2)]), [])
+
+    def test_star_hub(self):
+        g = star_graph(4)
+        assert is_vertex_cover(g, [1])
+        assert not is_vertex_cover(g, [2, 3])
+
+
+class TestMinimumCover:
+    @pytest.mark.parametrize(
+        "graph,size",
+        [
+            (complete_graph(4), 3),
+            (cycle_graph(4), 2),
+            (cycle_graph(5), 3),
+            (star_graph(5), 1),
+        ],
+    )
+    def test_known_sizes(self, graph, size):
+        cover = minimum_vertex_cover(graph)
+        assert len(cover) == size
+        assert is_vertex_cover(graph, cover)
+
+    def test_minimal_covers_all_valid(self):
+        g = cycle_graph(4)
+        covers = minimal_covers(g)
+        assert covers == [frozenset({1, 3}), frozenset({2, 4})]
+
+
+class TestCoverPrefix:
+    def test_demo_pattern_paper_order(self):
+        g = get_pattern("demo")
+        assert cover_prefix_length(g, [1, 3, 5, 2, 6, 4]) == 3
+
+    def test_prefix_is_minimal(self):
+        g = cycle_graph(4)
+        assert cover_prefix_length(g, [1, 3, 2, 4]) == 2
+        assert cover_prefix_length(g, [1, 2, 3, 4]) == 3
+
+    def test_edgeless_pattern(self):
+        g = Graph(vertices=[1])
+        assert cover_prefix_length(g, [1]) == 0
+
+    def test_full_order_always_covers(self):
+        for name in ["q1", "q5", "q9"]:
+            g = get_pattern(name)
+            k = cover_prefix_length(g, list(g.vertices))
+            assert 1 <= k <= g.num_vertices
+            assert is_vertex_cover(g, list(g.vertices)[:k])
+            assert not is_vertex_cover(g, list(g.vertices)[: k - 1])
