@@ -1,0 +1,75 @@
+"""CI smoke check: one tiny end-to-end enumeration with full telemetry on.
+
+Runs in the default test sweep (wired via ``testpaths`` in
+``pyproject.toml``, marked ``smoke``) and asserts the observability
+contract this repo's benchmarks rely on:
+
+* the exported trace validates against the minimal Chrome ``trace_event``
+  schema and contains the pipeline's load-bearing spans;
+* the telemetry snapshot agrees with the legacy stats ledgers;
+* the machine-readable ``BENCH_*.json`` record round-trips through JSON.
+"""
+
+import json
+
+import pytest
+
+from repro import BenuConfig, TelemetryConfig, run_benu, validate_chrome_trace
+from repro.graph.generators import erdos_renyi
+from repro.graph.patterns import get_pattern
+
+from common import telemetry_record, write_bench_record
+
+pytestmark = pytest.mark.smoke
+
+
+@pytest.fixture(scope="module")
+def traced_result():
+    return run_benu(
+        get_pattern("chordal_square"),
+        erdos_renyi(40, 0.2, seed=11),
+        BenuConfig(
+            num_workers=2,
+            threads_per_worker=2,
+            telemetry=TelemetryConfig(trace=True, profile=True, sample_every=8),
+        ),
+    )
+
+
+def test_smoke_trace_validates(traced_result, tmp_path):
+    path = tmp_path / "trace.json"
+    traced_result.telemetry.write_trace(path)
+    trace = json.loads(path.read_text())
+    assert validate_chrome_trace(trace) == []
+    names = {e["name"] for e in trace["traceEvents"]}
+    for required in ("benu-job", "plan-search", "task-generation", "execution"):
+        assert required in names, f"missing span {required!r}"
+    worker_spans = [
+        e
+        for e in trace["traceEvents"]
+        if e["name"].startswith("worker-") and e.get("ph") == "X"
+    ]
+    assert len(worker_spans) == 2
+    for span in worker_spans:
+        assert "sim_seconds" in span["args"]
+        assert "wall_seconds" in span["args"]
+
+
+def test_smoke_snapshot_parity(traced_result):
+    snap = traced_result.telemetry
+    assert snap.db_queries == traced_result.communication.queries
+    assert snap.cache_hit_rate == pytest.approx(traced_result.cache.hit_rate)
+    assert snap.instruction_counts["RES"] == traced_result.count
+
+
+def test_smoke_bench_record_roundtrip(traced_result, tmp_path, monkeypatch):
+    import common
+
+    # Redirect the record into tmp_path: smoke runs in the default sweep,
+    # and must not dirty the committed benchmarks/results/ on every run.
+    monkeypatch.setattr(common, "RESULTS_DIR", tmp_path)
+    record = telemetry_record(traced_result)
+    path = write_bench_record("smoke", {"runs": [record]})
+    loaded = json.loads(path.read_text())
+    assert loaded["runs"][0]["count"] == traced_result.count
+    assert loaded["runs"][0]["db_queries"] == traced_result.communication.queries

@@ -15,25 +15,32 @@ from repro.graph.datasets import DATASET_ORDER, DATASET_SPECS, load_dataset
 from repro.graph.patterns import get_pattern
 from repro.metrics import format_count, format_table
 
-from common import write_report
+from common import telemetry_record, write_report
 
 CORE_PATTERNS = ("triangle", "clique4", "chordal_square")
 
 
 def count(pattern_name: str, dataset: str) -> int:
+    return run(pattern_name, dataset).count
+
+
+def run(pattern_name: str, dataset: str):
     return run_benu(
         get_pattern(pattern_name),
         load_dataset(dataset),
         BenuConfig(relabel=False),
-    ).count
+    )
 
 
 def _make_report():
     rows = []
     blowups = []
+    runs = {}
     for ds in DATASET_ORDER:
         g = load_dataset(ds)
-        counts = {p: count(p, ds) for p in CORE_PATTERNS}
+        results = {p: run(p, ds) for p in CORE_PATTERNS}
+        counts = {p: r.count for p, r in results.items()}
+        runs[ds] = {p: telemetry_record(r) for p, r in results.items()}
         rows.append(
             [
                 f"{ds} ({DATASET_SPECS[ds].paper_name})",
@@ -48,7 +55,11 @@ def _make_report():
     text = format_table(
         ["data graph", "|V|", "|E|", "triangle", "4-clique", "chordal sq"], rows
     )
-    write_report("table1_match_counts", text)
+    write_report(
+        "table1_match_counts",
+        text,
+        record={"runs": runs, "blowups": blowups},
+    )
     return blowups
 
 

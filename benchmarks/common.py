@@ -16,6 +16,7 @@ Set ``BENU_BENCH_SCALE`` (default 1.0) to grow or shrink every workload.
 
 from __future__ import annotations
 
+import json
 import os
 from functools import lru_cache
 from pathlib import Path
@@ -58,10 +59,46 @@ def skewed_graph() -> Graph:
     return bench_graph("skewed", 2200, 8.0, 2.15, seed=5)
 
 
-def write_report(name: str, text: str) -> Path:
-    """Persist one experiment's rendered table; echo to stdout."""
+def write_report(name: str, text: str, record: dict = None) -> Path:
+    """Persist one experiment's rendered table; echo to stdout.
+
+    ``record`` additionally writes a machine-readable companion via
+    :func:`write_bench_record` — pass one so the perf trajectory of the
+    repo stays diffable run over run, not just human-readable.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n", encoding="utf-8")
     print(f"\n[{name}]\n{text}")
+    if record is not None:
+        write_bench_record(name, record)
     return path
+
+
+def write_bench_record(name: str, record: dict) -> Path:
+    """Persist one experiment's metrics as ``results/BENCH_<name>.json``.
+
+    The payload must be JSON-able; by convention it includes a
+    ``"runs"`` list of per-run telemetry summaries (see
+    :func:`telemetry_record`) plus whatever scalars the experiment pivots
+    on, so later PRs can regress-check against these files mechanically.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps(record, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def telemetry_record(result) -> dict:
+    """Flatten one ``BenuResult``'s telemetry into a JSON-able record."""
+    summary = result.telemetry.summary() if result.telemetry else {}
+    return {
+        "count": result.count,
+        "num_tasks": result.num_tasks,
+        "num_workers": result.num_workers,
+        "makespan_seconds": result.makespan_seconds,
+        "wall_seconds": result.wall_seconds,
+        **summary,
+    }

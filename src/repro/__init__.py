@@ -35,8 +35,15 @@ from .engine import (
     enumerate_subgraphs,
     run_benu,
 )
+from .telemetry import (
+    MetricsRegistry,
+    TelemetryConfig,
+    TelemetrySnapshot,
+    Tracer,
+    validate_chrome_trace,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Graph",
@@ -55,5 +62,10 @@ __all__ = [
     "count_subgraphs",
     "enumerate_subgraphs",
     "run_benu",
+    "MetricsRegistry",
+    "TelemetryConfig",
+    "TelemetrySnapshot",
+    "Tracer",
+    "validate_chrome_trace",
     "__version__",
 ]

@@ -4,12 +4,15 @@ Commands
 --------
 ``count``      count subgraph instances of a pattern in a data graph
 ``enumerate``  list matches (optionally capped)
+``run``        run with full telemetry: metrics, tracing, profiling
+``stats``      run and print the telemetry metric table
 ``plan``       generate, optimize and display an execution plan
 ``patterns``   list the built-in pattern graphs
 ``datasets``   list the bundled synthetic datasets
 
 Data graphs come from ``--dataset <name>`` (bundled stand-ins) or
-``--edges <file>`` (SNAP-style edge list).
+``--edges <file>`` (SNAP-style edge list).  ``repro run --trace out.json``
+writes a Chrome ``trace_event`` file — open it in ``chrome://tracing``.
 """
 
 from __future__ import annotations
@@ -28,6 +31,7 @@ from .metrics import format_bytes, format_table
 from .pattern.pattern_graph import PatternGraph
 from .plan.cost import GraphStats, estimate_plan_cost
 from .plan.search import generate_best_plan
+from .telemetry import TelemetryConfig
 
 
 def _load_data_graph(args: argparse.Namespace) -> Graph:
@@ -40,7 +44,11 @@ def _load_data_graph(args: argparse.Namespace) -> Graph:
     raise SystemExit("a data graph is required: --dataset <name> or --edges <file>")
 
 
-def _config_from(args: argparse.Namespace, collect: bool = False) -> BenuConfig:
+def _config_from(
+    args: argparse.Namespace,
+    collect: bool = False,
+    telemetry: Optional[TelemetryConfig] = None,
+) -> BenuConfig:
     return BenuConfig(
         num_workers=args.workers,
         threads_per_worker=args.threads,
@@ -50,6 +58,7 @@ def _config_from(args: argparse.Namespace, collect: bool = False) -> BenuConfig:
         compressed=getattr(args, "compressed", False),
         collect=collect,
         relabel=not args.dataset,  # bundled datasets are pre-relabeled
+        telemetry=telemetry,
     )
 
 
@@ -84,6 +93,59 @@ def cmd_enumerate(args: argparse.Namespace) -> int:
         print("\t".join(map(str, match)))
     if limit < len(matches):
         print(f"... ({len(matches) - limit} more)", file=sys.stderr)
+    return 0
+
+
+def _format_metric_value(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    data = _load_data_graph(args)
+    pattern = PatternGraph(get_pattern(args.pattern), args.pattern)
+    telemetry = TelemetryConfig(
+        trace=args.trace is not None,
+        profile=args.profile,
+        sample_every=args.sample_every,
+    )
+    result = run_benu(pattern, data, _config_from(args, telemetry=telemetry))
+    print(result.count)
+    print(result.summary(), file=sys.stderr)
+    if args.trace:
+        result.telemetry.write_trace(args.trace, format=args.trace_format)
+        target = (
+            "chrome://tracing" if args.trace_format == "chrome" else "nested JSON"
+        )
+        print(f"trace written to {args.trace} ({target})", file=sys.stderr)
+    if args.metrics:
+        result.telemetry.write_metrics(args.metrics)
+        print(f"metrics written to {args.metrics}", file=sys.stderr)
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    data = _load_data_graph(args)
+    pattern = PatternGraph(get_pattern(args.pattern), args.pattern)
+    telemetry = TelemetryConfig(trace=False, profile=args.profile)
+    result = run_benu(pattern, data, _config_from(args, telemetry=telemetry))
+    rows = []
+    for metric in result.telemetry.registry.metrics():
+        for labels, value in metric.samples():
+            label_text = ",".join(f"{k}={v}" for k, v in labels.items())
+            if metric.kind == "histogram":
+                rendered = (
+                    f"count={value.count} mean={value.mean:.3g} "
+                    f"min={value.min:.3g} max={value.max:.3g}"
+                    if value.count
+                    else "count=0"
+                )
+            else:
+                rendered = _format_metric_value(value)
+            rows.append([metric.name, metric.kind, label_text, rendered])
+    print(format_table(["metric", "kind", "labels", "value"], rows))
+    print(result.summary(), file=sys.stderr)
     return 0
 
 
@@ -155,6 +217,32 @@ def build_parser() -> argparse.ArgumentParser:
     _add_run_options(p)
     p.add_argument("--limit", type=int, default=None)
     p.set_defaults(func=cmd_enumerate)
+
+    p = sub.add_parser(
+        "run", help="run with telemetry: metrics, tracing, profiling"
+    )
+    _add_run_options(p)
+    p.add_argument("--compressed", action="store_true",
+                   help="VCBC-compressed output (the paper's default mode)")
+    p.add_argument("--trace", metavar="FILE",
+                   help="write a trace of the run to FILE")
+    p.add_argument("--trace-format", choices=("chrome", "json"),
+                   default="chrome",
+                   help="chrome trace_event (chrome://tracing) or nested JSON")
+    p.add_argument("--metrics", metavar="FILE",
+                   help="write the full metric registry to FILE as JSON")
+    p.add_argument("--profile", action="store_true",
+                   help="compile sampling probes into the hot loop")
+    p.add_argument("--sample-every", type=int, default=64,
+                   help="profile every Nth instruction execution")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("stats", help="run and print the telemetry metrics")
+    _add_run_options(p)
+    p.add_argument("--compressed", action="store_true")
+    p.add_argument("--profile", action="store_true",
+                   help="include sampled per-instruction timings")
+    p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("plan", help="show an execution plan")
     p.add_argument("--pattern", required=True)

@@ -23,6 +23,7 @@ from ..plan.generation import ExecutionPlan, generate_raw_plan
 from ..plan.optimizer import apply_generalized_clique_cache, optimize
 from ..plan.search import generate_best_plan
 from ..plan.validate import validate_plan
+from ..telemetry.runtime import Telemetry
 from .cluster import SimulatedCluster
 from .config import BenuConfig
 from .results import BenuResult
@@ -44,12 +45,14 @@ def build_plan(
     compressed: bool = False,
     generalized_clique_cache: bool = False,
     degree_filter_data: Optional[Graph] = None,
+    tracer=None,
 ) -> ExecutionPlan:
     """Build an execution plan, searched (default) or from a fixed order.
 
     With ``order`` given, the plan is generated for exactly that matching
     order and optimized; otherwise Algorithm 3 searches for the best one
-    using ``data``'s statistics (or the defaults).
+    using ``data``'s statistics (or the defaults).  ``tracer`` (a
+    :class:`repro.telemetry.Tracer`) records the search's phases as spans.
     """
     pattern = _as_pattern(pattern)
     if order is not None:
@@ -63,6 +66,7 @@ def build_plan(
             pattern,
             optimization_level=optimization_level,
             compressed=compressed,
+            tracer=tracer,
             **kwargs,
         ).plan
     if generalized_clique_cache:
@@ -87,35 +91,52 @@ def run_benu(
     """
     config = config or BenuConfig()
     pattern = _as_pattern(pattern)
+    telemetry = Telemetry(config.telemetry)
+    tracer = telemetry.tracer
 
-    mapping: Optional[Dict[Vertex, Vertex]] = None
-    if config.relabel:
-        data, mapping = relabel_by_degree_order(data)
+    with tracer.span(
+        "benu-job",
+        args={
+            "pattern": pattern.name,
+            "data_vertices": data.num_vertices,
+            "data_edges": data.num_edges,
+        },
+    ):
+        mapping: Optional[Dict[Vertex, Vertex]] = None
+        if config.relabel:
+            with tracer.span("relabel"):
+                data, mapping = relabel_by_degree_order(data)
 
-    if plan is None:
-        plan = build_plan(
-            pattern,
-            data,
-            optimization_level=config.optimization_level,
-            compressed=config.compressed,
-            generalized_clique_cache=config.generalized_clique_cache,
-            degree_filter_data=data if config.degree_filter else None,
-        )
-    else:
-        validate_plan(plan)
+        if plan is None:
+            with tracer.span("plan-search") as span:
+                plan = build_plan(
+                    pattern,
+                    data,
+                    optimization_level=config.optimization_level,
+                    compressed=config.compressed,
+                    generalized_clique_cache=config.generalized_clique_cache,
+                    degree_filter_data=data if config.degree_filter else None,
+                    tracer=tracer,
+                )
+                span.args["order"] = [str(v) for v in plan.order]
+        else:
+            validate_plan(plan)
 
-    cluster = SimulatedCluster(data, config)
-    result = cluster.run_plan(plan)
+        cluster = SimulatedCluster(data, config, telemetry=telemetry)
+        result = cluster.run_plan(plan)
 
-    if mapping is not None:
-        inverse = invert_mapping(mapping)
-        result.id_mapping = inverse
-        if result.matches is not None:
-            # Codes stay in the relabeled space (their expansion constraints
-            # compare under ≺); plain matches translate eagerly.
-            result.matches = [
-                tuple(inverse[v] for v in match) for match in result.matches
-            ]
+        if mapping is not None:
+            inverse = invert_mapping(mapping)
+            result.id_mapping = inverse
+            if result.matches is not None:
+                # Codes stay in the relabeled space (their expansion
+                # constraints compare under ≺); plain matches translate
+                # eagerly.
+                with tracer.span("result-translation"):
+                    result.matches = [
+                        tuple(inverse[v] for v in match)
+                        for match in result.matches
+                    ]
     return result
 
 

@@ -5,6 +5,15 @@ worker machines (the paper hands them to 16 reducers round-robin); each
 worker executes its tasks against its shared database cache, on simulated
 threads.  The job makespan is the slowest worker's makespan — exactly the
 quantity Figs. 9 and 10 plot.
+
+Telemetry: every ``run_plan`` builds a fresh
+:class:`~repro.telemetry.registry.MetricsRegistry`, populated at end-of-run
+from the per-worker stats ledgers (so the default, hook-free path stays as
+fast as before), and attaches the resulting snapshot to the result.  With
+``config.telemetry`` set, the run additionally records a span tree
+(codegen → task-generation → execution → per-worker spans), the simulated
+schedule timeline, a DB payload-size histogram, and — with ``profile=True``
+— sampled per-instruction timings from probes compiled into the plan.
 """
 
 from __future__ import annotations
@@ -17,6 +26,17 @@ from ..plan.codegen import CompiledPlan, TaskCounters, compile_plan
 from ..plan.generation import ExecutionPlan
 from ..storage.cache import CacheStats
 from ..storage.kvstore import DistributedKVStore, QueryStats
+from ..telemetry.registry import DEFAULT_BYTES_BUCKETS, MetricsRegistry
+from ..telemetry.runtime import Telemetry
+from ..telemetry.snapshot import (
+    G_CACHE_HIT_RATIO,
+    G_MAKESPAN,
+    G_WALL,
+    G_WORKERS,
+    H_DB_QUERY_BYTES,
+    H_TASK_SIM_SECONDS,
+    M_TASKS,
+)
 from .config import BenuConfig
 from .local_task import LocalSearchTask
 from .results import BenuResult
@@ -27,9 +47,17 @@ from .worker import Worker
 class SimulatedCluster:
     """Master + workers over one distributed KV store."""
 
-    def __init__(self, data: Graph, config: Optional[BenuConfig] = None) -> None:
+    def __init__(
+        self,
+        data: Graph,
+        config: Optional[BenuConfig] = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
         self.config = config or BenuConfig()
         self.data = data
+        self.telemetry = (
+            telemetry if telemetry is not None else Telemetry(self.config.telemetry)
+        )
         self.store = DistributedKVStore.from_graph(
             data,
             num_partitions=self.config.num_partitions,
@@ -53,15 +81,28 @@ class SimulatedCluster:
         ``matches``/``codes`` stay None regardless of ``config.collect``.
         """
         config = self.config
+        telemetry = self.telemetry
+        tracer = telemetry.tracer
+        registry = MetricsRegistry()
         wall0 = _time.perf_counter()
+
         if tasks is None:
-            tasks = list(
-                generate_tasks(plan, self.data, config.split_threshold)
-            )
+            with tracer.span("task-generation") as span:
+                tasks = list(
+                    generate_tasks(plan, self.data, config.split_threshold)
+                )
+                span.args["tasks"] = len(tasks)
 
         streaming = sink is not None
         mode = "collect" if (config.collect or streaming) else "count"
-        compiled = compile_plan(plan, mode=mode, instrument=True)
+        profiler = telemetry.make_profiler(registry)
+        with tracer.span("codegen") as span:
+            compiled = compile_plan(
+                plan, mode=mode, instrument=True, profiler=profiler
+            )
+            span.args.update(
+                mode=mode, source_lines=compiled.source.count("\n")
+            )
 
         collected: Optional[list] = (
             [] if config.collect and not streaming else None
@@ -73,22 +114,68 @@ class SimulatedCluster:
         else:
             emit = None
 
-        workers = [Worker(i, self.store, config) for i in range(config.num_workers)]
-        # Round-robin shuffle, as the paper distributes tasks evenly.
-        for i, task in enumerate(tasks):
-            workers[i % len(workers)].execute_task(
-                compiled, task, self._vset, emit
+        if telemetry.enabled:
+            payload_hist = registry.histogram(
+                H_DB_QUERY_BYTES,
+                help="payload size per distributed-store query",
+                buckets=DEFAULT_BYTES_BUCKETS,
             )
+            self.store.on_query = (
+                lambda key, nbytes, cost: payload_hist.observe(nbytes)
+            )
+        try:
+            with tracer.span("execution") as exec_span:
+                workers = [
+                    Worker(i, self.store, config, tracer=tracer)
+                    for i in range(config.num_workers)
+                ]
+                # Round-robin shuffle, as the paper distributes tasks evenly.
+                for i, task in enumerate(tasks):
+                    workers[i % len(workers)].execute_task(
+                        compiled, task, self._vset, emit
+                    )
+                for w in workers:
+                    tracer.add_span(
+                        f"worker-{w.worker_id}",
+                        wall_seconds=w.wall_seconds,
+                        sim_seconds=w.busy_seconds,
+                        category="execution",
+                        track=f"worker-{w.worker_id}",
+                        start=getattr(exec_span, "t0", None),
+                        args={
+                            "tasks": len(w.reports),
+                            "makespan_sim_seconds": w.makespan_seconds,
+                            "cache_hit_rate": w.cache_stats.hit_rate,
+                        },
+                    )
+                exec_span.args["tasks"] = len(tasks)
+        finally:
+            self.store.on_query = None
 
         total_counters = TaskCounters()
         communication = QueryStats()
         cache = CacheStats()
         per_task: List[float] = []
+        task_hist = registry.histogram(
+            H_TASK_SIM_SECONDS,
+            help="simulated duration per local search task (Fig. 9 skew)",
+            labels=("worker",),
+        )
         for w in workers:
             total_counters = total_counters + w.total_counters()
             communication.merge(w.query_stats)
             cache.merge(w.cache_stats)
             per_task.extend(r.sim_seconds for r in w.reports)
+            # Registry-backed views of the per-worker ledgers.
+            wid = str(w.worker_id)
+            w.query_stats.record_to(registry, worker=wid)
+            w.cache_stats.record_to(registry, worker=wid)
+            w.total_counters().record_to(registry, worker=wid)
+            registry.counter(
+                M_TASKS, "local search tasks executed", ("worker",)
+            ).inc(len(w.reports), worker=wid)
+            for r in w.reports:
+                task_hist.observe(r.sim_seconds, worker=wid)
 
         matches = None
         codes = None
@@ -97,6 +184,15 @@ class SimulatedCluster:
                 codes = collected
             else:
                 matches = collected
+
+        makespan = max(w.makespan_seconds for w in workers)
+        wall = _time.perf_counter() - wall0
+        registry.gauge(G_MAKESPAN, "simulated job makespan").set(makespan)
+        registry.gauge(G_WALL, "wall-clock run time").set(wall)
+        registry.gauge(G_WORKERS, "simulated worker machines").set(len(workers))
+        registry.gauge(G_CACHE_HIT_RATIO, "database cache hit ratio").set(
+            cache.hit_rate
+        )
 
         return BenuResult(
             plan=plan,
@@ -108,8 +204,9 @@ class SimulatedCluster:
             cache=cache,
             num_tasks=len(tasks),
             num_workers=len(workers),
-            makespan_seconds=max(w.makespan_seconds for w in workers),
+            makespan_seconds=makespan,
             per_worker_busy_seconds=[w.busy_seconds for w in workers],
             per_task_sim_seconds=per_task,
-            wall_seconds=_time.perf_counter() - wall0,
+            wall_seconds=wall,
+            telemetry=telemetry.snapshot(registry),
         )

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..storage.kvstore import LatencyModel
+from ..telemetry.runtime import TelemetryConfig
 
 
 @dataclass(frozen=True)
@@ -66,6 +67,10 @@ class BenuConfig:
     latency: LatencyModel = field(default_factory=LatencyModel)
     #: Per-operation simulated costs.
     cost_model: SimulationCostModel = field(default_factory=SimulationCostModel)
+    #: Telemetry (tracing + hot-loop profiling); None — the default —
+    #: disables every hook.  A metrics snapshot is still attached to each
+    #: result, built once at end-of-run from the aggregated stats.
+    telemetry: Optional[TelemetryConfig] = None
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:

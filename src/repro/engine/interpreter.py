@@ -57,12 +57,19 @@ def interpret_plan(
     emit: Optional[Callable] = None,
     tcache: Optional[dict] = None,
     candidate_override: Optional[FrozenSet[int]] = None,
+    profiler=None,
 ) -> TaskCounters:
     """Run one local search task by direct interpretation.
 
     Mirrors :meth:`repro.plan.codegen.CompiledPlan.run`, including the
     task-splitting override of the second matching-order vertex.
+
+    ``profiler`` (a :class:`repro.telemetry.SamplingProfiler`) samples the
+    DBQ round-trips by wrapping ``get_adj`` — the interpreter counterpart
+    of the probes codegen compiles into plan functions.
     """
+    if profiler is not None:
+        get_adj = profiler.timed("DBQ", get_adj)
     instructions = plan.instructions
     counters = _Counters()
     env: Dict[str, object] = {}
@@ -152,10 +159,13 @@ def interpret_all(
     data_vertices,
     get_adj: Callable[[int], FrozenSet[int]],
     emit: Optional[Callable] = None,
+    profiler=None,
 ) -> TaskCounters:
     """Interpret the plan for every start vertex; sum the counters."""
     vset = frozenset(data_vertices)
     total = TaskCounters()
     for v in data_vertices:
-        total = total + interpret_plan(plan, v, get_adj, vset, emit, tcache={})
+        total = total + interpret_plan(
+            plan, v, get_adj, vset, emit, tcache={}, profiler=profiler
+        )
     return total

@@ -11,6 +11,7 @@ from ..plan.compression import expand_code
 from ..plan.generation import ExecutionPlan
 from ..storage.cache import CacheStats
 from ..storage.kvstore import QueryStats
+from ..telemetry.snapshot import TelemetrySnapshot
 
 
 @dataclass
@@ -40,6 +41,9 @@ class BenuResult:
     #: relabeled space (expansion constraints compare under ≺) and are
     #: translated on expansion.
     id_mapping: Optional[dict] = None
+    #: The run's telemetry snapshot: registry-backed metrics (always) plus
+    #: the span tree / trace exports when tracing was enabled.
+    telemetry: Optional[TelemetrySnapshot] = None
 
     # ------------------------------------------------------------------
     def expanded_matches(self) -> Iterator[Tuple[Vertex, ...]]:

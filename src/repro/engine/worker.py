@@ -9,6 +9,7 @@ model, so scalability and skew figures are reproducible run to run.
 
 from __future__ import annotations
 
+import heapq
 import time as _time
 from dataclasses import dataclass
 from typing import Callable, FrozenSet, List, Optional
@@ -28,6 +29,10 @@ class TaskReport:
     counters: TaskCounters
     sim_seconds: float
     wall_seconds: float
+    #: Simulated thread the task was scheduled on, and when it started
+    #: there — together they describe the worker's simulated schedule.
+    thread_id: int = 0
+    sim_start: float = 0.0
 
 
 class Worker:
@@ -38,6 +43,7 @@ class Worker:
         worker_id: int,
         store: DistributedKVStore,
         config: BenuConfig,
+        tracer=None,
     ) -> None:
         self.worker_id = worker_id
         self.config = config
@@ -49,8 +55,16 @@ class Worker:
             policy=config.cache_policy,
         )
         self.reports: List[TaskReport] = []
-        # Min-heap of per-thread simulated loads (greedy LPT assignment).
+        #: Optional telemetry tracer; tasks are recorded as slices on the
+        #: simulated timeline (one track per worker thread).
+        self._tracer = tracer if (tracer is not None and tracer.enabled) else None
+        # Greedy LPT assignment over a min-heap of (load, thread) pairs;
+        # ties break toward the lowest thread id, so the schedule is
+        # deterministic for equal loads.
         self._thread_loads: List[float] = [0.0] * config.threads_per_worker
+        self._load_heap: List[tuple] = [
+            (0.0, t) for t in range(config.threads_per_worker)
+        ]
 
     # ------------------------------------------------------------------
     def execute_task(
@@ -85,11 +99,25 @@ class Worker:
             + counters.dbq_ops * cm.cache_hit_seconds
             + db_seconds
         )
-        report = TaskReport(task, counters, sim, wall)
-        self.reports.append(report)
         # Assign to the least-loaded simulated thread.
-        i = min(range(len(self._thread_loads)), key=self._thread_loads.__getitem__)
-        self._thread_loads[i] += sim
+        sim_start, tid = heapq.heappop(self._load_heap)
+        heapq.heappush(self._load_heap, (sim_start + sim, tid))
+        self._thread_loads[tid] += sim
+
+        report = TaskReport(task, counters, sim, wall, tid, sim_start)
+        self.reports.append(report)
+        if self._tracer is not None:
+            self._tracer.add_sim_slice(
+                f"worker-{self.worker_id}/thread-{tid}",
+                f"task v={task.start}",
+                sim_start,
+                sim,
+                args={
+                    "results": counters.results,
+                    "dbq_ops": counters.dbq_ops,
+                    "wall_seconds": wall,
+                },
+            )
         return report
 
     # ------------------------------------------------------------------
@@ -102,6 +130,11 @@ class Worker:
     def busy_seconds(self) -> float:
         """Total simulated work executed on this worker."""
         return sum(self._thread_loads)
+
+    @property
+    def wall_seconds(self) -> float:
+        """Total wall time actually spent running this worker's tasks."""
+        return sum(r.wall_seconds for r in self.reports)
 
     @property
     def cache_stats(self) -> CacheStats:

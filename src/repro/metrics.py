@@ -20,11 +20,36 @@ def format_bytes(num_bytes: float) -> str:
 
 
 def format_count(value: float) -> str:
-    """Scientific-ish count formatting matching Table I ("2.9E7")."""
+    """Scientific-ish count formatting matching Table I ("2.9E7").
+
+    Integers below 10_000 in magnitude print verbatim, non-integers keep
+    one decimal (never truncated through ``int()``), and anything at or
+    above 1e4 switches to scientific notation — signs preserved
+    throughout.
+
+    >>> format_count(0)
+    '0'
+    >>> format_count(123)
+    '123'
+    >>> format_count(-12)
+    '-12'
+    >>> format_count(-3.7)
+    '-3.7'
+    >>> format_count(9999.5)
+    '9999.5'
+    >>> format_count(29_000_000)
+    '2.9E+07'
+    >>> format_count(-29_000_000)
+    '-2.9E+07'
+    >>> format_count(1e4)
+    '1.0E+04'
+    """
     if value == 0:
         return "0"
     if abs(value) < 10_000:
-        return str(int(value)) if float(value).is_integer() else f"{value:.1f}"
+        if float(value).is_integer():
+            return str(int(value))
+        return f"{value:.1f}"
     return f"{value:.1E}"
 
 

@@ -73,6 +73,40 @@ class TaskCounters:
     def from_tuple(cls, values: Sequence[int]) -> "TaskCounters":
         return cls(*values)
 
+    def record_to(self, registry, **labels) -> None:
+        """Mirror these counters into a telemetry registry.
+
+        Per-type executions land in ``benu_instructions_total`` under the
+        ``instr`` label (INT/TRC/DBQ/ENU/RES), triangle-cache misses in
+        their own counter — exactly the quantities the paper's cost model
+        (Section IV-C) sums.
+
+        >>> from repro.telemetry import MetricsRegistry
+        >>> reg = MetricsRegistry()
+        >>> TaskCounters(int_ops=5, results=2).record_to(reg, worker="0")
+        >>> reg.get("benu_instructions_total").value(instr="INT", worker="0")
+        5
+        """
+        from ..telemetry.snapshot import M_INSTRUCTIONS, M_TRC_MISSES
+
+        names = tuple(labels)
+        instr = registry.counter(
+            M_INSTRUCTIONS,
+            "instruction executions by type (Table III semantics)",
+            ("instr",) + names,
+        )
+        for instr_name, value in (
+            ("INT", self.int_ops),
+            ("TRC", self.trc_ops),
+            ("DBQ", self.dbq_ops),
+            ("ENU", self.enu_steps),
+            ("RES", self.results),
+        ):
+            instr.inc(value, instr=instr_name, **labels)
+        registry.counter(
+            M_TRC_MISSES, "triangle-cache lookups that computed the result", names
+        ).inc(self.trc_misses, **labels)
+
 
 @dataclass
 class CompiledPlan:
@@ -83,6 +117,8 @@ class CompiledPlan:
     instrumented: bool
     source: str
     _function: Callable
+    #: True when sampling profiling probes were compiled in.
+    profiled: bool = False
 
     def run(
         self,
@@ -143,8 +179,16 @@ def generate_source(
     mode: str = "count",
     instrument: bool = True,
     function_name: str = "_benu_task",
+    profile: bool = False,
 ) -> str:
-    """Generate the Python source for one plan (see module docstring)."""
+    """Generate the Python source for one plan (see module docstring).
+
+    With ``profile=True`` every DBQ/INT/TRC site is emitted twice behind a
+    sampling gate (``_prof_tick``): the gated branch wall-times the
+    instruction and reports it via ``_prof_rec``, the other branch is the
+    plain instruction.  Without it the source is byte-identical to before
+    profiling existed, so the default path pays zero overhead.
+    """
     if mode not in ("count", "collect"):
         raise ValueError(f"mode must be 'count' or 'collect', got {mode!r}")
     if not plan.defined_before_use():
@@ -177,6 +221,22 @@ def generate_source(
         else:
             out.line(f"if not {var}: return {counters}")
 
+    def profiled(label: str, body: Callable[[], None]) -> None:
+        # Emit an instruction site, optionally behind the sampling gate.
+        if not profile:
+            body()
+            return
+        out.line("if _prof_tick():")
+        out.depth += 1
+        out.line("_t0 = _prof_now()")
+        body()
+        out.line(f"_prof_rec({label!r}, _prof_now() - _t0)")
+        out.depth -= 1
+        out.line("else:")
+        out.depth += 1
+        body()
+        out.depth -= 1
+
     last_enu_index = max(
         (i for i, inst in enumerate(instructions) if inst.type is InstructionType.ENU),
         default=-1,
@@ -187,43 +247,52 @@ def generate_source(
             out.line(f"{inst.target} = start")
 
         elif inst.type is InstructionType.DBQ:
-            out.line(f"{inst.target} = get_adj({inst.operands[0]})")
-            if instrument:
-                out.line("n_dbq += 1")
+            def dbq_body(inst=inst):
+                out.line(f"{inst.target} = get_adj({inst.operands[0]})")
+                if instrument:
+                    out.line("n_dbq += 1")
+
+            profiled("DBQ", dbq_body)
 
         elif inst.type is InstructionType.INT:
-            ops = [_operand_expr(o) for o in inst.operands]
-            if inst.filters:
-                cond = _filter_expr("v", inst.filters)
-                src = ops[0] if len(ops) == 1 else "(" + " & ".join(ops) + ")"
-                out.line(f"{inst.target} = {{v for v in {src} if {cond}}}")
-            else:
-                if len(ops) == 1:
-                    out.line(f"{inst.target} = {ops[0]}")
+            def int_body(inst=inst):
+                ops = [_operand_expr(o) for o in inst.operands]
+                if inst.filters:
+                    cond = _filter_expr("v", inst.filters)
+                    src = ops[0] if len(ops) == 1 else "(" + " & ".join(ops) + ")"
+                    out.line(f"{inst.target} = {{v for v in {src} if {cond}}}")
                 else:
-                    out.line(f"{inst.target} = " + " & ".join(ops))
-            if instrument:
-                out.line("n_int += 1")
+                    if len(ops) == 1:
+                        out.line(f"{inst.target} = {ops[0]}")
+                    else:
+                        out.line(f"{inst.target} = " + " & ".join(ops))
+                if instrument:
+                    out.line("n_int += 1")
+
+            profiled("INT", int_body)
             early_exit(inst.target)
 
         elif inst.type is InstructionType.TRC:
-            keys = inst.operands[:-2]
-            ai, aj = inst.operands[-2:]
-            if len(keys) == 2:
-                fi, fj = keys
-                out.line(f"_k = ({fi}, {fj}) if {fi} < {fj} else ({fj}, {fi})")
-            else:
-                out.line(f"_k = tuple(sorted(({', '.join(keys)})))")
-            out.line(f"{inst.target} = tcache.get(_k)")
-            out.line(f"if {inst.target} is None:")
-            out.depth += 1
-            out.line(f"{inst.target} = {ai} & {aj}")
-            out.line(f"tcache[_k] = {inst.target}")
-            if instrument:
-                out.line("n_trc_miss += 1")
-            out.depth -= 1
-            if instrument:
-                out.line("n_trc += 1")
+            def trc_body(inst=inst):
+                keys = inst.operands[:-2]
+                ai, aj = inst.operands[-2:]
+                if len(keys) == 2:
+                    fi, fj = keys
+                    out.line(f"_k = ({fi}, {fj}) if {fi} < {fj} else ({fj}, {fi})")
+                else:
+                    out.line(f"_k = tuple(sorted(({', '.join(keys)})))")
+                out.line(f"{inst.target} = tcache.get(_k)")
+                out.line(f"if {inst.target} is None:")
+                out.depth += 1
+                out.line(f"{inst.target} = {ai} & {aj}")
+                out.line(f"tcache[_k] = {inst.target}")
+                if instrument:
+                    out.line("n_trc_miss += 1")
+                out.depth -= 1
+                if instrument:
+                    out.line("n_trc += 1")
+
+            profiled("TRC", trc_body)
             early_exit(inst.target)
 
         elif inst.type is InstructionType.ENU:
@@ -278,9 +347,16 @@ def generate_source(
 
 
 def compile_plan(
-    plan: ExecutionPlan, mode: str = "count", instrument: bool = True
+    plan: ExecutionPlan,
+    mode: str = "count",
+    instrument: bool = True,
+    profiler=None,
 ) -> CompiledPlan:
     """Compile a plan into an executable :class:`CompiledPlan`.
+
+    ``profiler`` (a :class:`repro.telemetry.SamplingProfiler`) compiles
+    sampling probes into every DBQ/INT/TRC site; None (the default)
+    generates exactly the unprofiled source.
 
     >>> from repro.graph.patterns import TRIANGLE
     >>> from repro.graph.graph import complete_graph
@@ -295,8 +371,14 @@ def compile_plan(
     >>> total  # 4 triangles in K4, symmetry breaking dedups automorphisms
     4
     """
-    source = generate_source(plan, mode=mode, instrument=instrument)
+    source = generate_source(
+        plan, mode=mode, instrument=instrument, profile=profiler is not None
+    )
     namespace: Dict[str, object] = dict(plan.constants)
+    if profiler is not None:
+        namespace["_prof_tick"] = profiler.should_sample
+        namespace["_prof_rec"] = profiler.record
+        namespace["_prof_now"] = profiler.clock
     code = compile(source, f"<benu-plan:{plan.pattern.name}>", "exec")
     exec(code, namespace)  # noqa: S102 - trusted generated code
     function = namespace["_benu_task"]
@@ -306,4 +388,5 @@ def compile_plan(
         instrumented=instrument,
         source=source,
         _function=function,
+        profiled=profiler is not None,
     )

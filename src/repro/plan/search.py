@@ -29,6 +29,7 @@ from typing import List, Optional, Sequence, Tuple
 from ..graph.graph import Vertex
 from ..pattern.equivalence import passes_dual_condition
 from ..pattern.pattern_graph import PatternGraph
+from ..telemetry.tracing import NULL_TRACER
 from .compression import compress_plan
 from .cost import (
     DEFAULT_STATS,
@@ -90,6 +91,7 @@ def generate_best_plan(
     stats: GraphStats = DEFAULT_STATS,
     optimization_level: int = LEVEL_TRIANGLE,
     compressed: bool = False,
+    tracer=None,
 ) -> BestPlanResult:
     """Algorithm 3: find the least-cost execution plan for ``pattern``.
 
@@ -102,7 +104,11 @@ def generate_best_plan(
         Optimizer level applied to candidate plans (0–3).
     compressed:
         Apply the VCBC transformation to the winning plan.
+    tracer:
+        Optional :class:`repro.telemetry.Tracer`; the search's two phases
+        become child spans carrying Table IV's α/β as span args.
     """
+    tracer = tracer if tracer is not None else NULL_TRACER
     search_stats = SearchStats(pattern_name=pattern.name, n=pattern.n)
     t0 = time.perf_counter()
 
@@ -148,18 +154,26 @@ def generate_best_plan(
             used.discard(u)
             order.pop()
 
-    search(0.0)
+    with tracer.span("order-enumeration", category="plan-search") as span:
+        search(0.0)
+        span.args.update(
+            alpha=search_stats.alpha,
+            explored_orders=search_stats.explored_orders,
+            candidate_orders=len(candidate_orders),
+        )
 
     best_plan: Optional[ExecutionPlan] = None
     best_comp = math.inf
-    for cand in candidate_orders:
-        raw = generate_raw_plan(pattern, cand)
-        plan = optimize(raw, optimization_level)
-        search_stats.beta += 1
-        comp = estimate_computation_cost(plan, stats)
-        if comp < best_comp:
-            best_comp = comp
-            best_plan = plan
+    with tracer.span("candidate-optimization", category="plan-search") as span:
+        for cand in candidate_orders:
+            raw = generate_raw_plan(pattern, cand)
+            plan = optimize(raw, optimization_level)
+            search_stats.beta += 1
+            comp = estimate_computation_cost(plan, stats)
+            if comp < best_comp:
+                best_comp = comp
+                best_plan = plan
+        span.args["beta"] = search_stats.beta
     assert best_plan is not None, "a connected pattern always yields a plan"
 
     if compressed:

@@ -44,6 +44,32 @@ class CacheStats:
         self.misses += other.misses
         self.evictions += other.evictions
 
+    def record_to(self, registry, **labels) -> None:
+        """Mirror this accounting into a telemetry registry.
+
+        >>> from repro.telemetry import MetricsRegistry
+        >>> reg = MetricsRegistry()
+        >>> CacheStats(hits=9, misses=1).record_to(reg, worker="2")
+        >>> reg.counter_total("benu_cache_hits_total")
+        9
+        """
+        from ..telemetry.snapshot import (
+            M_CACHE_EVICTIONS,
+            M_CACHE_HITS,
+            M_CACHE_MISSES,
+        )
+
+        names = tuple(labels)
+        registry.counter(
+            M_CACHE_HITS, "adjacency lookups served by the worker cache", names
+        ).inc(self.hits, **labels)
+        registry.counter(
+            M_CACHE_MISSES, "adjacency lookups that went to the store", names
+        ).inc(self.misses, **labels)
+        registry.counter(
+            M_CACHE_EVICTIONS, "cache entries evicted by the policy", names
+        ).inc(self.evictions, **labels)
+
 
 class LRUDatabaseCache:
     """Byte-capacity cache over a :class:`DistributedKVStore`.

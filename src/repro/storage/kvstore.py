@@ -39,6 +39,28 @@ class QueryStats:
     def copy(self) -> "QueryStats":
         return QueryStats(self.queries, self.bytes_transferred, self.simulated_seconds)
 
+    def record_to(self, registry, **labels) -> None:
+        """Mirror this ledger into a telemetry registry (registry-backed view).
+
+        >>> from repro.telemetry import MetricsRegistry
+        >>> reg = MetricsRegistry()
+        >>> QueryStats(queries=3, bytes_transferred=90).record_to(reg, worker="0")
+        >>> reg.counter_total("benu_db_queries_total")
+        3
+        """
+        from ..telemetry.snapshot import M_DB_BYTES, M_DB_QUERIES, M_DB_SIM_SECONDS
+
+        names = tuple(labels)
+        registry.counter(
+            M_DB_QUERIES, "distributed KV store queries", names
+        ).inc(self.queries, **labels)
+        registry.counter(
+            M_DB_BYTES, "bytes fetched from the distributed KV store", names
+        ).inc(self.bytes_transferred, **labels)
+        registry.counter(
+            M_DB_SIM_SECONDS, "simulated seconds spent on DB round-trips", names
+        ).inc(self.simulated_seconds, **labels)
+
 
 @dataclass(frozen=True)
 class LatencyModel:
@@ -78,6 +100,9 @@ class DistributedKVStore:
         self._partitions: list = [dict() for _ in range(num_partitions)]
         self._value_bytes: Dict[Vertex, int] = {}
         self.stats = QueryStats()
+        #: Optional telemetry hook called as ``(key, nbytes, cost_seconds)``
+        #: on every get; None (the default) keeps the hot path branch-cheap.
+        self.on_query = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -121,6 +146,8 @@ class DistributedKVStore:
             stats.queries += 1
             stats.bytes_transferred += nbytes
             stats.simulated_seconds += cost
+        if self.on_query is not None:
+            self.on_query(key, nbytes, cost)
         return value
 
     def value_bytes(self, key: Vertex) -> int:

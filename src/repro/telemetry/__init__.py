@@ -1,0 +1,68 @@
+"""Unified telemetry: metrics registry, structured tracing, profiling.
+
+The observability spine of the reproduction.  Every layer — plan search,
+codegen, the simulated cluster, workers, the distributed store and its
+caches — reports into this package, and every run's
+:class:`~repro.engine.results.BenuResult` carries a
+:class:`TelemetrySnapshot` exposing the quantities the paper's evaluation
+(Figs. 7-10, Tables IV-VI) is built on.
+
+Layout:
+
+* :mod:`~repro.telemetry.registry` — typed counters/gauges/histograms
+  with labels;
+* :mod:`~repro.telemetry.tracing` — hierarchical spans with wall *and*
+  simulated durations, exportable as nested JSON or Chrome
+  ``trace_event`` (open in ``chrome://tracing``);
+* :mod:`~repro.telemetry.profiler` — sampling probes for the hot loop;
+* :mod:`~repro.telemetry.snapshot` — the per-run registry-backed view;
+* :mod:`~repro.telemetry.runtime` — :class:`TelemetryConfig` and the
+  per-job :class:`Telemetry` hub.
+
+Enable it per run::
+
+    from repro import BenuConfig, TelemetryConfig, run_benu
+
+    config = BenuConfig(telemetry=TelemetryConfig(trace=True, profile=True))
+    result = run_benu(pattern, data, config)
+    result.telemetry.write_trace("out.json")      # chrome://tracing
+    result.telemetry.summary()                    # headline metrics
+"""
+
+from .profiler import INSTRUCTION_SECONDS_METRIC, SamplingProfiler
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramValue,
+    MetricError,
+    MetricsRegistry,
+)
+from .runtime import Telemetry, TelemetryConfig
+from .snapshot import TelemetrySnapshot
+from .tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramValue",
+    "INSTRUCTION_SECONDS_METRIC",
+    "MetricError",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "SamplingProfiler",
+    "Span",
+    "Telemetry",
+    "TelemetryConfig",
+    "TelemetrySnapshot",
+    "Tracer",
+    "validate_chrome_trace",
+]

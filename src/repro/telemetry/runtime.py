@@ -1,0 +1,101 @@
+"""Run-time wiring: :class:`TelemetryConfig` and the :class:`Telemetry` hub.
+
+``BenuConfig.telemetry`` holds a :class:`TelemetryConfig` (or None, the
+default, meaning *disabled*: no tracing, no profiling, no per-query
+hooks).  A metrics snapshot is still produced on every run — it is built
+once at end-of-run from the same aggregated stats the result already
+carries, so the disabled path stays identical to the pre-telemetry
+engine on the hot loop.
+
+The :class:`Telemetry` object is the per-job hub the engine threads
+through its layers: it owns the tracer and builds per-run profilers and
+snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .profiler import INSTRUCTION_SECONDS_METRIC, SamplingProfiler
+from .registry import MetricsRegistry
+from .snapshot import TelemetrySnapshot
+from .tracing import NULL_TRACER, NullTracer, Tracer
+
+__all__ = ["TelemetryConfig", "Telemetry"]
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """What to instrument when telemetry is enabled.
+
+    >>> TelemetryConfig().trace
+    True
+    >>> TelemetryConfig(profile=True, sample_every=16).sample_every
+    16
+    """
+
+    #: Record the span tree + simulated timeline (chrome://tracing export).
+    trace: bool = True
+    #: Compile sampling probes into the hot loop (per-instruction timings).
+    profile: bool = False
+    #: Profile every Nth instruction site execution.
+    sample_every: int = 64
+    #: Cap on simulated-timeline slices kept (excess is counted, not kept).
+    max_sim_events: int = 50_000
+
+    def __post_init__(self) -> None:
+        if self.sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        if self.max_sim_events < 0:
+            raise ValueError("max_sim_events must be >= 0")
+
+
+class Telemetry:
+    """Per-job telemetry hub: tracer + profiler/snapshot factories.
+
+    >>> t = Telemetry(None)
+    >>> (t.enabled, t.tracer.enabled)
+    (False, False)
+    >>> t = Telemetry(TelemetryConfig())
+    >>> (t.enabled, t.tracer.enabled)
+    (True, True)
+    """
+
+    def __init__(self, config: Optional[TelemetryConfig] = None) -> None:
+        self.config = config
+        self.enabled = config is not None
+        if self.enabled and config.trace:
+            self.tracer: "Tracer | NullTracer" = Tracer(
+                max_sim_events=config.max_sim_events
+            )
+        else:
+            self.tracer = NULL_TRACER
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def disabled(cls) -> "Telemetry":
+        return cls(None)
+
+    def make_profiler(
+        self, registry: MetricsRegistry
+    ) -> Optional[SamplingProfiler]:
+        """A profiler recording into ``registry``, or None when off."""
+        if not (self.enabled and self.config.profile):
+            return None
+        return SamplingProfiler(
+            registry.histogram(
+                INSTRUCTION_SECONDS_METRIC,
+                help="sampled wall time per hot-loop instruction execution",
+                labels=("instr",),
+            ),
+            sample_every=self.config.sample_every,
+        )
+
+    def snapshot(self, registry: MetricsRegistry) -> TelemetrySnapshot:
+        """Bundle one run's registry (and the tracer, if on) for the result."""
+        return TelemetrySnapshot(
+            registry=registry,
+            enabled=self.enabled,
+            tracer=self.tracer if self.tracer.enabled else None,
+        )

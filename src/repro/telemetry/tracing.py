@@ -1,0 +1,462 @@
+"""Structured tracing: hierarchical spans on wall *and* simulated clocks.
+
+A BENU run is a pipeline — plan-search → codegen → task-generation →
+per-worker execution — and this module records it as a span tree.  Each
+span carries its wall-clock duration (what the host machine paid) and,
+where meaningful, a *simulated* duration (what the modeled cluster paid:
+the clock Figs. 9-10 are plotted in).  On top of the tree, the tracer
+keeps a *simulated timeline*: per-worker-thread slices showing how the
+greedy LPT scheduler laid tasks out on the simulated cluster.
+
+Two export formats:
+
+* :meth:`Tracer.to_dict` — the nested span tree as plain JSON;
+* :meth:`Tracer.to_chrome` — flat Chrome ``trace_event`` JSON loadable in
+  ``chrome://tracing`` / Perfetto: wall-clock spans under one pid,
+  the simulated timeline under another, one tid per track.
+
+The :class:`NullTracer` is the disabled stand-in: every operation is a
+no-op so the zero-telemetry path costs a handful of attribute lookups per
+*run* (never per instruction).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "Span",
+    "SimSlice",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "validate_chrome_trace",
+]
+
+#: Chrome trace pids for the two clock domains.
+WALL_PID = 1
+SIM_PID = 2
+
+
+@dataclass
+class Span:
+    """One node of the span tree.
+
+    ``t0``/``t1`` are wall-clock instants (``perf_counter`` seconds,
+    relative to the tracer's origin); ``sim_seconds`` is the simulated
+    duration when the spanned work has one (worker execution does, plan
+    search does not).
+    """
+
+    name: str
+    t0: float
+    t1: Optional[float] = None
+    category: str = ""
+    #: Chrome display track; spans without one inherit the parent's.
+    track: Optional[str] = None
+    sim_seconds: Optional[float] = None
+    args: Dict[str, object] = field(default_factory=dict)
+    children: List["Span"] = field(default_factory=list)
+
+    @property
+    def wall_seconds(self) -> float:
+        return (self.t1 - self.t0) if self.t1 is not None else 0.0
+
+    def find(self, name: str) -> Optional["Span"]:
+        """Depth-first search for a descendant (or self) by name."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            hit = child.find(name)
+            if hit is not None:
+                return hit
+        return None
+
+    def to_dict(self) -> dict:
+        d: Dict[str, object] = {
+            "name": self.name,
+            "wall_seconds": self.wall_seconds,
+        }
+        if self.category:
+            d["category"] = self.category
+        if self.track:
+            d["track"] = self.track
+        if self.sim_seconds is not None:
+            d["sim_seconds"] = self.sim_seconds
+        if self.args:
+            d["args"] = dict(self.args)
+        if self.children:
+            d["children"] = [c.to_dict() for c in self.children]
+        return d
+
+
+@dataclass
+class SimSlice:
+    """One slice of simulated work on one simulated thread."""
+
+    track: str
+    name: str
+    start_seconds: float
+    duration_seconds: float
+    args: Dict[str, object] = field(default_factory=dict)
+
+
+class Tracer:
+    """Records the span tree and the simulated timeline of one job."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        clock=time.perf_counter,
+        max_sim_events: int = 50_000,
+    ) -> None:
+        self._clock = clock
+        self._origin = clock()
+        self._stack: List[Span] = []
+        self.roots: List[Span] = []
+        self.sim_events: List[SimSlice] = []
+        self.max_sim_events = max_sim_events
+        #: Slices discarded once the timeline hit ``max_sim_events`` —
+        #: reported in exports so truncation is never silent.
+        self.dropped_sim_events = 0
+
+    # -- span tree ------------------------------------------------------
+    def _now(self) -> float:
+        return self._clock() - self._origin
+
+    def begin(
+        self,
+        name: str,
+        category: str = "",
+        track: Optional[str] = None,
+        args: Optional[Dict[str, object]] = None,
+    ) -> Span:
+        span = Span(
+            name=name,
+            t0=self._now(),
+            category=category,
+            track=track,
+            args=dict(args or {}),
+        )
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        return span
+
+    def end(self, span: Span) -> None:
+        if not self._stack or self._stack[-1] is not span:
+            raise RuntimeError(
+                f"span {span.name!r} ended out of order "
+                f"(open: {[s.name for s in self._stack]})"
+            )
+        span.t1 = self._now()
+        self._stack.pop()
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        category: str = "",
+        track: Optional[str] = None,
+        args: Optional[Dict[str, object]] = None,
+    ) -> Iterator[Span]:
+        """Context-managed span; mutate the yielded span's ``args`` freely.
+
+        >>> tracer = Tracer()
+        >>> with tracer.span("outer") as outer:
+        ...     with tracer.span("inner") as inner:
+        ...         inner.args["k"] = 1
+        >>> tracer.roots[0].children[0].name
+        'inner'
+        """
+        span = self.begin(name, category=category, track=track, args=args)
+        try:
+            yield span
+        finally:
+            self.end(span)
+
+    def add_span(
+        self,
+        name: str,
+        wall_seconds: float,
+        sim_seconds: Optional[float] = None,
+        category: str = "",
+        track: Optional[str] = None,
+        args: Optional[Dict[str, object]] = None,
+        start: Optional[float] = None,
+    ) -> Span:
+        """Attach a pre-measured child span (no begin/end bracketing).
+
+        Used for quantities measured elsewhere — e.g. per-worker execution
+        totals, whose wall time interleaves with other workers' and is
+        summed, not bracketed.  ``start`` anchors the span on the wall
+        timeline (defaults to now).
+        """
+        t0 = start if start is not None else self._now()
+        span = Span(
+            name=name,
+            t0=t0,
+            t1=t0 + wall_seconds,
+            category=category,
+            track=track,
+            sim_seconds=sim_seconds,
+            args=dict(args or {}),
+        )
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        return span
+
+    # -- simulated timeline ---------------------------------------------
+    def add_sim_slice(
+        self,
+        track: str,
+        name: str,
+        start_seconds: float,
+        duration_seconds: float,
+        args: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Record one task's placement on the simulated cluster schedule."""
+        if len(self.sim_events) >= self.max_sim_events:
+            self.dropped_sim_events += 1
+            return
+        self.sim_events.append(
+            SimSlice(track, name, start_seconds, duration_seconds, dict(args or {}))
+        )
+
+    # -- export ---------------------------------------------------------
+    def to_dict(self) -> dict:
+        """The nested-JSON export (span tree + simulated timeline)."""
+        return {
+            "clock": "seconds",
+            "spans": [s.to_dict() for s in self.roots],
+            "sim_timeline": [
+                {
+                    "track": e.track,
+                    "name": e.name,
+                    "start_seconds": e.start_seconds,
+                    "duration_seconds": e.duration_seconds,
+                    "args": e.args,
+                }
+                for e in self.sim_events
+            ],
+            "dropped_sim_events": self.dropped_sim_events,
+        }
+
+    def to_chrome(self) -> dict:
+        """Chrome ``trace_event`` export (the ``--trace`` default format).
+
+        Wall-clock spans live under pid 1, the simulated timeline under
+        pid 2; ``ts``/``dur`` are microseconds as the format requires.
+        """
+        events: List[dict] = [
+            _meta(WALL_PID, 0, "process_name", name="benu pipeline (wall clock)"),
+            _meta(SIM_PID, 0, "process_name", name="benu simulated cluster"),
+        ]
+        wall_tids: Dict[Optional[str], int] = {}
+
+        def tid_for(track: Optional[str], inherited: int) -> int:
+            if track is None:
+                return inherited
+            if track not in wall_tids:
+                tid = len(wall_tids) + 2  # tid 1 = the main pipeline lane
+                wall_tids[track] = tid
+                events.append(_meta(WALL_PID, tid, "thread_name", name=track))
+            return wall_tids[track]
+
+        def emit(span: Span, inherited_tid: int) -> None:
+            tid = tid_for(span.track, inherited_tid)
+            args = dict(span.args)
+            args["wall_seconds"] = span.wall_seconds
+            if span.sim_seconds is not None:
+                args["sim_seconds"] = span.sim_seconds
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.category or "benu",
+                    "ph": "X",
+                    "ts": span.t0 * 1e6,
+                    "dur": span.wall_seconds * 1e6,
+                    "pid": WALL_PID,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+            for child in span.children:
+                emit(child, tid)
+
+        events.append(_meta(WALL_PID, 1, "thread_name", name="pipeline"))
+        for root in self.roots:
+            emit(root, 1)
+
+        sim_tids: Dict[str, int] = {}
+        for e in self.sim_events:
+            tid = sim_tids.get(e.track)
+            if tid is None:
+                tid = len(sim_tids) + 1
+                sim_tids[e.track] = tid
+                events.append(_meta(SIM_PID, tid, "thread_name", name=e.track))
+            events.append(
+                {
+                    "name": e.name,
+                    "cat": "sim",
+                    "ph": "X",
+                    "ts": e.start_seconds * 1e6,
+                    "dur": e.duration_seconds * 1e6,
+                    "pid": SIM_PID,
+                    "tid": tid,
+                    "args": e.args,
+                }
+            )
+
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "source": "repro (BENU reproduction)",
+                "dropped_sim_events": self.dropped_sim_events,
+            },
+        }
+
+    def write(self, path, format: str = "chrome") -> None:
+        """Serialize to ``path`` as ``chrome`` trace_event or nested ``json``."""
+        if format not in ("chrome", "json"):
+            raise ValueError(f"format must be 'chrome' or 'json', got {format!r}")
+        payload = self.to_chrome() if format == "chrome" else self.to_dict()
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=1)
+            fh.write("\n")
+
+
+def _meta(pid: int, tid: int, kind: str, **args: object) -> dict:
+    return {
+        "name": kind,
+        "ph": "M",
+        "ts": 0,
+        "pid": pid,
+        "tid": tid,
+        "args": args,
+    }
+
+
+class _NullSpan:
+    """The span yielded while tracing is off; accepts writes, keeps nothing."""
+
+    __slots__ = ("args",)
+
+    def __init__(self) -> None:
+        self.args: Dict[str, object] = {}
+
+    wall_seconds = 0.0
+    sim_seconds = None
+
+
+class NullTracer:
+    """Disabled tracer: the whole API, none of the work.
+
+    >>> t = NullTracer()
+    >>> with t.span("anything") as s:
+    ...     s.args["ignored"] = True
+    >>> t.roots, t.to_dict()
+    ([], None)
+    """
+
+    enabled = False
+    roots: List[Span] = []
+    sim_events: List[SimSlice] = []
+    dropped_sim_events = 0
+
+    @contextmanager
+    def span(self, name, category="", track=None, args=None):
+        yield _NullSpan()
+
+    def begin(self, name, category="", track=None, args=None) -> _NullSpan:
+        return _NullSpan()
+
+    def end(self, span) -> None:
+        pass
+
+    def add_span(self, name, wall_seconds, **kwargs) -> _NullSpan:
+        return _NullSpan()
+
+    def add_sim_slice(self, track, name, start_seconds, duration_seconds, args=None):
+        pass
+
+    def to_dict(self):
+        return None
+
+    def to_chrome(self):
+        return None
+
+    def write(self, path, format: str = "chrome") -> None:
+        raise RuntimeError("tracing is disabled; enable TelemetryConfig.trace")
+
+
+#: Shared disabled tracer for default arguments.
+NULL_TRACER = NullTracer()
+
+
+_PHASES = frozenset({"X", "M", "i", "B", "E", "C"})
+
+
+def validate_chrome_trace(trace: object) -> List[str]:
+    """Check a Chrome ``trace_event`` export against the minimal schema.
+
+    Returns a list of human-readable problems; empty means valid.  This is
+    the schema the smoke benchmark and CI assert against — it encodes what
+    ``chrome://tracing`` actually requires to render the file.
+
+    >>> validate_chrome_trace({"traceEvents": []})
+    []
+    >>> validate_chrome_trace({"traceEvents": [{"ph": "X"}]})
+    ["event 0: missing keys ['name']"]
+    """
+    errors: List[str] = []
+    if not isinstance(trace, dict):
+        return [f"top level must be an object, got {type(trace).__name__}"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["top level must contain a 'traceEvents' list"]
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            errors.append(f"event {i}: not an object")
+            continue
+        missing = {"name", "ph"} - set(event)
+        if missing:
+            errors.append(f"event {i}: missing keys {sorted(missing)}")
+            continue
+        ph = event["ph"]
+        if ph not in _PHASES:
+            errors.append(f"event {i}: unknown phase {ph!r}")
+            continue
+        if not isinstance(event["name"], str):
+            errors.append(f"event {i}: name must be a string")
+        for key in ("ts", "pid", "tid"):
+            if key in ("pid", "tid") and key not in event:
+                errors.append(f"event {i}: missing {key}")
+                continue
+            if key == "ts" and "ts" not in event:
+                if ph != "M":
+                    errors.append(f"event {i}: missing ts")
+                continue
+            if not isinstance(event.get(key, 0), (int, float)):
+                errors.append(f"event {i}: {key} must be numeric")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)):
+                errors.append(f"event {i}: complete event needs numeric dur")
+            elif dur < 0:
+                errors.append(f"event {i}: negative dur")
+            if isinstance(event.get("ts"), (int, float)) and event["ts"] < 0:
+                errors.append(f"event {i}: negative ts")
+        if "args" in event and not isinstance(event["args"], dict):
+            errors.append(f"event {i}: args must be an object")
+    return errors

@@ -55,6 +55,24 @@ class TestWorker:
         assert max(loads) <= sum(loads)
         assert min(loads) > 0  # greedy assignment used all threads
 
+    def test_lpt_deterministic_on_equal_loads(self, data_graph):
+        # Regression: LPT ties must break toward the lowest thread id, so
+        # identical task streams land on identical threads across runs.
+        config = BenuConfig(num_workers=1, threads_per_worker=4, relabel=False)
+        compiled = compile_plan(plan_for("triangle"))
+        vset = frozenset(data_graph.vertices)
+        assignments = []
+        for _ in range(2):
+            store = DistributedKVStore.from_graph(data_graph)
+            worker = Worker(0, store, config)
+            for v in data_graph.vertices:
+                worker.execute_task(compiled, LocalSearchTask(v), vset)
+            assignments.append([r.thread_id for r in worker.reports])
+        assert assignments[0] == assignments[1]
+        # All threads start at load 0: the first `threads` tasks must fill
+        # threads 0..3 in order, not whatever heap order falls out.
+        assert assignments[0][:4] == [0, 1, 2, 3]
+
 
 class TestCluster:
     def test_count_matches_oracle(self, data_graph):
