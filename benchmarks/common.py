@@ -82,9 +82,16 @@ def write_bench_record(name: str, record: dict) -> Path:
     ``"runs"`` list of per-run telemetry summaries (see
     :func:`telemetry_record`) plus whatever scalars the experiment pivots
     on, so later PRs can regress-check against these files mechanically.
+
+    An existing record is archived to ``BENCH_<name>.prev.json`` first, so
+    ``scripts/perf_guard.py`` can diff the newest run against the one
+    before it and flag throughput regressions.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"BENCH_{name}.json"
+    if path.exists():
+        prev = RESULTS_DIR / f"BENCH_{name}.prev.json"
+        prev.write_text(path.read_text(encoding="utf-8"), encoding="utf-8")
     path.write_text(
         json.dumps(record, indent=1, sort_keys=True) + "\n", encoding="utf-8"
     )

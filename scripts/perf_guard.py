@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""Fail the build when a benchmark record regresses vs its previous run.
+
+``benchmarks/common.write_bench_record`` archives the prior
+``BENCH_<name>.json`` to ``BENCH_<name>.prev.json`` before every
+overwrite, so each results directory carries the newest record and the
+one before it.  This guard walks every such pair, compares each numeric
+figure found under an ``"ops_per_sec"`` key, and fails when any
+throughput fell by more than the threshold (default 20%).
+
+Usage::
+
+    python scripts/perf_guard.py                    # guard all records
+    python scripts/perf_guard.py --name intersect   # one record
+    python scripts/perf_guard.py --threshold 0.1    # stricter
+
+Exit status 0 means every guarded figure is within tolerance (records
+without a previous run are reported as SKIP); 1 means at least one
+regressed.  The comparison is deliberately one-sided: speedups never
+fail, only slowdowns, so noisy improvements don't ratchet the baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+DEFAULT_RESULTS_DIR = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
+DEFAULT_THRESHOLD = 0.20
+GUARDED_KEY = "ops_per_sec"
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One guarded figure that fell past the threshold."""
+
+    record: str
+    path: str
+    previous: float
+    current: float
+
+    @property
+    def drop(self) -> float:
+        return 1.0 - self.current / self.previous
+
+    def __str__(self) -> str:
+        return (
+            f"{self.record}: {self.path} fell {self.drop:.1%} "
+            f"({self.previous:,.1f} -> {self.current:,.1f} ops/sec)"
+        )
+
+
+def collect_ops(record: dict, prefix: str = "") -> dict:
+    """Flatten every numeric figure living under an ``ops_per_sec`` key.
+
+    Returns ``{dotted.path: value}``.  A scalar ``"ops_per_sec": 42.0``
+    and a grouped ``"ops_per_sec": {"csr": ..., "frozenset": ...}`` both
+    count; non-numeric leaves are ignored.
+    """
+    out = {}
+    for key, value in record.items():
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if key == GUARDED_KEY:
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                out[path] = float(value)
+            elif isinstance(value, dict):
+                for sub, v in value.items():
+                    if isinstance(v, (int, float)) and not isinstance(v, bool):
+                        out[f"{path}.{sub}"] = float(v)
+        elif isinstance(value, dict):
+            out.update(collect_ops(value, path))
+    return out
+
+
+def diff_records(
+    previous: dict, current: dict, threshold: float = DEFAULT_THRESHOLD, name: str = ""
+) -> list:
+    """Regressions between two parsed records.
+
+    Figures present only on one side are ignored — experiments come and
+    go; the guard protects figures measured by *both* runs.
+    """
+    prev_ops = collect_ops(previous)
+    curr_ops = collect_ops(current)
+    regressions = []
+    for path in sorted(prev_ops.keys() & curr_ops.keys()):
+        prev, curr = prev_ops[path], curr_ops[path]
+        if prev > 0 and curr < prev * (1.0 - threshold):
+            regressions.append(Regression(name, path, prev, curr))
+    return regressions
+
+
+def guard(
+    results_dir: Path = DEFAULT_RESULTS_DIR,
+    threshold: float = DEFAULT_THRESHOLD,
+    name: str = None,
+    out=sys.stdout,
+) -> int:
+    """Guard every BENCH pair in ``results_dir``; return the exit code."""
+    pattern = f"BENCH_{name}.json" if name else "BENCH_*.json"
+    records = sorted(
+        p for p in results_dir.glob(pattern) if not p.name.endswith(".prev.json")
+    )
+    if not records:
+        print(f"perf-guard: no records matching {pattern} in {results_dir}", file=out)
+        return 1 if name else 0
+    failures = []
+    for path in records:
+        label = path.stem[len("BENCH_"):]
+        prev_path = path.with_name(f"BENCH_{label}.prev.json")
+        if not prev_path.exists():
+            print(f"SKIP  {label}: no previous record", file=out)
+            continue
+        previous = json.loads(prev_path.read_text(encoding="utf-8"))
+        current = json.loads(path.read_text(encoding="utf-8"))
+        guarded = len(collect_ops(previous).keys() & collect_ops(current).keys())
+        regressions = diff_records(previous, current, threshold, label)
+        if regressions:
+            print(f"FAIL  {label}: {len(regressions)}/{guarded} figures regressed", file=out)
+            for r in regressions:
+                print(f"      {r}", file=out)
+            failures.extend(regressions)
+        else:
+            print(f"OK    {label}: {guarded} figures within {threshold:.0%}", file=out)
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results-dir", type=Path, default=DEFAULT_RESULTS_DIR,
+        help="directory holding BENCH_*.json records",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="max tolerated fractional drop (default 0.20)",
+    )
+    parser.add_argument(
+        "--name", default=None,
+        help="guard only BENCH_<name>.json instead of every record",
+    )
+    args = parser.parse_args(argv)
+    return guard(args.results_dir, args.threshold, args.name)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,11 +14,13 @@ See the README for the full API tour and DESIGN.md for the system map.
 """
 
 from .graph import (
+    CSRAdjacency,
     Graph,
     get_pattern,
     load_dataset,
     relabel_by_degree_order,
 )
+from .kernels import KernelStats, intersect_adaptive
 from .pattern import PatternGraph
 from .plan import (
     GraphStats,
@@ -46,7 +48,10 @@ from .telemetry import (
 __version__ = "1.1.0"
 
 __all__ = [
+    "CSRAdjacency",
     "Graph",
+    "KernelStats",
+    "intersect_adaptive",
     "get_pattern",
     "load_dataset",
     "relabel_by_degree_order",

@@ -22,6 +22,7 @@ import time as _time
 from typing import Callable, List, Optional
 
 from ..graph.graph import Graph
+from ..kernels.intersect import STATS as KERNEL_STATS, KernelStats
 from ..plan.codegen import CompiledPlan, TaskCounters, compile_plan
 from ..plan.generation import ExecutionPlan
 from ..storage.cache import CacheStats
@@ -62,8 +63,14 @@ class SimulatedCluster:
             data,
             num_partitions=self.config.num_partitions,
             latency=self.config.latency,
+            backend=self.config.adjacency_backend,
         )
-        self._vset = frozenset(data.vertices)
+        if self.store.csr is not None:
+            # The V operand becomes a sorted view over the packed vertex-id
+            # array, so compiled kernels can bounds-slice it like any row.
+            self._vset = self.store.csr.universe()
+        else:
+            self._vset = frozenset(data.vertices)
 
     # ------------------------------------------------------------------
     def run_plan(
@@ -98,7 +105,11 @@ class SimulatedCluster:
         profiler = telemetry.make_profiler(registry)
         with tracer.span("codegen") as span:
             compiled = compile_plan(
-                plan, mode=mode, instrument=True, profiler=profiler
+                plan,
+                mode=mode,
+                instrument=True,
+                profiler=profiler,
+                backend=config.adjacency_backend,
             )
             span.args.update(
                 mode=mode, source_lines=compiled.source.count("\n")
@@ -123,6 +134,7 @@ class SimulatedCluster:
             self.store.on_query = (
                 lambda key, nbytes, cost: payload_hist.observe(nbytes)
             )
+        kernel_base = KERNEL_STATS.as_tuple()
         try:
             with tracer.span("execution") as exec_span:
                 workers = [
@@ -151,6 +163,7 @@ class SimulatedCluster:
                 exec_span.args["tasks"] = len(tasks)
         finally:
             self.store.on_query = None
+        KernelStats(**KERNEL_STATS.delta_since(kernel_base)).record_to(registry)
 
         total_counters = TaskCounters()
         communication = QueryStats()

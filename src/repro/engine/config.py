@@ -15,6 +15,9 @@ from typing import Optional
 from ..storage.kvstore import LatencyModel
 from ..telemetry.runtime import TelemetryConfig
 
+#: The adjacency layouts the engine can negotiate end-to-end.
+ADJACENCY_BACKENDS = ("frozenset", "csr")
+
 
 @dataclass(frozen=True)
 class SimulationCostModel:
@@ -44,6 +47,11 @@ class BenuConfig:
     cache_capacity_bytes: Optional[int] = None
     #: DB cache replacement policy: "lru" (the paper), "fifo", "lfu", "random".
     cache_policy: str = "lru"
+    #: Adjacency layout served by the distributed store and consumed by
+    #: compiled plans: "frozenset" (hash sets, the historical layout) or
+    #: "csr" (packed sorted arrays + adaptive intersection kernels; exact
+    #: 8-bytes-per-id accounting, shareable zero-copy between processes).
+    adjacency_backend: str = "frozenset"
     #: Task-splitting degree threshold τ (Section V-B); None disables.
     split_threshold: Optional[int] = 64
     #: Optimization level 0–3 (Fig. 7's x-axis); 3 is the paper's default.
@@ -81,6 +89,11 @@ class BenuConfig:
             raise ValueError("split threshold must be positive")
         if not 0 <= self.optimization_level <= 3:
             raise ValueError("optimization level must be 0..3")
+        if self.adjacency_backend not in ADJACENCY_BACKENDS:
+            raise ValueError(
+                f"unknown adjacency backend {self.adjacency_backend!r}; "
+                f"options: {sorted(ADJACENCY_BACKENDS)}"
+            )
         from ..storage.policies import POLICIES
 
         if self.cache_policy not in POLICIES:

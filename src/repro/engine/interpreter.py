@@ -29,24 +29,32 @@ class _Counters:
         self.results = 0
 
 
+def _bind_predicates(filters, env) -> list:
+    """Resolve each filter to a closed predicate, once per INT execution.
+
+    The environment lookup ``env[f.var]`` and the kind dispatch happen
+    here — once per filter — instead of once per candidate × filter
+    inside the scan loop.
+    """
+    checks = []
+    for f in filters:
+        ref = env[f.var]  # hoisted: the reference is loop-invariant
+        kind = f.kind
+        if kind is FilterKind.GT:
+            checks.append(lambda v, ref=ref: v > ref)
+        elif kind is FilterKind.LT:
+            checks.append(lambda v, ref=ref: v < ref)
+        else:
+            checks.append(lambda v, ref=ref: v != ref)
+    return checks
+
+
 def _apply_filters(values, env, filters) -> set:
-    out = set()
-    for v in values:
-        ok = True
-        for f in filters:
-            ref = env[f.var]
-            if f.kind is FilterKind.GT and not v > ref:
-                ok = False
-                break
-            if f.kind is FilterKind.LT and not v < ref:
-                ok = False
-                break
-            if f.kind is FilterKind.NE and v == ref:
-                ok = False
-                break
-        if ok:
-            out.add(v)
-    return out
+    checks = _bind_predicates(filters, env)
+    if len(checks) == 1:
+        chk = checks[0]
+        return {v for v in values if chk(v)}
+    return {v for v in values if all(chk(v) for chk in checks)}
 
 
 def interpret_plan(
@@ -100,7 +108,7 @@ def interpret_plan(
             sets = [value_of(op) for op in inst.operands]
             result = set(sets[0])
             for s in sets[1:]:
-                result &= s
+                result.intersection_update(s)
             if inst.filters:
                 result = _apply_filters(result, env, inst.filters)
             env[inst.target] = result
@@ -112,7 +120,9 @@ def interpret_plan(
             cached = cache.get(key)
             if cached is None:
                 counters.trc_misses += 1
-                cached = value_of(inst.operands[-2]) & value_of(inst.operands[-1])
+                cached = frozenset(value_of(inst.operands[-2])).intersection(
+                    value_of(inst.operands[-1])
+                )
                 cache[key] = cached
             env[inst.target] = cached
             if not cached:

@@ -20,6 +20,7 @@ from .generators import (
     random_connected_graph,
     sample_pattern_graphs,
 )
+from .csr import AdjacencyView, CSRAdjacency
 from .io import parse_edge_list, read_edge_list, write_edge_list
 from .order import (
     degree_order_key,
@@ -42,6 +43,8 @@ __all__ = [
     "path_graph",
     "star_graph",
     "union_graphs",
+    "AdjacencyView",
+    "CSRAdjacency",
     "chung_lu",
     "ensure_connected",
     "erdos_renyi",

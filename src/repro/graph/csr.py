@@ -1,0 +1,354 @@
+"""CSR (compressed-sparse-row) adjacency — the packed alternative backend.
+
+The default adjacency layout stores one ``frozenset`` per vertex: hash
+probing and C-speed intersections, but ~100 bytes per edge endpoint once
+boxed ints, hash tables and dict slots are paid for, and nothing to share
+between processes except via pickling or copy-on-write page faults.
+
+This module packs the same structure HUGE-style into two flat ``array('q')``
+buffers — a concatenation of all adjacency lists, each sorted ascending,
+plus an offset index — at exactly 8 bytes per stored id:
+
+* ``neighbors[offsets[i]:offsets[i+1]]`` is Γ(v) for the i-th vertex;
+* rows are served as :class:`AdjacencyView` objects: zero-copy slices that
+  know they are sorted, so symmetry-breaking bounds (``> f_i`` under ≺)
+  become ``bisect`` slices instead of per-element filter passes;
+* the flat buffers can be placed in ``multiprocessing.shared_memory`` and
+  re-attached by worker processes without copying a single neighbor id.
+
+Views lazily materialize a tuple (for C-speed iteration/probing) and a
+frozenset (for hash-path intersections); both caches are optional
+accelerations governed by ``hash_cache_limit`` — the packed arrays stay the
+single source of truth.  See DESIGN.md §7 for the layout trade-off.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Sequence, Tuple
+
+from .graph import Graph, Vertex
+
+__all__ = [
+    "AdjacencyView",
+    "CSRAdjacency",
+    "CSRShmHandle",
+    "ShmAttachStats",
+    "ATTACH_STATS",
+]
+
+_ITEM_BYTES = 8  # array('q') / int64
+
+
+class AdjacencyView:
+    """One sorted adjacency row (or any sorted id universe) over a buffer.
+
+    Set-like for everything the BENU hot loop needs — ``len``, iteration,
+    membership (binary search), truthiness — plus the sorted-only
+    operations the kernels exploit: ``between`` (bounds as slices),
+    ``materialize`` (tuple for C-speed probing) and ``fset`` (a lazily
+    cached frozenset for hash-path intersections).
+
+    >>> v = AdjacencyView(array("q", [2, 5, 9, 11]))
+    >>> len(v), 5 in v, 6 in v
+    (4, True, False)
+    >>> v.between(2, 11)
+    (5, 9)
+    """
+
+    __slots__ = ("ids", "_tuple", "_fset", "_owner")
+
+    def __init__(self, ids: Sequence[int], owner: "CSRAdjacency" = None) -> None:
+        self.ids = ids
+        self._tuple: Optional[tuple] = None
+        self._fset: Optional[frozenset] = None
+        self._owner = owner
+
+    # -- set-like protocol --------------------------------------------
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.materialize())
+
+    def __contains__(self, v: object) -> bool:
+        ids = self.ids
+        i = bisect_left(ids, v)
+        return i < len(ids) and ids[i] == v
+
+    def __repr__(self) -> str:
+        return f"AdjacencyView(n={len(self.ids)})"
+
+    # -- sorted-only operations ---------------------------------------
+    def materialize(self) -> tuple:
+        """The row as a tuple (cached; tuples iterate/probe fastest in C)."""
+        t = self._tuple
+        if t is None:
+            t = tuple(self.ids)
+            owner = self._owner
+            if owner is None or owner._admit_cache():
+                self._tuple = t
+        return t
+
+    def fset(self) -> frozenset:
+        """The row as a frozenset (cached under the owner's budget)."""
+        s = self._fset
+        if s is None:
+            s = frozenset(self.materialize())
+            owner = self._owner
+            if owner is None or owner._admit_cache():
+                self._fset = s
+        return s
+
+    def has_fset(self) -> bool:
+        return self._fset is not None
+
+    def between(self, lo: Optional[int], hi: Optional[int]) -> tuple:
+        """Elements ``v`` with ``v > lo`` and ``v < hi`` (either bound optional).
+
+        Sortedness turns the symmetry-breaking filters into two binary
+        searches and one slice — O(log d) instead of O(d).
+        """
+        t = self.materialize()
+        i = bisect_right(t, lo) if lo is not None else 0
+        j = bisect_left(t, hi) if hi is not None else len(t)
+        return t[i:j]
+
+    def nbytes(self) -> int:
+        """Exact packed size of this row: ``len(view) * 8``."""
+        return len(self.ids) * _ITEM_BYTES
+
+
+@dataclass(frozen=True)
+class CSRShmHandle:
+    """A picklable descriptor of a CSR adjacency living in shared memory.
+
+    Layout inside the block (all int64): ``vertex_ids[n] · offsets[n+1] ·
+    neighbors[m]``.  Workers attach by name and wrap zero-copy memoryviews
+    around the three regions — no adjacency data crosses the process
+    boundary.
+    """
+
+    name: str
+    num_vertices: int
+    num_neighbors: int
+
+    @property
+    def nbytes(self) -> int:
+        return (2 * self.num_vertices + 1 + self.num_neighbors) * _ITEM_BYTES
+
+
+@dataclass
+class ShmAttachStats:
+    """Counts of shared-memory attaches performed in this process."""
+
+    attaches: int = 0
+    bytes_mapped: int = 0
+
+    def record_to(self, registry, **labels) -> None:
+        from ..telemetry.snapshot import G_SHM_BYTES, M_SHM_ATTACHES
+
+        names = tuple(labels)
+        registry.counter(
+            M_SHM_ATTACHES, "shared-memory CSR attaches", names
+        ).inc(self.attaches, **labels)
+        registry.gauge(
+            G_SHM_BYTES, "bytes of adjacency mapped via shared memory"
+        ).set(self.bytes_mapped)
+
+
+#: Module-level attach ledger (per process; workers report deltas home).
+ATTACH_STATS = ShmAttachStats()
+
+
+def _attach_untracked(name: str):
+    """Attach to an existing shared block without tracker registration.
+
+    The creating process already registered the block; attaching workers
+    must not, or N workers produce N-1 spurious tracker unregisters (the
+    tracker's cache is a set) and noisy KeyErrors at shutdown.  Python
+    3.13 grew ``SharedMemory(track=False)`` for exactly this; on earlier
+    versions the documented workaround is suppressing the register call.
+    """
+    from multiprocessing import resource_tracker, shared_memory
+
+    orig_register = resource_tracker.register
+
+    def _skip_shm(name_, rtype):  # pragma: no cover - trivial shim
+        if rtype != "shared_memory":
+            orig_register(name_, rtype)
+
+    resource_tracker.register = _skip_shm
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = orig_register
+
+
+class CSRAdjacency:
+    """A whole graph's adjacency in CSR form.
+
+    >>> from repro.graph.graph import complete_graph
+    >>> csr = CSRAdjacency.from_graph(complete_graph(3))
+    >>> sorted(csr.row(1))
+    [2, 3]
+    >>> csr.degree(2)
+    2
+    """
+
+    __slots__ = (
+        "vertex_ids",
+        "offsets",
+        "neighbors",
+        "hash_cache_limit",
+        "_row_of",
+        "_views",
+        "_cached_rows",
+        "_universe",
+        "_shm",
+    )
+
+    def __init__(
+        self,
+        vertex_ids: Sequence[int],
+        offsets: Sequence[int],
+        neighbors: Sequence[int],
+        hash_cache_limit: Optional[int] = None,
+    ) -> None:
+        if len(offsets) != len(vertex_ids) + 1:
+            raise ValueError("offsets must have exactly num_vertices + 1 entries")
+        self.vertex_ids = vertex_ids
+        self.offsets = offsets
+        self.neighbors = neighbors
+        #: Max number of rows allowed to cache tuple/frozenset forms; None
+        #: = unbounded.  Bounds per-process decode memory on huge graphs.
+        self.hash_cache_limit = hash_cache_limit
+        self._row_of: Dict[Vertex, int] = {
+            v: i for i, v in enumerate(vertex_ids)
+        }
+        self._views: Dict[Vertex, AdjacencyView] = {}
+        self._cached_rows = 0
+        self._universe: Optional[AdjacencyView] = None
+        self._shm = None  # keeps an attached shared-memory block alive
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(
+        cls, graph: Graph, hash_cache_limit: Optional[int] = None
+    ) -> "CSRAdjacency":
+        """Pack a :class:`Graph` (vertices already sorted ascending)."""
+        vertex_ids = array("q", graph.vertices)
+        offsets = array("q", [0])
+        neighbors = array("q")
+        for v in graph.vertices:
+            neighbors.extend(graph.sorted_neighbors(v))
+            offsets.append(len(neighbors))
+        return cls(vertex_ids, offsets, neighbors, hash_cache_limit)
+
+    def _admit_cache(self) -> bool:
+        limit = self.hash_cache_limit
+        if limit is not None and self._cached_rows >= limit:
+            return False
+        self._cached_rows += 1
+        return True
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.vertex_ids)
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._row_of
+
+    def row(self, v: Vertex) -> AdjacencyView:
+        """The sorted adjacency view of ``v`` (views are memoized)."""
+        view = self._views.get(v)
+        if view is None:
+            i = self._row_of[v]
+            lo, hi = self.offsets[i], self.offsets[i + 1]
+            view = AdjacencyView(self.neighbors[lo:hi], owner=self)
+            self._views[v] = view
+        return view
+
+    def degree(self, v: Vertex) -> int:
+        i = self._row_of[v]
+        return self.offsets[i + 1] - self.offsets[i]
+
+    def universe(self) -> AdjacencyView:
+        """V(G) as a sorted view — the CSR stand-in for the ``V`` operand."""
+        if self._universe is None:
+            self._universe = AdjacencyView(self.vertex_ids, owner=self)
+        return self._universe
+
+    def items(self) -> Iterator[Tuple[Vertex, AdjacencyView]]:
+        for v in self.vertex_ids:
+            yield v, self.row(v)
+
+    def memory_bytes(self) -> int:
+        """Exact packed footprint of the three flat arrays."""
+        return (
+            len(self.vertex_ids) + len(self.offsets) + len(self.neighbors)
+        ) * _ITEM_BYTES
+
+    # -- shared memory --------------------------------------------------
+    def to_shared(self) -> Tuple[CSRShmHandle, object]:
+        """Copy the arrays into one shared-memory block.
+
+        Returns ``(handle, shm)``; the caller owns the block and must
+        ``close()`` + ``unlink()`` it when every worker is done.
+        """
+        from multiprocessing import shared_memory
+
+        n, m = len(self.vertex_ids), len(self.neighbors)
+        handle_size = (2 * n + 1 + m) * _ITEM_BYTES
+        shm = shared_memory.SharedMemory(create=True, size=handle_size)
+        mv = memoryview(shm.buf).cast("q")
+        mv[0:n] = memoryview(array("q", self.vertex_ids))
+        mv[n : 2 * n + 1] = memoryview(array("q", self.offsets))
+        if m:
+            mv[2 * n + 1 : 2 * n + 1 + m] = memoryview(array("q", self.neighbors))
+        mv.release()
+        return CSRShmHandle(shm.name, n, m), shm
+
+    @classmethod
+    def from_shared(
+        cls, handle: CSRShmHandle, hash_cache_limit: Optional[int] = None
+    ) -> "CSRAdjacency":
+        """Attach to a shared block — zero adjacency bytes are copied.
+
+        The returned object keeps the mapping alive for its own lifetime
+        and unregisters it from the resource tracker (the creator owns
+        unlinking).
+        """
+        shm = _attach_untracked(handle.name)
+        n, m = handle.num_vertices, handle.num_neighbors
+        mv = memoryview(shm.buf).cast("q")
+        csr = cls(
+            mv[0:n],
+            mv[n : 2 * n + 1],
+            mv[2 * n + 1 : 2 * n + 1 + m],
+            hash_cache_limit,
+        )
+        csr._shm = shm
+        ATTACH_STATS.attaches += 1
+        ATTACH_STATS.bytes_mapped += handle.nbytes
+        return csr
+
+    def detach(self) -> None:
+        """Release an attached mapping (no-op for non-shared instances).
+
+        Drops every buffer-backed reference this object holds (views,
+        arrays, the universe) so the exported memoryviews die, then closes
+        the mapping.  Callers must drop their own row views first.
+        """
+        shm, self._shm = self._shm, None
+        if shm is None:
+            return
+        self._views.clear()
+        self._universe = None
+        self.vertex_ids = ()
+        self.offsets = ()
+        self.neighbors = ()
+        self._row_of = {}
+        shm.close()

@@ -13,7 +13,16 @@ graph model (Section II-A): undirected, no self loops, no parallel edges.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 Vertex = int
 Edge = Tuple[int, int]
@@ -54,7 +63,14 @@ class Graph:
     [1, 3]
     """
 
-    __slots__ = ("_adj", "_num_edges", "_vertices")
+    __slots__ = (
+        "_adj",
+        "_num_edges",
+        "_vertices",
+        "_sorted_adj",
+        "_degree_seq",
+        "_csr",
+    )
 
     def __init__(
         self,
@@ -78,6 +94,12 @@ class Graph:
         }
         self._num_edges = num_edges
         self._vertices: Tuple[Vertex, ...] = tuple(sorted(self._adj))
+        # Lazily built, immutable-graph caches (the class never mutates
+        # after __init__): sorted adjacency rows, the degree sequence, and
+        # the packed CSR form.
+        self._sorted_adj: Dict[Vertex, Tuple[Vertex, ...]] = {}
+        self._degree_seq: Optional[List[int]] = None
+        self._csr = None
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -112,16 +134,54 @@ class Graph:
         nbrs = self._adj.get(u)
         return nbrs is not None and v in nbrs
 
+    def sorted_neighbors(self, v: Vertex) -> Tuple[Vertex, ...]:
+        """Γ(v) sorted ascending, cached (the graph is immutable)."""
+        cached = self._sorted_adj.get(v)
+        if cached is None:
+            cached = tuple(sorted(self._adj[v]))
+            self._sorted_adj[v] = cached
+        return cached
+
     def edges(self) -> Iterator[Edge]:
         """Iterate edges in canonical (min, max) orientation, sorted."""
         for u in self._vertices:
-            for v in sorted(self._adj[u]):
+            for v in self.sorted_neighbors(u):
                 if u < v:
                     yield (u, v)
 
     def adjacency(self) -> Dict[Vertex, FrozenSet[Vertex]]:
         """The underlying adjacency mapping (shared, not copied)."""
         return self._adj
+
+    def csr(self):
+        """The packed CSR form of this graph's adjacency, built once.
+
+        Returns a :class:`repro.graph.csr.CSRAdjacency`; see that module
+        for the layout and the hot-loop operations it enables.
+        """
+        if self._csr is None:
+            from .csr import CSRAdjacency
+
+            self._csr = CSRAdjacency.from_graph(self)
+        return self._csr
+
+    def memory_bytes(self, backend: str = "frozenset") -> int:
+        """Estimated adjacency footprint under the given backend.
+
+        ``csr`` is exact (8 bytes per stored id plus the offset index);
+        ``frozenset`` approximates CPython's per-object costs: a dict slot
+        plus a frozenset header per vertex and a hash slot plus a boxed
+        int per neighbor entry.
+        """
+        if backend == "csr":
+            n, m2 = self.num_vertices, 2 * self._num_edges
+            return 8 * (n + (n + 1) + m2)
+        if backend == "frozenset":
+            # 64B frozenset header + dict entry per vertex; 8B hash slot
+            # (at ~3x load-factor headroom) + 28B boxed int per endpoint.
+            n, m2 = self.num_vertices, 2 * self._num_edges
+            return 104 * n + 52 * m2
+        raise GraphError(f"unknown adjacency backend {backend!r}")
 
     # ------------------------------------------------------------------
     # Derived views
@@ -149,8 +209,12 @@ class Graph:
         return Graph(edges, vertices=image)
 
     def degree_sequence(self) -> List[int]:
-        """Degrees sorted descending (graph invariant)."""
-        return sorted((len(n) for n in self._adj.values()), reverse=True)
+        """Degrees sorted descending (graph invariant, computed once)."""
+        if self._degree_seq is None:
+            self._degree_seq = sorted(
+                (len(n) for n in self._adj.values()), reverse=True
+            )
+        return list(self._degree_seq)
 
     # ------------------------------------------------------------------
     # Traversal helpers

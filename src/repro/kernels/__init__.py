@@ -1,0 +1,25 @@
+"""Hot-loop kernels: adaptive intersections over sorted adjacency arrays."""
+
+from .intersect import (
+    GALLOP_RATIO,
+    STATS,
+    KernelStats,
+    ensure_sorted,
+    intersect_adaptive,
+    intersect_count,
+    intersect_filtered,
+    intersect_gallop,
+    intersect_merge,
+)
+
+__all__ = [
+    "GALLOP_RATIO",
+    "STATS",
+    "KernelStats",
+    "ensure_sorted",
+    "intersect_adaptive",
+    "intersect_count",
+    "intersect_filtered",
+    "intersect_gallop",
+    "intersect_merge",
+]

@@ -1,0 +1,387 @@
+"""Intersection kernels — the INT/TRC hot loop of the CSR backend.
+
+The paper's Table III makes adjacency-set intersection *the* unit of
+computation cost; everything here exists to make that one operation cheap
+on the packed sorted layout of :mod:`repro.graph.csr`.
+
+Three base kernels, all over ascending-sorted sequences:
+
+* :func:`intersect_merge`   — classic two-pointer merge, O(|A| + |B|);
+* :func:`intersect_gallop`  — per-element binary search from the last hit,
+  O(|A| log |B|), the winner when |A| ≪ |B|;
+* hash probing — iterate the smaller operand through the larger one's
+  (lazily cached) frozenset at C speed; the steady-state fast path for
+  rows queried repeatedly.
+
+:func:`intersect_adaptive` picks merge vs gallop per call by the size
+ratio (``GALLOP_RATIO``).  :func:`intersect_filtered` is what compiled
+plans actually call: it reorders multi-way intersections smallest-first,
+turns the symmetry-breaking bounds (``v > f_i`` / ``v < f_i``) into
+``bisect`` slices on the sorted source operand instead of per-candidate
+comparisons, applies injectivity exclusions as O(log n) point removals,
+and dispatches each pairwise step to the cheapest kernel.
+
+Every dispatch decision is counted in :data:`STATS` so telemetry can
+report which kernel actually served a run (``benu_kernel_calls_total``).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..graph.csr import AdjacencyView
+
+__all__ = [
+    "GALLOP_RATIO",
+    "STATS",
+    "KernelStats",
+    "ensure_sorted",
+    "intersect_adaptive",
+    "intersect_count",
+    "intersect_filtered",
+    "intersect_gallop",
+    "intersect_merge",
+]
+
+#: Gallop when the larger operand is at least this many times the smaller.
+GALLOP_RATIO = 8
+
+_SET_TYPES = (set, frozenset)
+
+
+@dataclass
+class KernelStats:
+    """Per-process counts of which kernel served each intersection."""
+
+    merge: int = 0
+    gallop: int = 0
+    hash: int = 0
+    slice: int = 0
+    set: int = 0
+
+    FIELDS = ("merge", "gallop", "hash", "slice", "set")
+
+    def as_dict(self) -> dict:
+        return {f: getattr(self, f) for f in self.FIELDS}
+
+    def as_tuple(self) -> Tuple[int, ...]:
+        return tuple(getattr(self, f) for f in self.FIELDS)
+
+    def total(self) -> int:
+        return sum(self.as_tuple())
+
+    def reset(self) -> None:
+        for f in self.FIELDS:
+            setattr(self, f, 0)
+
+    def delta_since(self, snapshot: Tuple[int, ...]) -> dict:
+        return {
+            f: now - before
+            for f, now, before in zip(self.FIELDS, self.as_tuple(), snapshot)
+        }
+
+    def add(self, counts: dict) -> None:
+        for f, v in counts.items():
+            setattr(self, f, getattr(self, f) + v)
+
+    def record_to(self, registry, **labels) -> None:
+        """Mirror the counts into a telemetry registry.
+
+        >>> from repro.telemetry import MetricsRegistry
+        >>> reg = MetricsRegistry()
+        >>> KernelStats(hash=3, gallop=1).record_to(reg)
+        >>> reg.get("benu_kernel_calls_total").value(kernel="hash")
+        3
+        """
+        from ..telemetry.snapshot import M_KERNEL_CALLS
+
+        names = tuple(labels)
+        metric = registry.counter(
+            M_KERNEL_CALLS,
+            "intersections served, by kernel choice",
+            ("kernel",) + names,
+        )
+        for f in self.FIELDS:
+            metric.inc(getattr(self, f), kernel=f, **labels)
+
+
+#: The process-wide ledger compiled plans report into.
+STATS = KernelStats()
+
+
+# ----------------------------------------------------------------------
+# Base kernels (pure, sorted-sequence in, sorted list out)
+# ----------------------------------------------------------------------
+def intersect_merge(a: Sequence[int], b: Sequence[int]) -> List[int]:
+    """Two-pointer merge intersection of two ascending-sorted sequences.
+
+    >>> intersect_merge([1, 3, 5, 7], [2, 3, 4, 7, 9])
+    [3, 7]
+    """
+    out: List[int] = []
+    ap = out.append
+    i = j = 0
+    la, lb = len(a), len(b)
+    while i < la and j < lb:
+        x = a[i]
+        y = b[j]
+        if x < y:
+            i += 1
+        elif y < x:
+            j += 1
+        else:
+            ap(x)
+            i += 1
+            j += 1
+    return out
+
+
+def intersect_gallop(small: Sequence[int], large: Sequence[int]) -> List[int]:
+    """Binary-search each element of ``small`` into ``large``.
+
+    The search window's low end advances monotonically (both inputs are
+    sorted), so the total work is O(|small| · log |large|) — the right
+    kernel when the operand sizes are badly skewed.
+
+    >>> intersect_gallop([5, 40], list(range(0, 100, 2)))
+    [40]
+    """
+    out: List[int] = []
+    ap = out.append
+    lo, hi = 0, len(large)
+    bl = bisect_left
+    for x in small:
+        lo = bl(large, x, lo, hi)
+        if lo == hi:
+            break
+        if large[lo] == x:
+            ap(x)
+            lo += 1
+    return out
+
+
+def intersect_adaptive(
+    a: Sequence[int], b: Sequence[int], stats: KernelStats = STATS
+) -> List[int]:
+    """Merge or gallop, chosen per call by the operand size ratio.
+
+    >>> intersect_adaptive([2, 9], list(range(100)))
+    [2, 9]
+    """
+    if len(a) > len(b):
+        a, b = b, a
+    if len(a) * GALLOP_RATIO <= len(b):
+        stats.gallop += 1
+        return intersect_gallop(a, b)
+    stats.merge += 1
+    return intersect_merge(a, b)
+
+
+# ----------------------------------------------------------------------
+# The compiled-plan entry points
+# ----------------------------------------------------------------------
+def _slice_bounds(op, lo: Optional[int], hi: Optional[int]):
+    """Restrict a sorted operand to (lo, hi) exclusive, via bisect."""
+    if isinstance(op, AdjacencyView):
+        return op.between(lo, hi)
+    i = bisect_right(op, lo) if lo is not None else 0
+    j = bisect_left(op, hi) if hi is not None else len(op)
+    if i == 0 and j == len(op):
+        return op
+    return op[i:j]
+
+
+def _probe_form(op):
+    """The fastest iterable form of ``op`` for C-level set probing."""
+    return op.materialize() if isinstance(op, AdjacencyView) else op
+
+
+def _hash_form(op):
+    """``op`` as a hash set (cached on views, computed for plain lists)."""
+    if isinstance(op, _SET_TYPES):
+        return op
+    if isinstance(op, AdjacencyView):
+        return op.fset()
+    return frozenset(op)
+
+
+def _bounds_filter(values: Iterable[int], lo, hi):
+    if lo is not None and hi is not None:
+        return {v for v in values if lo < v < hi}
+    if lo is not None:
+        return {v for v in values if v > lo}
+    return {v for v in values if v < hi}
+
+
+def _sorted_contains(seq, x) -> bool:
+    i = bisect_left(seq, x)
+    return i < len(seq) and seq[i] == x
+
+
+def _exclude(out, exclude: Tuple[int, ...]):
+    """Drop the injectivity-excluded vertices (≤ a few per instruction)."""
+    if isinstance(out, _SET_TYPES):
+        if out.isdisjoint(exclude):
+            return out
+        return out.difference(exclude)
+    if any(_sorted_contains(out, e) for e in exclude):
+        drop = set(exclude)
+        return [v for v in out if v not in drop]
+    return out
+
+
+def intersect_filtered(
+    ops: Sequence,
+    lo: Optional[int] = None,
+    hi: Optional[int] = None,
+    exclude: Tuple[int, ...] = (),
+    stats: KernelStats = STATS,
+):
+    """Multi-way filtered intersection — the generic INT realization.
+
+    ``ops`` may mix sorted operands (:class:`AdjacencyView`, kernel result
+    lists/tuples) and hash sets (prior hash-path results, plan constants).
+    Operands are reordered smallest-first; bounds are realized by slicing
+    a sorted operand whenever one exists.  The result is a sorted sequence
+    or a set depending on the chosen kernel — callers only rely on the
+    *element multiset*, which is identical either way.
+    """
+    if len(ops) == 1:
+        return _intersect1(ops[0], lo, hi, exclude, stats)
+    if len(ops) == 2:
+        return _intersect2(ops[0], ops[1], lo, hi, exclude, stats)
+    return _intersectn(ops, lo, hi, exclude, stats)
+
+
+def _intersect1(a, lo, hi, exclude, stats: KernelStats = STATS):
+    if isinstance(a, _SET_TYPES):
+        stats.set += 1
+        out = _bounds_filter(a, lo, hi) if (lo is not None or hi is not None) \
+            else a
+    else:
+        stats.slice += 1
+        out = _slice_bounds(a, lo, hi)
+    return _exclude(out, exclude) if exclude else out
+
+
+def _intersect2(a, b, lo, hi, exclude, stats: KernelStats = STATS):
+    if len(a) > len(b):
+        a, b = b, a
+    bounded = lo is not None or hi is not None
+    if not isinstance(a, _SET_TYPES):
+        # Sorted smaller operand: bounds become a slice of the source.
+        src = _slice_bounds(a, lo, hi) if bounded else _probe_form(a)
+        if (
+            not isinstance(b, (set, frozenset, AdjacencyView))
+            and len(src) * GALLOP_RATIO <= len(b)
+        ):
+            # Plain sorted sequence with no hash cache to amortize:
+            # gallop beats building a throwaway frozenset.
+            stats.gallop += 1
+            out = intersect_gallop(src, b)
+        elif isinstance(b, AdjacencyView) and not b.has_fset() and (
+            len(src) * GALLOP_RATIO * GALLOP_RATIO <= len(b)
+        ):
+            # Extremely skewed vs a cold hub row: probe the raw ids.
+            stats.gallop += 1
+            out = intersect_gallop(src, b.ids)
+        else:
+            stats.hash += 1
+            out = _hash_form(b).intersection(src)
+    elif not isinstance(b, _SET_TYPES):
+        # a is a (smaller) hash set, b sorted: slice b, probe a.
+        stats.hash += 1
+        src = _slice_bounds(b, lo, hi) if bounded else _probe_form(b)
+        out = a.intersection(src)
+    else:
+        stats.set += 1
+        out = a & b
+        if bounded:
+            out = _bounds_filter(out, lo, hi)
+    return _exclude(out, exclude) if exclude else out
+
+
+def _intersectn(ops, lo, hi, exclude, stats: KernelStats = STATS):
+    ops = sorted(ops, key=len)  # smallest-first: cheapest source operand
+    src = ops[0]
+    bounded = lo is not None or hi is not None
+    if not isinstance(src, _SET_TYPES):
+        src = _slice_bounds(src, lo, hi) if bounded else _probe_form(src)
+        post_filter = False
+    else:
+        post_filter = bounded
+    rest = [_hash_form(o) for o in ops[1:]]
+    stats.hash += 1
+    out = rest[0].intersection(src, *rest[1:])
+    if post_filter:
+        out = _bounds_filter(out, lo, hi)
+    return _exclude(out, exclude) if exclude else out
+
+
+def ensure_sorted(out):
+    """Sort a hash-path result once so later bounds become bisect slices.
+
+    Codegen wraps a producer site with this when static dataflow shows the
+    target is re-filtered inside a *deeper* loop — the one-time sort is
+    amortized over the consumer's iteration count.  Sorted sequences pass
+    through untouched.
+    """
+    if isinstance(out, _SET_TYPES):
+        return sorted(out)
+    return out
+
+
+def intersect_count(
+    ops: Sequence,
+    lo: Optional[int] = None,
+    hi: Optional[int] = None,
+    exclude: Tuple[int, ...] = (),
+    stats: KernelStats = STATS,
+) -> int:
+    """``len(intersect_filtered(...))`` without building the result.
+
+    The innermost-loop peephole of counting plans: on a sorted operand the
+    bounds collapse to two binary searches (O(log n), no allocation); on a
+    hash-set operand the filters run as a generator sum — no set build, no
+    per-element hashing.
+    """
+    if len(ops) == 1:
+        a = ops[0]
+        if not isinstance(a, _SET_TYPES):
+            stats.slice += 1
+            ids = a.ids if isinstance(a, AdjacencyView) else a
+            i = bisect_right(ids, lo) if lo is not None else 0
+            j = bisect_left(ids, hi) if hi is not None else len(ids)
+            n = j - i
+            if n and exclude:
+                for e in exclude:
+                    k = bisect_left(ids, e, i, j)
+                    if k < j and ids[k] == e:
+                        n -= 1
+            return n
+        stats.set += 1
+        if exclude:
+            if lo is not None and hi is not None:
+                return sum(1 for v in a if lo < v < hi and v not in exclude)
+            if lo is not None:
+                return sum(1 for v in a if v > lo and v not in exclude)
+            if hi is not None:
+                return sum(1 for v in a if v < hi and v not in exclude)
+            return sum(1 for v in a if v not in exclude)
+        if lo is not None and hi is not None:
+            return sum(1 for v in a if lo < v < hi)
+        if lo is not None:
+            return sum(1 for v in a if v > lo)
+        if hi is not None:
+            return sum(1 for v in a if v < hi)
+        return len(a)
+    return len(intersect_filtered(ops, lo, hi, exclude, stats))
+
+
+def filter_override(src, override: frozenset):
+    """Task splitting: restrict a candidate source to its subtask slice."""
+    if isinstance(src, _SET_TYPES):
+        return src & override
+    return [v for v in src if v in override]

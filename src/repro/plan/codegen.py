@@ -25,6 +25,7 @@ Section III-A.
 from __future__ import annotations
 
 import io
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
@@ -119,6 +120,8 @@ class CompiledPlan:
     _function: Callable
     #: True when sampling profiling probes were compiled in.
     profiled: bool = False
+    #: Adjacency layout the generated code expects ("frozenset" | "csr").
+    backend: str = "frozenset"
 
     def run(
         self,
@@ -156,6 +159,27 @@ def _filter_expr(var: str, filters: Sequence[Filter]) -> str:
     return " and ".join(parts)
 
 
+def _filter_bounds(filters: Sequence[Filter]) -> Tuple[str, str, str]:
+    """Compile filtering conditions to kernel arguments ``(lo, hi, exclude)``.
+
+    Symmetry-breaking conditions reference loop scalars, so the strict
+    bounds fold into one lower bound (the max of the ``>`` references) and
+    one upper bound (the min of the ``<`` references); injectivity
+    references become a point-exclusion tuple.
+    """
+    gts = [f.var for f in filters if f.kind is FilterKind.GT]
+    lts = [f.var for f in filters if f.kind is FilterKind.LT]
+    nes = [f.var for f in filters if f.kind is FilterKind.NE]
+    lo = "None" if not gts else (
+        gts[0] if len(gts) == 1 else f"max({', '.join(gts)})"
+    )
+    hi = "None" if not lts else (
+        lts[0] if len(lts) == 1 else f"min({', '.join(lts)})"
+    )
+    exclude = "()" if not nes else f"({', '.join(nes)},)"
+    return lo, hi, exclude
+
+
 def _operand_expr(op: str) -> str:
     return "vset" if op == VG else op
 
@@ -180,6 +204,7 @@ def generate_source(
     instrument: bool = True,
     function_name: str = "_benu_task",
     profile: bool = False,
+    backend: str = "frozenset",
 ) -> str:
     """Generate the Python source for one plan (see module docstring).
 
@@ -188,11 +213,22 @@ def generate_source(
     instruction and reports it via ``_prof_rec``, the other branch is the
     plain instruction.  Without it the source is byte-identical to before
     profiling existed, so the default path pays zero overhead.
+
+    With ``backend="csr"`` every INT/TRC site calls the adaptive
+    intersection kernels of :mod:`repro.kernels.intersect` instead of
+    ``&``: multi-way intersections are reordered smallest-first at
+    dispatch time and the symmetry-breaking filters compile to bisect
+    bounds (``lo``/``hi``/``exclude`` kernel arguments) rather than
+    per-candidate comparisons.  ``get_adj`` must then serve sorted
+    :class:`~repro.graph.csr.AdjacencyView` rows.
     """
     if mode not in ("count", "collect"):
         raise ValueError(f"mode must be 'count' or 'collect', got {mode!r}")
+    if backend not in ("frozenset", "csr"):
+        raise ValueError(f"unknown adjacency backend {backend!r}")
     if not plan.defined_before_use():
         raise ValueError("plan uses variables before definition")
+    csr = backend == "csr"
 
     instructions = plan.instructions
     out = _Emitter()
@@ -242,6 +278,42 @@ def generate_source(
         default=-1,
     )
 
+    # -- csr static dataflow -------------------------------------------
+    # A producer (INT/TRC) whose target is bounds-filtered by a
+    # single-operand INT in a *deeper* loop emits sorted output: the
+    # one-time sort is amortized over the consumer loop's iterations,
+    # turning its per-iteration filters into bisect slices/counts.
+    sorted_targets: set = set()
+    view_names: set = set()
+    known_sorted: set = set()
+    if csr:
+        view_names = {
+            other.target
+            for other in instructions
+            if other.type is InstructionType.DBQ
+        }
+        depth_of = {}
+        d = 0
+        for i, other in enumerate(instructions):
+            depth_of[i] = d
+            if other.type is InstructionType.ENU:
+                d += 1
+        producer_at = {
+            other.target: i
+            for i, other in enumerate(instructions)
+            if other.type in (InstructionType.INT, InstructionType.TRC)
+        }
+        for i, other in enumerate(instructions):
+            if (
+                other.type is InstructionType.INT
+                and len(other.operands) == 1
+                and other.filters
+            ):
+                p = producer_at.get(other.operands[0])
+                if p is not None and depth_of[i] > depth_of[p]:
+                    sorted_targets.add(other.operands[0])
+        known_sorted = view_names | sorted_targets
+
     for idx, inst in enumerate(instructions):
         if inst.type is InstructionType.INI:
             out.line(f"{inst.target} = start")
@@ -255,9 +327,117 @@ def generate_source(
             profiled("DBQ", dbq_body)
 
         elif inst.type is InstructionType.INT:
+            # Peephole (csr counting): an INT that only feeds the innermost
+            # count-collapsed ENU never needs its candidate set built — the
+            # count kernel returns the cardinality straight from bisect
+            # bounds (sorted operand) or a generator sum (hash set).
+            nxt = instructions[idx + 1] if idx + 1 < len(instructions) else None
+            fused_count = (
+                csr
+                and mode == "count"
+                and not profile
+                and nxt is not None
+                and nxt.type is InstructionType.ENU
+                and idx + 1 == last_enu_index
+                and nxt.operands[0] == inst.target
+                and nxt.target != second_fvar
+                and all(
+                    later.type is InstructionType.RES
+                    for later in instructions[idx + 2 :]
+                )
+            )
+            if fused_count:
+                ops = [_operand_expr(o) for o in inst.operands]
+                lo, hi, excl = _filter_bounds(inst.filters)
+                src = ops[0]
+                if (
+                    len(ops) == 1
+                    and excl == "()"
+                    and inst.operands[0] in known_sorted
+                ):
+                    # Fully inline: the operand is statically sorted, so
+                    # the count is pure bisect arithmetic — no kernel
+                    # dispatch, no result allocation.
+                    seq = (
+                        f"{src}.ids"
+                        if inst.operands[0] in view_names
+                        else src
+                    )
+                    if lo != "None" and hi != "None":
+                        expr = f"max(0, _bl({seq}, {hi}) - _br({seq}, {lo}))"
+                    elif lo != "None":
+                        expr = f"len({seq}) - _br({seq}, {lo})"
+                    elif hi != "None":
+                        expr = f"_bl({seq}, {hi})"
+                    else:
+                        expr = f"len({seq})"
+                    out.line(f"_c = {expr}")
+                else:
+                    out.line(
+                        f"_c = _ikc(({', '.join(ops)},), {lo}, {hi}, {excl})"
+                    )
+                if instrument:
+                    out.line("n_int += 1")
+                out.line("n_enu += _c")
+                out.line("n_res += _c")
+                break
+
             def int_body(inst=inst):
                 ops = [_operand_expr(o) for o in inst.operands]
-                if inst.filters:
+                if csr:
+                    if len(ops) == 1 and not inst.filters:
+                        out.line(f"{inst.target} = {ops[0]}")
+                    else:
+                        lo, hi, excl = _filter_bounds(inst.filters)
+                        names = [o for o in inst.operands]
+                        if (
+                            len(ops) == 1
+                            and excl == "()"
+                            and names[0] in view_names
+                        ):
+                            # Statically a sorted row view: bounds are one
+                            # between() slice, no kernel dispatch.
+                            call = f"{ops[0]}.between({lo}, {hi})"
+                        elif len(ops) == 1:
+                            call = f"_ik1({ops[0]}, {lo}, {hi}, {excl})"
+                        elif (
+                            len(ops) == 2
+                            and excl == "()"
+                            and lo == "None"
+                            and hi == "None"
+                            and all(n in view_names for n in names)
+                        ):
+                            # Two fresh rows: C-level hash intersection over
+                            # the rows' cached frozensets (built once per
+                            # row per process, reused by every task).
+                            call = f"{ops[0]}.fset() & {ops[1]}.fset()"
+                        elif (
+                            len(ops) == 2
+                            and excl == "()"
+                            and lo == "None"
+                            and hi == "None"
+                            and (names[0] in view_names or names[1] in view_names)
+                        ):
+                            # Row ∩ prior (smaller) result: probe the row's
+                            # hash cache, iterating the small operand.
+                            view, small = (
+                                (ops[1], ops[0])
+                                if names[1] in view_names
+                                else (ops[0], ops[1])
+                            )
+                            call = f"{view}.fset().intersection({small})"
+                        elif len(ops) == 2:
+                            call = (
+                                f"_ik2({ops[0]}, {ops[1]}, {lo}, {hi}, {excl})"
+                            )
+                        else:
+                            call = (
+                                f"_ikn(({', '.join(ops)}), {lo}, {hi}, {excl})"
+                            )
+                        if inst.target in sorted_targets:
+                            call = f"_srt({call})"
+                        out.line(f"{inst.target} = {call}")
+                elif inst.filters:
                     cond = _filter_expr("v", inst.filters)
                     src = ops[0] if len(ops) == 1 else "(" + " & ".join(ops) + ")"
                     out.line(f"{inst.target} = {{v for v in {src} if {cond}}}")
@@ -284,7 +464,16 @@ def generate_source(
                 out.line(f"{inst.target} = tcache.get(_k)")
                 out.line(f"if {inst.target} is None:")
                 out.depth += 1
-                out.line(f"{inst.target} = {ai} & {aj}")
+                if csr:
+                    if ai in view_names and aj in view_names:
+                        call = f"{_operand_expr(ai)}.fset() & {_operand_expr(aj)}.fset()"
+                    else:
+                        call = f"_ik2({ai}, {aj}, None, None, ())"
+                    if inst.target in sorted_targets:
+                        call = f"_srt({call})"
+                    out.line(f"{inst.target} = {call}")
+                else:
+                    out.line(f"{inst.target} = {ai} & {aj}")
                 out.line(f"tcache[_k] = {inst.target}")
                 if instrument:
                     out.line("n_trc_miss += 1")
@@ -300,9 +489,14 @@ def generate_source(
             if inst.target == second_fvar:
                 # Task-splitting hook: subtasks enumerate a slice of C_{k2}.
                 # A fresh name keeps the original set intact for later reads.
+                restrict = (
+                    f"_ovr({source_var}, c2_override)"
+                    if csr
+                    else f"({source_var} & c2_override)"
+                )
                 out.line(
                     f"_c2 = {source_var} if c2_override is None "
-                    f"else ({source_var} & c2_override)"
+                    f"else {restrict}"
                 )
                 source_var = "_c2"
             # Peephole: an innermost loop whose body is just counting RES
@@ -351,12 +545,17 @@ def compile_plan(
     mode: str = "count",
     instrument: bool = True,
     profiler=None,
+    backend: str = "frozenset",
 ) -> CompiledPlan:
     """Compile a plan into an executable :class:`CompiledPlan`.
 
     ``profiler`` (a :class:`repro.telemetry.SamplingProfiler`) compiles
     sampling probes into every DBQ/INT/TRC site; None (the default)
     generates exactly the unprofiled source.
+
+    ``backend="csr"`` generates kernel-calling INT/TRC sites (see
+    :func:`generate_source`); ``get_adj`` must then serve sorted
+    adjacency views, e.g. from a csr-backed store.
 
     >>> from repro.graph.patterns import TRIANGLE
     >>> from repro.graph.graph import complete_graph
@@ -372,13 +571,35 @@ def compile_plan(
     4
     """
     source = generate_source(
-        plan, mode=mode, instrument=instrument, profile=profiler is not None
+        plan,
+        mode=mode,
+        instrument=instrument,
+        profile=profiler is not None,
+        backend=backend,
     )
     namespace: Dict[str, object] = dict(plan.constants)
     if profiler is not None:
         namespace["_prof_tick"] = profiler.should_sample
         namespace["_prof_rec"] = profiler.record
         namespace["_prof_now"] = profiler.clock
+    if backend == "csr":
+        from ..kernels.intersect import (
+            _intersect1,
+            _intersect2,
+            _intersectn,
+            ensure_sorted,
+            filter_override,
+            intersect_count,
+        )
+
+        namespace["_ik1"] = _intersect1
+        namespace["_ik2"] = _intersect2
+        namespace["_ikn"] = _intersectn
+        namespace["_ikc"] = intersect_count
+        namespace["_srt"] = ensure_sorted
+        namespace["_ovr"] = filter_override
+        namespace["_bl"] = bisect_left
+        namespace["_br"] = bisect_right
     code = compile(source, f"<benu-plan:{plan.pattern.name}>", "exec")
     exec(code, namespace)  # noqa: S102 - trusted generated code
     function = namespace["_benu_task"]
@@ -389,4 +610,5 @@ def compile_plan(
         source=source,
         _function=function,
         profiled=profiler is not None,
+        backend=backend,
     )

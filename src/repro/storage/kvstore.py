@@ -80,6 +80,13 @@ class LatencyModel:
 class DistributedKVStore:
     """Adjacency sets of a data graph, hash-partitioned over storage nodes.
 
+    The value layout is negotiated at load time: ``backend="frozenset"``
+    (the historical layout) stores hash sets priced by their delta+varint
+    serialization; ``backend="csr"`` stores sorted
+    :class:`~repro.graph.csr.AdjacencyView` rows over the graph's packed
+    CSR arrays, priced *exactly* at ``len(view) * 8`` bytes — the wire
+    size of a raw int64 posting list.
+
     >>> from repro.graph.graph import complete_graph
     >>> store = DistributedKVStore.from_graph(complete_graph(3), num_partitions=2)
     >>> sorted(store.get(1))
@@ -92,14 +99,20 @@ class DistributedKVStore:
         self,
         num_partitions: int = 16,
         latency: LatencyModel = LatencyModel(),
+        backend: str = "frozenset",
     ) -> None:
         if num_partitions < 1:
             raise ValueError("need at least one partition")
+        if backend not in ("frozenset", "csr"):
+            raise ValueError(f"unknown adjacency backend {backend!r}")
         self.num_partitions = num_partitions
         self.latency = latency
+        self.backend = backend
         self._partitions: list = [dict() for _ in range(num_partitions)]
         self._value_bytes: Dict[Vertex, int] = {}
         self.stats = QueryStats()
+        #: The data graph's CSR arrays (csr backend only).
+        self.csr = None
         #: Optional telemetry hook called as ``(key, nbytes, cost_seconds)``
         #: on every get; None (the default) keeps the hot path branch-cheap.
         self.on_query = None
@@ -111,28 +124,40 @@ class DistributedKVStore:
         graph: Graph,
         num_partitions: int = 16,
         latency: LatencyModel = LatencyModel(),
+        backend: str = "frozenset",
     ) -> "DistributedKVStore":
         """Load a data graph — the preprocessing step of Algorithm 2 line 1."""
-        store = cls(num_partitions, latency)
-        for v in graph.vertices:
-            store.put(v, graph.neighbors(v))
+        store = cls(num_partitions, latency, backend=backend)
+        if backend == "csr":
+            store.csr = graph.csr()
+            for v, view in store.csr.items():
+                store._partitions[store.partition_of(v)][v] = view
+                store._value_bytes[v] = view.nbytes()
+        else:
+            for v in graph.vertices:
+                store.put(v, graph.neighbors(v))
         return store
 
     def partition_of(self, key: Vertex) -> int:
         return hash(key) % self.num_partitions
 
     def put(self, key: Vertex, neighbors: FrozenSet[Vertex]) -> None:
+        if self.backend == "csr":
+            raise ValueError(
+                "csr-backed stores are loaded whole via from_graph(); "
+                "per-key puts would desynchronize the packed arrays"
+            )
         self._partitions[self.partition_of(key)][key] = frozenset(neighbors)
         self._value_bytes[key] = adjacency_size_bytes(neighbors)
 
     # ------------------------------------------------------------------
-    def get(
-        self, key: Vertex, stats: Optional[QueryStats] = None
-    ) -> FrozenSet[Vertex]:
+    def get(self, key: Vertex, stats: Optional[QueryStats] = None):
         """Fetch one adjacency set, accounting the query.
 
-        ``stats`` lets callers (worker machines) account to their own
-        ledger; the store-wide ledger is always updated too.
+        Returns a ``frozenset`` or a sorted ``AdjacencyView`` depending on
+        the store's backend.  ``stats`` lets callers (worker machines)
+        account to their own ledger; the store-wide ledger is always
+        updated too.
         """
         value = self._partitions[self.partition_of(key)].get(key)
         if value is None:

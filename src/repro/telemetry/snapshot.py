@@ -45,6 +45,9 @@ __all__ = [
     "M_INSTRUCTIONS",
     "M_TRC_MISSES",
     "M_TASKS",
+    "M_KERNEL_CALLS",
+    "M_SHM_ATTACHES",
+    "G_SHM_BYTES",
     "G_MAKESPAN",
     "G_WALL",
     "G_WORKERS",
@@ -63,6 +66,9 @@ M_CACHE_EVICTIONS = "benu_cache_evictions_total"
 M_INSTRUCTIONS = "benu_instructions_total"
 M_TRC_MISSES = "benu_trc_cache_misses_total"
 M_TASKS = "benu_tasks_total"
+M_KERNEL_CALLS = "benu_kernel_calls_total"
+M_SHM_ATTACHES = "benu_shm_attaches_total"
+G_SHM_BYTES = "benu_shm_bytes"
 G_MAKESPAN = "benu_makespan_seconds"
 G_WALL = "benu_wall_seconds"
 G_WORKERS = "benu_workers"
@@ -134,6 +140,17 @@ class TelemetrySnapshot:
     @property
     def results(self) -> int:
         return self.instruction_counts.get("RES", 0)
+
+    @property
+    def kernel_counts(self) -> Dict[str, int]:
+        """Intersections served per kernel (csr backend; empty otherwise)."""
+        metric = self.registry.get(M_KERNEL_CALLS)
+        out: Dict[str, int] = {}
+        if isinstance(metric, Counter):
+            for labels, value in metric.samples():
+                kernel = labels.get("kernel", "?")
+                out[kernel] = out.get(kernel, 0) + int(value)
+        return {k: v for k, v in out.items() if v}
 
     def instruction_wall_samples(self) -> Dict[str, HistogramValue]:
         """Sampled wall-time distributions per instruction type.

@@ -59,6 +59,52 @@ class TestCorrectness:
         assert result.count == parallel_count(plan, data_graph, 1).count
 
 
+class TestCsrBackend:
+    def test_csr_matches_frozenset(self, plan, data_graph):
+        fs = parallel_count(plan, data_graph, num_workers=2)
+        cs = parallel_count(plan, data_graph, num_workers=2, backend="csr")
+        assert cs.count == fs.count
+        assert cs.counters.enu_steps == fs.counters.enu_steps
+        assert cs.backend == "csr" and fs.backend == "frozenset"
+
+    def test_workers_attach_shared_block(self, plan, data_graph):
+        """Each worker maps the one shared CSR block instead of copying
+        the adjacency — per-worker memory stops scaling with graph size."""
+        result = parallel_count(plan, data_graph, num_workers=3, backend="csr")
+        assert 1 <= result.shm_attaches <= 3
+        assert result.shm_bytes == data_graph.csr().memory_bytes()
+
+    def test_kernel_deltas_aggregated(self, data_graph):
+        # clique4's plan keeps dynamically-dispatched kernel sites (codegen
+        # inlines simpler plans entirely); their per-task deltas must sum
+        # across the queue into exact totals.
+        plan = build_plan(get_pattern("clique4"), data_graph)
+        result = parallel_count(plan, data_graph, num_workers=2, backend="csr")
+        assert result.kernel_counts and sum(result.kernel_counts.values()) > 0
+
+    def test_single_worker_csr_inline(self, plan, data_graph):
+        result = parallel_count(plan, data_graph, num_workers=1, backend="csr")
+        reference = parallel_count(plan, data_graph, num_workers=1)
+        assert result.count == reference.count
+        assert result.shm_attaches == 1
+
+    def test_result_records_to_registry(self, plan, data_graph):
+        from repro.telemetry.registry import MetricsRegistry
+        from repro.telemetry.snapshot import M_KERNEL_CALLS, M_SHM_ATTACHES
+
+        result = parallel_count(plan, data_graph, num_workers=2, backend="csr")
+        reg = MetricsRegistry()
+        result.record_to(reg)
+        assert reg.counter_total(M_SHM_ATTACHES) == result.shm_attaches
+        assert reg.counter_total(M_KERNEL_CALLS) == sum(
+            result.kernel_counts.values()
+        )
+
+    def test_unknown_backend_rejected(self, plan, data_graph):
+        with pytest.raises(ValueError):
+            parallel_count(plan, data_graph, num_workers=1, backend="btree")
+
+
 @pytest.mark.skipif(
     (os.cpu_count() or 1) < 2, reason="speedup needs multiple CPU cores"
 )

@@ -1,0 +1,136 @@
+"""Smoke tests for scripts/perf_guard.py — the throughput-regression gate.
+
+Runs in the default sweep (marked ``smoke``): exercises the guard's
+record flattening, pairwise diffing, and exit codes on synthetic
+``BENCH_*.json`` pairs, then points it at the real results directory to
+prove the committed records themselves pass the gate.
+"""
+
+import importlib.util
+import io
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.smoke
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_DIR = REPO_ROOT / "benchmarks" / "results"
+
+
+def _load_guard():
+    spec = importlib.util.spec_from_file_location(
+        "perf_guard", REPO_ROOT / "scripts" / "perf_guard.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module  # dataclasses resolve fields via sys.modules
+    spec.loader.exec_module(module)
+    return module
+
+
+guard_mod = _load_guard()
+
+
+def _record(**ops):
+    """A minimal BENCH payload with grouped and scalar ops_per_sec keys."""
+    return {
+        "backends": {"ops_per_sec": dict(ops)},
+        "kernels": {"merge": {"ops_per_sec": ops.get("merge", 100.0)}},
+        "metadata": {"ops_per_sec": "not-a-number", "note": "ignored"},
+    }
+
+
+def _write_pair(results_dir, name, previous, current):
+    results_dir.mkdir(parents=True, exist_ok=True)
+    (results_dir / f"BENCH_{name}.prev.json").write_text(json.dumps(previous))
+    (results_dir / f"BENCH_{name}.json").write_text(json.dumps(current))
+
+
+class TestCollectOps:
+    def test_flattens_scalar_and_grouped_figures(self):
+        ops = guard_mod.collect_ops(_record(csr=200.0, frozenset=150.0, merge=80.0))
+        assert ops == {
+            "backends.ops_per_sec.csr": 200.0,
+            "backends.ops_per_sec.frozenset": 150.0,
+            "backends.ops_per_sec.merge": 80.0,
+            "kernels.merge.ops_per_sec": 80.0,
+        }
+
+    def test_ignores_non_numeric_and_bool_leaves(self):
+        ops = guard_mod.collect_ops(
+            {"a": {"ops_per_sec": {"x": True, "y": "fast", "z": 1.0}}}
+        )
+        assert ops == {"a.ops_per_sec.z": 1.0}
+
+    def test_real_intersect_record_exposes_backend_figures(self):
+        record = json.loads((RESULTS_DIR / "BENCH_intersect.json").read_text())
+        ops = guard_mod.collect_ops(record)
+        assert "backends.ops_per_sec.csr" in ops
+        assert ops["backends.ops_per_sec.csr"] > ops["backends.ops_per_sec.frozenset"]
+
+
+class TestDiffRecords:
+    def test_within_tolerance_passes(self):
+        regs = guard_mod.diff_records(
+            _record(csr=100.0), _record(csr=85.0), threshold=0.20
+        )
+        assert regs == []
+
+    def test_past_threshold_fails_with_drop(self):
+        regs = guard_mod.diff_records(
+            _record(csr=100.0), _record(csr=70.0), threshold=0.20, name="x"
+        )
+        assert [r.path for r in regs] == ["backends.ops_per_sec.csr"]
+        assert regs[0].drop == pytest.approx(0.30)
+        assert "fell 30.0%" in str(regs[0])
+
+    def test_speedups_never_fail(self):
+        regs = guard_mod.diff_records(_record(csr=100.0), _record(csr=500.0))
+        assert regs == []
+
+    def test_figures_on_one_side_only_are_ignored(self):
+        regs = guard_mod.diff_records(
+            {"a": {"ops_per_sec": 100.0}}, {"b": {"ops_per_sec": 1.0}}
+        )
+        assert regs == []
+
+
+class TestGuardCli:
+    def test_regression_exits_nonzero(self, tmp_path):
+        _write_pair(tmp_path, "synthetic", _record(csr=100.0), _record(csr=50.0))
+        out = io.StringIO()
+        assert guard_mod.guard(tmp_path, out=out) == 1
+        assert "FAIL  synthetic" in out.getvalue()
+
+    def test_healthy_pair_exits_zero(self, tmp_path):
+        _write_pair(tmp_path, "synthetic", _record(csr=100.0), _record(csr=95.0))
+        out = io.StringIO()
+        assert guard_mod.guard(tmp_path, out=out) == 0
+        assert "OK    synthetic" in out.getvalue()
+
+    def test_missing_previous_is_skip_not_failure(self, tmp_path):
+        tmp_path.joinpath("BENCH_first.json").write_text(json.dumps(_record(csr=1.0)))
+        out = io.StringIO()
+        assert guard_mod.guard(tmp_path, out=out) == 0
+        assert "SKIP  first" in out.getvalue()
+
+    def test_named_record_missing_is_an_error(self, tmp_path):
+        assert guard_mod.guard(tmp_path, name="absent", out=io.StringIO()) == 1
+
+    def test_main_threshold_flag(self, tmp_path):
+        _write_pair(tmp_path, "synthetic", _record(csr=100.0), _record(csr=85.0))
+        assert guard_mod.main(["--results-dir", str(tmp_path)]) == 0
+        assert (
+            guard_mod.main(
+                ["--results-dir", str(tmp_path), "--threshold", "0.10"]
+            )
+            == 1
+        )
+
+    def test_committed_records_pass_the_gate(self):
+        # The repo's own BENCH_*.json must clear the default threshold —
+        # this is the regression gate the default sweep enforces.
+        out = io.StringIO()
+        assert guard_mod.guard(RESULTS_DIR, out=out) == 0, out.getvalue()
