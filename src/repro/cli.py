@@ -3,7 +3,8 @@
 Commands
 --------
 ``count``      count subgraph instances of a pattern in a data graph
-``enumerate``  list matches (optionally capped)
+``enumerate``  stream matches as they are found (optionally capped)
+``serve``      run the resident query service (JSON lines over stdio/TCP)
 ``run``        run with full telemetry: metrics, tracing, profiling
 ``stats``      run and print the telemetry metric table
 ``plan``       generate, optimize and display an execution plan
@@ -21,8 +22,16 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
-from .engine.benu import build_plan, run_benu
+from .engine.benu import (
+    build_plan,
+    execute_plan,
+    prepare_data,
+    prepare_plan,
+    run_benu,
+)
 from .engine.config import BenuConfig
+from .engine.control import ExecutionControl, QueryCancelled
+from .engine.sinks import CallbackSink, JsonlSink, LimitSink
 from .graph.datasets import DATASET_ORDER, DATASET_SPECS, load_dataset
 from .graph.graph import Graph
 from .graph.io import read_edge_list
@@ -85,14 +94,26 @@ def cmd_count(args: argparse.Namespace) -> int:
 
 def cmd_enumerate(args: argparse.Namespace) -> int:
     data = _load_data_graph(args)
-    pattern = get_pattern(args.pattern)
-    result = run_benu(pattern, data, _config_from(args, collect=True))
-    matches = result.matches or []
-    limit = args.limit if args.limit is not None else len(matches)
-    for match in matches[:limit]:
-        print("\t".join(map(str, match)))
-    if limit < len(matches):
-        print(f"... ({len(matches) - limit} more)", file=sys.stderr)
+    pattern = PatternGraph(get_pattern(args.pattern), args.pattern)
+    config = _config_from(args)
+    prepared = prepare_data(data, config)
+    plan = prepare_plan(pattern, prepared, config)
+    if args.output == "jsonl":
+        out: object = JsonlSink(sys.stdout)
+    else:
+        out = CallbackSink(
+            lambda match: print("\t".join(map(str, match)))
+        )
+    control = ExecutionControl()
+    sink = (
+        LimitSink(out, args.limit, control) if args.limit is not None else out
+    )
+    try:
+        execute_plan(plan, prepared, config, sink=sink, control=control)
+    except QueryCancelled as exc:
+        if exc.reason != LimitSink.REASON:
+            raise
+        print(f"... (stopped after {args.limit} matches)", file=sys.stderr)
     return 0
 
 
@@ -179,6 +200,57 @@ def cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_graph_spec(spec: str) -> tuple:
+    name, sep, source = spec.partition("=")
+    if not sep or not name or not source:
+        raise SystemExit(f"bad graph spec {spec!r}; expected NAME=SOURCE")
+    return name, source
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .service import BenuService, serve_socket, serve_stdio
+
+    config = BenuConfig(
+        num_workers=args.workers,
+        threads_per_worker=args.threads,
+        cache_capacity_bytes=args.cache_bytes,
+        split_threshold=args.tau,
+        optimization_level=args.level,
+    )
+    service = BenuService(
+        config=config,
+        max_concurrent=args.max_concurrent,
+        max_queued=args.max_queued,
+        memory_budget_bytes=args.memory_budget_bytes,
+        catalog_capacity_bytes=args.catalog_bytes,
+    )
+    try:
+        for spec in args.graph or []:
+            name, dataset = _parse_graph_spec(spec)
+            info = service.register_graph(
+                name, load_dataset(dataset), relabel=False
+            )
+            print(f"registered {name}: {info}", file=sys.stderr)
+        for spec in args.edges_graph or []:
+            name, path = _parse_graph_spec(spec)
+            info = service.register_graph(name, read_edge_list(path))
+            print(f"registered {name}: {info}", file=sys.stderr)
+        if args.port is not None:
+            server = serve_socket(service, host=args.host, port=args.port)
+            host, port = server.server_address[:2]
+            print(f"serving on {host}:{port}", file=sys.stderr)
+            try:
+                server.serve_forever(poll_interval=0.2)
+            except KeyboardInterrupt:
+                pass
+            finally:
+                server.server_close()
+            return 0
+        return serve_stdio(service)
+    finally:
+        service.close()
+
+
 def cmd_patterns(args: argparse.Namespace) -> int:
     rows = [
         [name, p.num_vertices, p.num_edges]
@@ -213,9 +285,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-v", "--verbose", action="store_true")
     p.set_defaults(func=cmd_count)
 
-    p = sub.add_parser("enumerate", help="list matches")
+    p = sub.add_parser("enumerate", help="stream matches as they are found")
     _add_run_options(p)
-    p.add_argument("--limit", type=int, default=None)
+    p.add_argument("--limit", type=int, default=None,
+                   help="stop the run after N matches (early termination)")
+    p.add_argument("--output", choices=("tsv", "jsonl"), default="tsv",
+                   help="tab-separated ids (default) or one JSON array per line")
     p.set_defaults(func=cmd_enumerate)
 
     p = sub.add_parser(
@@ -254,6 +329,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--edges-count", type=int, default=10_000_000,
                    help="assumed |E| for the cost model")
     p.set_defaults(func=cmd_plan)
+
+    p = sub.add_parser(
+        "serve", help="run the resident query service (JSON-lines protocol)"
+    )
+    p.add_argument("--graph", action="append", metavar="NAME=DATASET",
+                   help="register a bundled dataset at startup (repeatable)")
+    p.add_argument("--edges-graph", action="append", metavar="NAME=FILE",
+                   help="register a SNAP-style edge list at startup (repeatable)")
+    p.add_argument("--port", type=int, default=None,
+                   help="serve on a local TCP socket instead of stdio (0 = ephemeral)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--max-concurrent", type=int, default=4,
+                   help="queries executing at once")
+    p.add_argument("--max-queued", type=int, default=16,
+                   help="queries parked beyond that before fast-reject")
+    p.add_argument("--memory-budget-bytes", type=int, default=None,
+                   help="cap on reserved result-buffer bytes across queries")
+    p.add_argument("--catalog-bytes", type=int, default=None,
+                   help="graph catalog capacity (LRU eviction beyond it)")
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--cache-bytes", type=int, default=None)
+    p.add_argument("--tau", type=int, default=64)
+    p.add_argument("--level", type=int, default=3)
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("patterns", help="list built-in patterns")
     p.set_defaults(func=cmd_patterns)

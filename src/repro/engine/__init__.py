@@ -1,8 +1,23 @@
 """The BENU runtime: config, tasks, workers, cluster, public API."""
 
-from .benu import build_plan, count_subgraphs, enumerate_subgraphs, run_benu
+from .benu import (
+    PreparedData,
+    build_plan,
+    count_subgraphs,
+    enumerate_subgraphs,
+    execute_plan,
+    prepare_data,
+    prepare_plan,
+    run_benu,
+)
 from .cluster import SimulatedCluster
 from .config import BenuConfig, SimulationCostModel
+from .control import (
+    DeadlineExpired,
+    ExecutionControl,
+    ExecutionInterrupted,
+    QueryCancelled,
+)
 from .interpreter import interpret_all, interpret_plan
 from .local_task import LocalSearchTask
 from .parallel import ParallelResult, ParallelRunner, parallel_count
@@ -12,16 +27,27 @@ from .sinks import (
     CollectSink,
     CountSink,
     FileSink,
+    JsonlSink,
+    LimitSink,
     ReservoirSink,
+    TranslatingSink,
 )
 from .task_split import generate_tasks, plan_supports_splitting, split_slices
 from .worker import TaskReport, Worker
 
 __all__ = [
+    "PreparedData",
     "build_plan",
     "count_subgraphs",
     "enumerate_subgraphs",
+    "execute_plan",
+    "prepare_data",
+    "prepare_plan",
     "run_benu",
+    "DeadlineExpired",
+    "ExecutionControl",
+    "ExecutionInterrupted",
+    "QueryCancelled",
     "SimulatedCluster",
     "BenuConfig",
     "SimulationCostModel",
@@ -36,7 +62,10 @@ __all__ = [
     "CollectSink",
     "CountSink",
     "FileSink",
+    "JsonlSink",
+    "LimitSink",
     "ReservoirSink",
+    "TranslatingSink",
     "generate_tasks",
     "plan_supports_splitting",
     "split_slices",

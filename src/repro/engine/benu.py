@@ -5,12 +5,20 @@
 distributed store, split tasks, execute on the simulated cluster, and
 translate results back to the original vertex ids.
 
+The pipeline is factored into reusable stages so a resident query
+service can pay each cost once instead of per query:
+
+* :func:`prepare_data` — relabel a data graph and remember the mapping;
+* :func:`prepare_plan` — plan search/generation for a prepared graph;
+* :func:`execute_plan` — run a plan on a (possibly pre-built, warm)
+  cluster, with optional streaming sink and cooperative control.
+
 Convenience wrappers: ``count_subgraphs`` and ``enumerate_subgraphs``.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..graph.graph import Graph, Vertex
@@ -26,7 +34,9 @@ from ..plan.validate import validate_plan
 from ..telemetry.runtime import Telemetry
 from .cluster import SimulatedCluster
 from .config import BenuConfig
+from .control import ExecutionControl
 from .results import BenuResult
+from .sinks import TranslatingSink
 
 PatternLike = Union[Graph, PatternGraph]
 
@@ -77,6 +87,121 @@ def build_plan(
     return plan
 
 
+@dataclass
+class PreparedData:
+    """A data graph readied for execution, with its id translation.
+
+    ``graph`` carries execution-space ids (relabeled under the (degree,
+    id) total order when the source wasn't already); ``mapping`` /
+    ``inverse`` translate original ↔ execution ids, both None when no
+    relabeling happened.
+    """
+
+    graph: Graph
+    mapping: Optional[Dict[Vertex, Vertex]] = None
+    inverse: Optional[Dict[Vertex, Vertex]] = None
+
+    @property
+    def relabeled(self) -> bool:
+        return self.mapping is not None
+
+    def translate_match(self, match: Tuple[Vertex, ...]) -> Tuple[Vertex, ...]:
+        """One match tuple back in original ids."""
+        if self.inverse is None:
+            return match
+        return tuple(self.inverse[v] for v in match)
+
+
+def prepare_data(
+    data: Graph, config: Optional[BenuConfig] = None, tracer=None
+) -> PreparedData:
+    """Relabel ``data`` per ``config.relabel`` and keep the translation."""
+    config = config or BenuConfig()
+    if not config.relabel:
+        return PreparedData(data)
+    if tracer is not None:
+        with tracer.span("relabel"):
+            relabeled, mapping = relabel_by_degree_order(data)
+    else:
+        relabeled, mapping = relabel_by_degree_order(data)
+    return PreparedData(relabeled, mapping, invert_mapping(mapping))
+
+
+def prepare_plan(
+    pattern: PatternLike,
+    prepared: PreparedData,
+    config: Optional[BenuConfig] = None,
+    order: Optional[Sequence[Vertex]] = None,
+    tracer=None,
+) -> ExecutionPlan:
+    """Build the execution plan for a prepared graph under ``config``.
+
+    With ``order`` given, Algorithm 3's search is skipped and the plan is
+    generated for exactly that matching order — the path a plan-cache hit
+    takes (the emitted match set is order-independent: it is fixed by the
+    pattern's symmetry-breaking conditions alone).
+    """
+    config = config or BenuConfig()
+    return build_plan(
+        _as_pattern(pattern),
+        prepared.graph,
+        order=order,
+        optimization_level=config.optimization_level,
+        compressed=config.compressed,
+        generalized_clique_cache=config.generalized_clique_cache,
+        degree_filter_data=prepared.graph if config.degree_filter else None,
+        tracer=tracer,
+    )
+
+
+def execute_plan(
+    plan: ExecutionPlan,
+    prepared: PreparedData,
+    config: Optional[BenuConfig] = None,
+    telemetry: Optional[Telemetry] = None,
+    cluster: Optional[SimulatedCluster] = None,
+    sink=None,
+    control: Optional[ExecutionControl] = None,
+    tasks=None,
+    worker_caches=None,
+) -> BenuResult:
+    """Run ``plan`` over prepared data and translate results back.
+
+    ``cluster`` reuses an existing simulated cluster (and with it the
+    distributed store); ``worker_caches`` keeps worker database caches
+    warm across calls; ``sink`` streams matches — already translated to
+    original ids — instead of collecting them; ``control`` is checked at
+    every task boundary.
+    """
+    config = config or BenuConfig()
+    if telemetry is None:
+        telemetry = (
+            cluster.telemetry if cluster is not None else Telemetry(config.telemetry)
+        )
+    if cluster is None:
+        cluster = SimulatedCluster(prepared.graph, config, telemetry=telemetry)
+    if sink is not None and prepared.relabeled and not plan.compressed:
+        # Streamed full matches leave in original ids; compressed codes
+        # stay in execution space (their expansion constraints compare
+        # under ≺), exactly like collected results.
+        sink = TranslatingSink(sink, prepared.inverse)
+    result = cluster.run_plan(
+        plan, tasks=tasks, sink=sink, control=control, worker_caches=worker_caches
+    )
+
+    if prepared.relabeled:
+        result.id_mapping = prepared.inverse
+        if result.matches is not None:
+            # Codes stay in the relabeled space (their expansion
+            # constraints compare under ≺); plain matches translate
+            # eagerly.
+            with telemetry.tracer.span("result-translation"):
+                result.matches = [
+                    prepared.translate_match(match) for match in result.matches
+                ]
+    return result
+
+
 def run_benu(
     pattern: PatternLike,
     data: Graph,
@@ -102,41 +227,16 @@ def run_benu(
             "data_edges": data.num_edges,
         },
     ):
-        mapping: Optional[Dict[Vertex, Vertex]] = None
-        if config.relabel:
-            with tracer.span("relabel"):
-                data, mapping = relabel_by_degree_order(data)
+        prepared = prepare_data(data, config, tracer=tracer)
 
         if plan is None:
             with tracer.span("plan-search") as span:
-                plan = build_plan(
-                    pattern,
-                    data,
-                    optimization_level=config.optimization_level,
-                    compressed=config.compressed,
-                    generalized_clique_cache=config.generalized_clique_cache,
-                    degree_filter_data=data if config.degree_filter else None,
-                    tracer=tracer,
-                )
+                plan = prepare_plan(pattern, prepared, config, tracer=tracer)
                 span.args["order"] = [str(v) for v in plan.order]
         else:
             validate_plan(plan)
 
-        cluster = SimulatedCluster(data, config, telemetry=telemetry)
-        result = cluster.run_plan(plan)
-
-        if mapping is not None:
-            inverse = invert_mapping(mapping)
-            result.id_mapping = inverse
-            if result.matches is not None:
-                # Codes stay in the relabeled space (their expansion
-                # constraints compare under ≺); plain matches translate
-                # eagerly.
-                with tracer.span("result-translation"):
-                    result.matches = [
-                        tuple(inverse[v] for v in match)
-                        for match in result.matches
-                    ]
+        result = execute_plan(plan, prepared, config, telemetry=telemetry)
     return result
 
 

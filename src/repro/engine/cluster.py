@@ -39,6 +39,7 @@ from ..telemetry.snapshot import (
     M_TASKS,
 )
 from .config import BenuConfig
+from .control import ExecutionControl
 from .local_task import LocalSearchTask
 from .results import BenuResult
 from .task_split import generate_tasks
@@ -46,20 +47,27 @@ from .worker import Worker
 
 
 class SimulatedCluster:
-    """Master + workers over one distributed KV store."""
+    """Master + workers over one distributed KV store.
+
+    ``store`` lets a long-lived owner (the query service's graph catalog)
+    hand in an already-built distributed store so repeated queries over
+    the same data graph skip the rebuild; it must have been built from
+    ``data`` with a compatible backend.
+    """
 
     def __init__(
         self,
         data: Graph,
         config: Optional[BenuConfig] = None,
         telemetry: Optional[Telemetry] = None,
+        store: Optional[DistributedKVStore] = None,
     ) -> None:
         self.config = config or BenuConfig()
         self.data = data
         self.telemetry = (
             telemetry if telemetry is not None else Telemetry(self.config.telemetry)
         )
-        self.store = DistributedKVStore.from_graph(
+        self.store = store if store is not None else DistributedKVStore.from_graph(
             data,
             num_partitions=self.config.num_partitions,
             latency=self.config.latency,
@@ -78,6 +86,8 @@ class SimulatedCluster:
         plan: ExecutionPlan,
         tasks: Optional[List[LocalSearchTask]] = None,
         sink=None,
+        control: Optional[ExecutionControl] = None,
+        worker_caches: Optional[List] = None,
     ) -> BenuResult:
         """Execute one plan over the whole data graph.
 
@@ -86,6 +96,13 @@ class SimulatedCluster:
         an ``emit`` method, see :mod:`repro.engine.sinks`) streams results
         instead of collecting them in memory; when given, the result's
         ``matches``/``codes`` stay None regardless of ``config.collect``.
+
+        ``control`` is checked once per task boundary: a cancel or an
+        expired deadline raises the corresponding typed
+        :class:`~repro.engine.control.ExecutionInterrupted` out of this
+        method (no partial result is returned).  ``worker_caches`` hands
+        each worker an existing database cache to keep warm across runs
+        (one per worker, see :class:`~repro.storage.cache.CachePool`).
         """
         config = self.config
         telemetry = self.telemetry
@@ -137,12 +154,25 @@ class SimulatedCluster:
         kernel_base = KERNEL_STATS.as_tuple()
         try:
             with tracer.span("execution") as exec_span:
+                if worker_caches is not None and len(worker_caches) != config.num_workers:
+                    raise ValueError(
+                        f"need one cache per worker: got {len(worker_caches)} "
+                        f"for {config.num_workers} workers"
+                    )
                 workers = [
-                    Worker(i, self.store, config, tracer=tracer)
+                    Worker(
+                        i,
+                        self.store,
+                        config,
+                        tracer=tracer,
+                        cache=worker_caches[i] if worker_caches else None,
+                    )
                     for i in range(config.num_workers)
                 ]
                 # Round-robin shuffle, as the paper distributes tasks evenly.
                 for i, task in enumerate(tasks):
+                    if control is not None:
+                        control.check()
                     workers[i % len(workers)].execute_task(
                         compiled, task, self._vset, emit
                     )

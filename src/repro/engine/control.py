@@ -1,0 +1,102 @@
+"""Cooperative execution control: cancellation and deadlines.
+
+A BENU job is a loop over local search tasks; an :class:`ExecutionControl`
+is the handle that lets anyone outside that loop stop it *between* tasks
+(the paper's tasks are the natural preemption grain — splitting already
+bounds how long one runs).  The engine only ever calls :meth:`check`;
+whoever owns the query (the service scheduler, a CLI ``--limit``, a test)
+calls :meth:`cancel` or arms a deadline.
+
+Cancellation is cooperative and thread-safe: ``cancel`` may be called
+from any thread while the query runs on another.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+
+class ExecutionInterrupted(RuntimeError):
+    """Base class for control-initiated stops."""
+
+    #: Machine-readable status the service maps this interruption onto.
+    status = "interrupted"
+
+
+class QueryCancelled(ExecutionInterrupted):
+    """The query was cancelled by its owner (client, limit, shutdown)."""
+
+    status = "cancelled"
+
+    def __init__(self, reason: str = "cancelled") -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+class DeadlineExpired(ExecutionInterrupted):
+    """The query ran past its deadline."""
+
+    status = "deadline_expired"
+
+    def __init__(self, deadline_seconds: float) -> None:
+        super().__init__(f"deadline of {deadline_seconds:.3f}s expired")
+        self.deadline_seconds = deadline_seconds
+
+
+class ExecutionControl:
+    """Cancellation token + optional deadline, checked at task boundaries.
+
+    >>> control = ExecutionControl()
+    >>> control.check()  # no-op while live
+    >>> control.cancel("client went away")
+    >>> control.check()
+    Traceback (most recent call last):
+        ...
+    repro.engine.control.QueryCancelled: client went away
+    """
+
+    def __init__(self, deadline_seconds: Optional[float] = None) -> None:
+        if deadline_seconds is not None and deadline_seconds <= 0:
+            raise ValueError("deadline must be positive")
+        self.deadline_seconds = deadline_seconds
+        self._deadline_at = (
+            time.monotonic() + deadline_seconds
+            if deadline_seconds is not None
+            else None
+        )
+        self._cancelled = threading.Event()
+        self._reason: str = "cancelled"
+
+    # ------------------------------------------------------------------
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Request a stop; the running query notices at its next check."""
+        self._reason = reason
+        self._cancelled.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled.is_set()
+
+    @property
+    def expired(self) -> bool:
+        return self._deadline_at is not None and time.monotonic() > self._deadline_at
+
+    @property
+    def remaining_seconds(self) -> Optional[float]:
+        """Seconds until the deadline (None when no deadline is armed)."""
+        if self._deadline_at is None:
+            return None
+        return self._deadline_at - time.monotonic()
+
+    def check(self) -> None:
+        """Raise the typed interruption if a stop has been requested."""
+        if self._cancelled.is_set():
+            raise QueryCancelled(self._reason)
+        if self.expired:
+            raise DeadlineExpired(self.deadline_seconds)
+
+
+#: A control that never stops anything — callers may use it instead of None.
+NO_CONTROL = ExecutionControl()

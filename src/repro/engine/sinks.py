@@ -12,7 +12,10 @@ Provided sinks:
 * :class:`FileSink` — stream matches to a TSV file;
 * :class:`ReservoirSink` — a uniform random sample of bounded size, for
   result sets too large to keep (reservoir sampling, seeded);
-* :class:`CallbackSink` — adapt any callable.
+* :class:`CallbackSink` — adapt any callable;
+* :class:`JsonlSink` — stream matches as JSON lines to any writable;
+* :class:`LimitSink` — stop the run after N results via a control;
+* :class:`TranslatingSink` — translate vertex ids before forwarding.
 """
 
 from __future__ import annotations
@@ -115,4 +118,89 @@ class CallbackSink:
 
     def emit(self, result: Tuple) -> None:
         self._callback(result)
+        self.count += 1
+
+
+class JsonlSink:
+    """Streams each result as one JSON array line to a writable.
+
+    Frozenset slots (VCBC image sets) render as sorted JSON arrays.  The
+    writable is borrowed, not owned — handy for ``sys.stdout``.
+    """
+
+    def __init__(self, stream: TextIO) -> None:
+        self._stream = stream
+        self.count = 0
+
+    @staticmethod
+    def _json_slot(slot) -> object:
+        if isinstance(slot, frozenset):
+            return sorted(slot)
+        return slot
+
+    def emit(self, result: Tuple) -> None:
+        import json
+
+        self._stream.write(
+            json.dumps([self._json_slot(s) for s in result]) + "\n"
+        )
+        self.count += 1
+
+
+class LimitSink:
+    """Forwards at most ``limit`` results, then cancels the run.
+
+    Pairs with an :class:`~repro.engine.control.ExecutionControl` handed
+    to the executor: once the limit is reached the control is cancelled,
+    so the job stops at the next task boundary instead of enumerating
+    everything.  Results past the limit within the current task are
+    dropped, keeping the delivered count exact.
+    """
+
+    #: Cancel reason the CLI/service recognize as a clean, intended stop.
+    REASON = "result limit reached"
+
+    def __init__(self, inner, limit: int, control=None) -> None:
+        if limit < 0:
+            raise ValueError("limit must be non-negative")
+        self.inner = inner
+        self.limit = limit
+        self.control = control
+        self.count = 0
+
+    @property
+    def reached(self) -> bool:
+        return self.count >= self.limit
+
+    def emit(self, result: Tuple) -> None:
+        if self.count >= self.limit:
+            # Covers limit=0 too: cancel on the first over-limit emit.
+            if self.control is not None:
+                self.control.cancel(self.REASON)
+            return
+        self.inner.emit(result)
+        self.count += 1
+        if self.count >= self.limit and self.control is not None:
+            self.control.cancel(self.REASON)
+
+
+class TranslatingSink:
+    """Translates integer vertex ids through a mapping before forwarding.
+
+    Frozenset slots translate member-wise.  Used by the execution stage
+    to deliver streamed matches in original (pre-relabeling) ids.
+    """
+
+    def __init__(self, inner, mapping: dict) -> None:
+        self.inner = inner
+        self.mapping = mapping
+        self.count = 0
+
+    def _translate(self, slot):
+        if isinstance(slot, frozenset):
+            return frozenset(self.mapping[v] for v in slot)
+        return self.mapping[slot]
+
+    def emit(self, result: Tuple) -> None:
+        self.inner.emit(tuple(self._translate(s) for s in result))
         self.count += 1

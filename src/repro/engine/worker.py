@@ -44,16 +44,27 @@ class Worker:
         store: DistributedKVStore,
         config: BenuConfig,
         tracer=None,
+        cache: Optional[LRUDatabaseCache] = None,
     ) -> None:
         self.worker_id = worker_id
         self.config = config
         self.query_stats = QueryStats()
-        self.cache = LRUDatabaseCache(
-            store,
-            capacity_bytes=config.cache_capacity_bytes,
-            query_stats=self.query_stats,
-            policy=config.cache_policy,
-        )
+        if cache is not None:
+            # Adopt a warm cache owned by a longer-lived holder (the query
+            # service keeps one per worker slot per graph).  Rebind its
+            # ledger so this run's store traffic is accounted here, and
+            # remember the running totals so ``cache_stats`` stays per-run.
+            cache.query_stats = self.query_stats
+            self.cache = cache
+            self._cache_base = cache.stats.copy()
+        else:
+            self.cache = LRUDatabaseCache(
+                store,
+                capacity_bytes=config.cache_capacity_bytes,
+                query_stats=self.query_stats,
+                policy=config.cache_policy,
+            )
+            self._cache_base = CacheStats()
         self.reports: List[TaskReport] = []
         #: Optional telemetry tracer; tasks are recorded as slices on the
         #: simulated timeline (one track per worker thread).
@@ -138,7 +149,14 @@ class Worker:
 
     @property
     def cache_stats(self) -> CacheStats:
-        return self.cache.stats
+        """This run's cache accounting (deltas, for adopted warm caches)."""
+        base = self._cache_base
+        stats = self.cache.stats
+        return CacheStats(
+            hits=stats.hits - base.hits,
+            misses=stats.misses - base.misses,
+            evictions=stats.evictions - base.evictions,
+        )
 
     def total_counters(self) -> TaskCounters:
         total = TaskCounters()

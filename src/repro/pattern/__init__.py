@@ -1,5 +1,12 @@
 """Pattern-graph analysis: isomorphism, automorphisms, symmetry breaking."""
 
+from .canonical import (
+    canonical_form,
+    canonical_key,
+    canonical_order,
+    canonical_relabeling,
+    wl_colors,
+)
 from .automorphism import (
     automorphism_count,
     automorphisms,
@@ -34,6 +41,11 @@ from .vertex_cover import (
 )
 
 __all__ = [
+    "canonical_form",
+    "canonical_key",
+    "canonical_order",
+    "canonical_relabeling",
+    "wl_colors",
     "automorphism_count",
     "automorphisms",
     "is_automorphism",

@@ -1,0 +1,51 @@
+"""The resident query service: catalog, plan cache, scheduler, streaming.
+
+One-shot :func:`~repro.engine.benu.run_benu` pays the whole pipeline per
+call; this package is the long-lived engine that amortizes it — register
+data graphs once (:class:`GraphCatalog`), share plan search across
+isomorphic patterns (:class:`PlanCache`), bound concurrency and memory
+(:class:`QueryScheduler`), and stream matches in bounded batches
+(:class:`QueryHandle`).  :class:`BenuService` ties them together;
+``python -m repro serve`` exposes it over a line-delimited JSON protocol.
+"""
+
+from .catalog import CatalogEntry, GraphCatalog
+from .errors import (
+    AdmissionError,
+    DeadlineExpired,
+    InvalidQueryError,
+    QueryCancelled,
+    ServiceClosedError,
+    ServiceError,
+    UnknownGraphError,
+    UnknownQueryError,
+)
+from .plan_cache import PlanCache, PlanCacheKey
+from .protocol import ServiceProtocol, serve_socket, serve_stdio
+from .scheduler import QueryScheduler
+from .service import BenuService
+from .streaming import FetchResult, QueryHandle, QueryStatus, StreamBuffer
+
+__all__ = [
+    "BenuService",
+    "CatalogEntry",
+    "GraphCatalog",
+    "PlanCache",
+    "PlanCacheKey",
+    "QueryScheduler",
+    "QueryHandle",
+    "QueryStatus",
+    "StreamBuffer",
+    "FetchResult",
+    "ServiceProtocol",
+    "serve_stdio",
+    "serve_socket",
+    "AdmissionError",
+    "DeadlineExpired",
+    "InvalidQueryError",
+    "QueryCancelled",
+    "ServiceClosedError",
+    "ServiceError",
+    "UnknownGraphError",
+    "UnknownQueryError",
+]

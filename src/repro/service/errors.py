@@ -1,0 +1,62 @@
+"""Typed errors raised by the query service.
+
+Every error carries a machine-readable ``code`` the wire protocol maps
+into its ``error`` field, so clients can branch without parsing
+messages.  Engine-level interruptions
+(:class:`~repro.engine.control.QueryCancelled`,
+:class:`~repro.engine.control.DeadlineExpired`) are re-exported here for
+convenience — they are the typed statuses a finished query reports.
+"""
+
+from __future__ import annotations
+
+from ..engine.control import (  # noqa: F401  (re-exported)
+    DeadlineExpired,
+    ExecutionInterrupted,
+    QueryCancelled,
+)
+
+
+class ServiceError(RuntimeError):
+    """Base class for service-level failures."""
+
+    code = "error"
+
+
+class AdmissionError(ServiceError):
+    """The query was fast-rejected: concurrency or memory budget exhausted.
+
+    Raised *synchronously* from ``submit`` — a rejected query never gets
+    a handle, never occupies a slot, and never affects in-flight work.
+    """
+
+    code = "rejected"
+
+    def __init__(self, message: str, running: int = 0, queued: int = 0) -> None:
+        super().__init__(message)
+        self.running = running
+        self.queued = queued
+
+
+class UnknownGraphError(ServiceError):
+    """The referenced data graph is not in the catalog."""
+
+    code = "unknown_graph"
+
+
+class UnknownQueryError(ServiceError):
+    """The referenced query id is not (or no longer) tracked."""
+
+    code = "unknown_query"
+
+
+class InvalidQueryError(ServiceError):
+    """The submission itself is malformed or unsupported."""
+
+    code = "invalid_query"
+
+
+class ServiceClosedError(ServiceError):
+    """The service has been shut down; no new queries are admitted."""
+
+    code = "closed"

@@ -1,0 +1,261 @@
+"""Line-delimited JSON protocol for ``benu serve``.
+
+One request per line, one JSON response per line — trivially scriptable
+(``echo '{"op": ...}' | python -m repro serve``) and transport-agnostic:
+the same :class:`ServiceProtocol` handler backs stdio and a local TCP
+socket.
+
+Operations
+----------
+``submit``   {"op":"submit","pattern":"triangle"|[[u,v],...],"graph":"g",
+              "limit":N?, "deadline":sec?, "stream":bool?, "config":{}?}
+``poll``     {"op":"poll","query":"q-1","limit":100?,"wait":sec?}
+``cancel``   {"op":"cancel","query":"q-1"}
+``stats``    {"op":"stats"}
+``graphs``   {"op":"graphs"}
+``register`` {"op":"register","name":"g","dataset":"as_sim"|"edges":[[u,v],...]}
+``queries``  {"op":"queries"}
+``shutdown`` {"op":"shutdown"}
+
+Every response is ``{"ok": true, ...}`` or
+``{"ok": false, "error": <code>, "message": <text>}`` with the typed
+error's code (``rejected``, ``unknown_graph``, ...).
+
+``config`` accepts the common :class:`~repro.engine.config.BenuConfig`
+knobs: workers, threads, cache_bytes, tau, level, compressed.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import sys
+import threading
+from dataclasses import replace
+from typing import Optional, TextIO
+
+from ..engine.config import BenuConfig
+from ..engine.control import ExecutionInterrupted
+from ..graph.datasets import load_dataset
+from ..graph.graph import Graph
+from .errors import InvalidQueryError, ServiceError
+from .service import BenuService
+
+#: JSON config field → BenuConfig field.
+_CONFIG_FIELDS = {
+    "workers": "num_workers",
+    "threads": "threads_per_worker",
+    "cache_bytes": "cache_capacity_bytes",
+    "tau": "split_threshold",
+    "level": "optimization_level",
+    "compressed": "compressed",
+    "degree_filter": "degree_filter",
+    "backend": "adjacency_backend",
+}
+
+
+def _json_match(match) -> list:
+    return [sorted(s) if isinstance(s, frozenset) else s for s in match]
+
+
+class ServiceProtocol:
+    """Stateless request handler: one JSON request in, one response out."""
+
+    def __init__(self, service: BenuService) -> None:
+        self.service = service
+        self.shutdown_requested = False
+
+    # ------------------------------------------------------------------
+    def handle_line(self, line: str) -> dict:
+        try:
+            try:
+                request = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise InvalidQueryError(f"bad JSON: {exc}") from exc
+            if not isinstance(request, dict) or "op" not in request:
+                raise InvalidQueryError('requests are objects with an "op" field')
+            op = request["op"]
+            handler = getattr(self, f"_op_{op}", None)
+            if handler is None:
+                raise InvalidQueryError(f"unknown op {op!r}")
+            response = handler(request)
+            response.setdefault("ok", True)
+            return response
+        except ServiceError as exc:
+            return {"ok": False, "error": exc.code, "message": str(exc)}
+        except ExecutionInterrupted as exc:
+            # Polling a cancelled/expired stream surfaces its typed status.
+            return {"ok": False, "error": exc.status, "message": str(exc)}
+        except Exception as exc:  # noqa: BLE001 — protocol boundary
+            return {"ok": False, "error": "internal", "message": str(exc)}
+
+    def handle_line_json(self, line: str) -> str:
+        return json.dumps(self.handle_line(line))
+
+    # ------------------------------------------------------------------ ops
+    def _parse_pattern(self, request: dict):
+        pattern = request.get("pattern")
+        if isinstance(pattern, str):
+            return pattern
+        if isinstance(pattern, list):
+            try:
+                return Graph((int(u), int(v)) for u, v in pattern)
+            except (TypeError, ValueError) as exc:
+                raise InvalidQueryError(
+                    "pattern edge lists are [[u, v], ...] of ints"
+                ) from exc
+        raise InvalidQueryError('"pattern" must be a name or an edge list')
+
+    def _parse_config(self, request: dict) -> Optional[BenuConfig]:
+        raw = request.get("config")
+        if raw is None:
+            return None
+        if not isinstance(raw, dict):
+            raise InvalidQueryError('"config" must be an object')
+        unknown = set(raw) - set(_CONFIG_FIELDS)
+        if unknown:
+            raise InvalidQueryError(
+                f"unknown config fields: {sorted(unknown)}; "
+                f"known: {sorted(_CONFIG_FIELDS)}"
+            )
+        kwargs = {_CONFIG_FIELDS[k]: v for k, v in raw.items()}
+        try:
+            return replace(self.service.default_config, **kwargs)
+        except (TypeError, ValueError) as exc:
+            raise InvalidQueryError(f"bad config: {exc}") from exc
+
+    def _op_submit(self, request: dict) -> dict:
+        handle = self.service.submit(
+            self._parse_pattern(request),
+            request.get("graph", ""),
+            config=self._parse_config(request),
+            stream=bool(request.get("stream", True)),
+            limit=request.get("limit"),
+            deadline_seconds=request.get("deadline"),
+        )
+        return {"query": handle.query_id, "status": handle.status.value}
+
+    def _op_poll(self, request: dict) -> dict:
+        handle = self.service.query(str(request.get("query")))
+        wait = request.get("wait")
+        if wait:
+            handle.wait(timeout=float(wait))
+        response = handle.describe()
+        if handle.streaming:
+            page = handle.fetch(limit=int(request.get("limit", 256)))
+            response.update(
+                matches=[_json_match(m) for m in page.matches],
+                cursor=page.cursor,
+                done=page.done,
+                status=handle.status.value,  # may have finished during fetch
+            )
+        else:
+            response["done"] = handle.done
+            if handle.done and handle.error is None:
+                result = handle.result()
+                if result is not None:
+                    response["count"] = result.count
+        return response
+
+    def _op_cancel(self, request: dict) -> dict:
+        handle = self.service.cancel(str(request.get("query")))
+        return {"query": handle.query_id, "status": handle.status.value}
+
+    def _op_stats(self, request: dict) -> dict:
+        return {"stats": self.service.stats()}
+
+    def _op_graphs(self, request: dict) -> dict:
+        return {
+            "graphs": self.service.catalog.names(),
+            "catalog_bytes": self.service.catalog.memory_bytes(),
+        }
+
+    def _op_register(self, request: dict) -> dict:
+        name = request.get("name")
+        if not isinstance(name, str) or not name:
+            raise InvalidQueryError('"name" is required')
+        if "dataset" in request:
+            graph = load_dataset(request["dataset"])
+            relabel = False  # bundled datasets are pre-relabeled
+        elif "edges" in request:
+            try:
+                graph = Graph((int(u), int(v)) for u, v in request["edges"])
+            except (TypeError, ValueError) as exc:
+                raise InvalidQueryError(
+                    '"edges" must be [[u, v], ...] of ints'
+                ) from exc
+            relabel = bool(request.get("relabel", True))
+        else:
+            raise InvalidQueryError('register needs "dataset" or "edges"')
+        return self.service.register_graph(
+            name, graph, relabel=relabel, replace=bool(request.get("replace"))
+        )
+
+    def _op_queries(self, request: dict) -> dict:
+        return {
+            "queries": [
+                h.describe() for h in self.service.queries().values()
+            ]
+        }
+
+    def _op_shutdown(self, request: dict) -> dict:
+        self.shutdown_requested = True
+        return {"bye": True}
+
+
+# ---------------------------------------------------------------------- I/O
+def serve_stdio(
+    service: BenuService,
+    in_stream: Optional[TextIO] = None,
+    out_stream: Optional[TextIO] = None,
+) -> int:
+    """Serve the protocol over stdio until EOF or a shutdown op."""
+    in_stream = in_stream if in_stream is not None else sys.stdin
+    out_stream = out_stream if out_stream is not None else sys.stdout
+    protocol = ServiceProtocol(service)
+    for line in in_stream:
+        line = line.strip()
+        if not line:
+            continue
+        out_stream.write(protocol.handle_line_json(line) + "\n")
+        out_stream.flush()
+        if protocol.shutdown_requested:
+            break
+    return 0
+
+
+class _ProtocolTCPHandler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        protocol = ServiceProtocol(self.server.service)  # type: ignore[attr-defined]
+        for raw in self.rfile:
+            line = raw.decode("utf-8", "replace").strip()
+            if not line:
+                continue
+            self.wfile.write(
+                (protocol.handle_line_json(line) + "\n").encode("utf-8")
+            )
+            if protocol.shutdown_requested:
+                self.server.shutdown_requested = True  # type: ignore[attr-defined]
+                # shutdown() blocks until serve_forever exits, so stop
+                # the server from a helper thread, not this handler.
+                threading.Thread(
+                    target=self.server.shutdown, daemon=True
+                ).start()
+                break
+
+
+class ServiceTCPServer(socketserver.ThreadingTCPServer):
+    """A local TCP server speaking the line protocol (one service shared)."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address, service: BenuService) -> None:
+        super().__init__(address, _ProtocolTCPHandler)
+        self.service = service
+        self.shutdown_requested = False
+
+
+def serve_socket(service: BenuService, host: str = "127.0.0.1", port: int = 0):
+    """A bound (not yet serving) TCP server; caller runs serve_forever."""
+    return ServiceTCPServer((host, port), service)

@@ -1,0 +1,154 @@
+"""Admission control and concurrent execution of service queries.
+
+RADS-style robustness: the service never falls over from load — it
+bounds it.  The scheduler runs at most ``max_concurrent`` queries on a
+shared worker pool, parks at most ``max_queued`` more in a bounded
+queue, and *fast-rejects* everything beyond that with a typed
+:class:`~repro.service.errors.AdmissionError`, synchronously at submit
+time, without touching in-flight queries.  An optional memory budget
+does the same for reserved result-buffer bytes.
+
+Deadlines compose with queueing: a query whose deadline expires while
+parked is failed without ever running (its first control check fires
+before any work).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, Optional
+
+from ..telemetry.snapshot import (
+    G_SERVICE_QUEUED,
+    G_SERVICE_RUNNING,
+    M_SERVICE_REJECTED,
+)
+from .errors import AdmissionError, ServiceClosedError
+
+
+class QueryScheduler:
+    """Bounded concurrent executor with fast-reject admission control."""
+
+    def __init__(
+        self,
+        max_concurrent: int = 4,
+        max_queued: int = 16,
+        memory_budget_bytes: Optional[int] = None,
+        registry=None,
+    ) -> None:
+        if max_concurrent < 1:
+            raise ValueError("need at least one concurrent slot")
+        if max_queued < 0:
+            raise ValueError("queue bound must be non-negative")
+        self.max_concurrent = max_concurrent
+        self.max_queued = max_queued
+        self.memory_budget_bytes = memory_budget_bytes
+        self._registry = registry
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_concurrent, thread_name_prefix="benu-query"
+        )
+        self._lock = threading.Lock()
+        self._running = 0
+        self._queued = 0
+        self._reserved_bytes = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> int:
+        with self._lock:
+            return self._running
+
+    @property
+    def queued(self) -> int:
+        with self._lock:
+            return self._queued
+
+    @property
+    def reserved_bytes(self) -> int:
+        with self._lock:
+            return self._reserved_bytes
+
+    def _gauges(self) -> None:
+        if self._registry is None:
+            return
+        self._registry.gauge(G_SERVICE_RUNNING, "queries executing now").set(
+            self._running
+        )
+        self._registry.gauge(G_SERVICE_QUEUED, "queries parked in the queue").set(
+            self._queued
+        )
+
+    def _reject(self, message: str, kind: str) -> AdmissionError:
+        if self._registry is not None:
+            self._registry.counter(
+                M_SERVICE_REJECTED,
+                "queries fast-rejected at admission",
+                ("kind",),
+            ).inc(kind=kind)
+        return AdmissionError(message, running=self._running, queued=self._queued)
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        fn: Callable[[], object],
+        estimated_bytes: int = 0,
+    ) -> Future:
+        """Admit and eventually run ``fn``; raise typed errors otherwise.
+
+        ``estimated_bytes`` is the query's reserved buffer memory,
+        checked against the memory budget while the query is in flight.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError("service is shut down")
+            in_flight = self._running + self._queued
+            if in_flight >= self.max_concurrent + self.max_queued:
+                raise self._reject(
+                    f"query load is at capacity ({self._running} running, "
+                    f"{self._queued} queued); retry later",
+                    kind="concurrency",
+                )
+            if (
+                self.memory_budget_bytes is not None
+                and estimated_bytes > 0
+                and in_flight > 0
+                and self._reserved_bytes + estimated_bytes
+                > self.memory_budget_bytes
+            ):
+                raise self._reject(
+                    f"memory budget exhausted ({self._reserved_bytes} of "
+                    f"{self.memory_budget_bytes} bytes reserved)",
+                    kind="memory",
+                )
+            self._queued += 1
+            self._reserved_bytes += estimated_bytes
+            self._gauges()
+
+        def wrapped():
+            with self._lock:
+                self._queued -= 1
+                self._running += 1
+                self._gauges()
+            try:
+                return fn()
+            finally:
+                with self._lock:
+                    self._running -= 1
+                    self._reserved_bytes -= estimated_bytes
+                    self._gauges()
+
+        try:
+            return self._executor.submit(wrapped)
+        except RuntimeError as exc:  # executor shut down under us
+            with self._lock:
+                self._queued -= 1
+                self._reserved_bytes -= estimated_bytes
+                self._gauges()
+            raise ServiceClosedError("service is shut down") from exc
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            self._closed = True
+        self._executor.shutdown(wait=wait)

@@ -1,0 +1,349 @@
+"""BenuService: the resident, concurrent subgraph-query engine.
+
+One service instance owns the shared state every query reuses — the
+graph catalog, the canonical plan cache, the scheduler and a telemetry
+registry — and exposes the in-process API the CLI's ``serve`` command,
+the tests and the benchmarks all drive:
+
+    service = BenuService()
+    service.register_graph("g", my_graph)
+    handle = service.submit("triangle", "g")
+    for match in handle.matches():
+        ...
+
+Queries run on the scheduler's worker pool; each one pins its catalog
+entry, checks out a warm cache pool, resolves its plan through the
+cache, executes with a cooperative control (deadline + cancel, checked
+at task boundaries) and streams matches — translated to original ids —
+through a bounded buffer.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional, Union
+
+from ..engine.benu import execute_plan
+from ..engine.cluster import SimulatedCluster
+from ..engine.config import BenuConfig
+from ..engine.control import (
+    DeadlineExpired,
+    ExecutionControl,
+    QueryCancelled,
+)
+from ..engine.sinks import LimitSink
+from ..graph.graph import Graph
+from ..graph.patterns import get_pattern
+from ..pattern.pattern_graph import PatternGraph
+from ..telemetry.registry import MetricsRegistry
+from ..telemetry.runtime import Telemetry, TelemetryConfig
+from ..telemetry.snapshot import (
+    H_QUERY_WALL_SECONDS,
+    M_SERVICE_QUERIES,
+)
+from .catalog import GraphCatalog
+from .errors import InvalidQueryError, UnknownQueryError
+from .plan_cache import PlanCache
+from .scheduler import QueryScheduler
+from .streaming import QueryHandle, QueryStatus, StreamBuffer
+
+PatternLike = Union[str, Graph, PatternGraph]
+
+#: Rough per-match buffer cost used by memory admission (tuple of ints).
+_BYTES_PER_MATCH_SLOT = 8
+
+
+class BenuService:
+    """A long-lived query service over registered data graphs."""
+
+    def __init__(
+        self,
+        config: Optional[BenuConfig] = None,
+        max_concurrent: int = 4,
+        max_queued: int = 16,
+        memory_budget_bytes: Optional[int] = None,
+        catalog_capacity_bytes: Optional[int] = None,
+        batch_size: int = 256,
+        max_buffered_batches: int = 64,
+        trace_queries: bool = False,
+    ) -> None:
+        self.default_config = config or BenuConfig()
+        self.batch_size = batch_size
+        self.max_buffered_batches = max_buffered_batches
+        self.trace_queries = trace_queries
+        self.registry = MetricsRegistry()
+        self.catalog = GraphCatalog(
+            capacity_bytes=catalog_capacity_bytes, registry=self.registry
+        )
+        self.plan_cache = PlanCache(registry=self.registry)
+        self.scheduler = QueryScheduler(
+            max_concurrent=max_concurrent,
+            max_queued=max_queued,
+            memory_budget_bytes=memory_budget_bytes,
+            registry=self.registry,
+        )
+        self._queries: Dict[str, QueryHandle] = {}
+        self._seq = 0
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------- catalog
+    def register_graph(
+        self,
+        name: str,
+        graph: Graph,
+        relabel: bool = True,
+        replace: bool = False,
+    ) -> dict:
+        """Register a data graph; relabeling and store builds happen once."""
+        entry = self.catalog.register(name, graph, relabel=relabel, replace=replace)
+        return {
+            "graph": name,
+            "vertices": entry.graph.num_vertices,
+            "edges": entry.graph.num_edges,
+            "relabeled": entry.prepared.relabeled,
+        }
+
+    # ------------------------------------------------------------- queries
+    def _resolve_pattern(self, pattern: PatternLike) -> PatternGraph:
+        if isinstance(pattern, PatternGraph):
+            return pattern
+        if isinstance(pattern, Graph):
+            return PatternGraph(pattern, name="pattern")
+        if isinstance(pattern, str):
+            return PatternGraph(get_pattern(pattern), name=pattern)
+        raise InvalidQueryError(
+            f"pattern must be a name, Graph or PatternGraph, not {type(pattern).__name__}"
+        )
+
+    def submit(
+        self,
+        pattern: PatternLike,
+        graph: str,
+        config: Optional[BenuConfig] = None,
+        stream: bool = True,
+        limit: Optional[int] = None,
+        deadline_seconds: Optional[float] = None,
+    ) -> QueryHandle:
+        """Admit a query; returns its handle or raises a typed error.
+
+        ``stream=True`` delivers matches through the handle (bounded
+        memory, pagination); ``stream=False`` runs a count-only query
+        whose ``handle.result()`` carries the totals.  ``limit`` caps
+        delivered matches and stops the run early; ``deadline_seconds``
+        arms a wall-clock deadline covering queue time and execution.
+        """
+        if self._closed:
+            from .errors import ServiceClosedError
+
+            raise ServiceClosedError("service is shut down")
+        pattern_graph = self._resolve_pattern(pattern)
+        query_config = config or self.default_config
+        if stream and query_config.compressed:
+            raise InvalidQueryError(
+                "streaming delivers full matches; compressed codes are "
+                "count-only (submit with stream=False)"
+            )
+        if limit is not None and limit < 0:
+            raise InvalidQueryError("limit must be non-negative")
+        # Fail fast on unknown graphs — before taking a scheduler slot.
+        self.catalog.get(graph)
+
+        control = ExecutionControl(deadline_seconds=deadline_seconds)
+        buffer: Optional[StreamBuffer] = None
+        estimated_bytes = 0
+        if stream:
+            buffer = StreamBuffer(
+                batch_size=self.batch_size,
+                max_batches=self.max_buffered_batches,
+                control=control,
+            )
+            estimated_bytes = (
+                self.batch_size
+                * self.max_buffered_batches
+                * pattern_graph.n
+                * _BYTES_PER_MATCH_SLOT
+            )
+
+        with self._lock:
+            self._seq += 1
+            query_id = f"q-{self._seq}"
+        handle = QueryHandle(
+            query_id,
+            pattern_name=pattern_graph.name,
+            graph_name=graph,
+            control=control,
+            buffer=buffer,
+            limit=limit,
+        )
+
+        future = self.scheduler.submit(
+            lambda: self._run_query(handle, pattern_graph, query_config),
+            estimated_bytes=estimated_bytes,
+        )
+        handle.future = future
+        with self._lock:
+            self._queries[query_id] = handle
+        return handle
+
+    # ------------------------------------------------------------------
+    def _run_query(
+        self, handle: QueryHandle, pattern: PatternGraph, config: BenuConfig
+    ) -> None:
+        control = handle.control
+        buffer = handle.buffer
+        t0 = time.perf_counter()
+        status = QueryStatus.FAILED
+        entry = None
+        pool_key = pool = None
+        telemetry = Telemetry(
+            TelemetryConfig(trace=True) if self.trace_queries else None
+        )
+        try:
+            handle._mark(QueryStatus.RUNNING)
+            control.check()  # queued past the deadline → never runs
+            entry = self.catalog.pin(handle.graph_name)
+            with telemetry.tracer.span(
+                "query",
+                args={
+                    "query_id": handle.query_id,
+                    "pattern": pattern.name,
+                    "graph": handle.graph_name,
+                },
+            ):
+                with telemetry.tracer.span("plan") as span:
+                    plan, outcome = self.plan_cache.get_or_build(
+                        pattern,
+                        entry.prepared,
+                        handle.graph_name,
+                        config,
+                        tracer=telemetry.tracer,
+                    )
+                    span.args["plan_cache"] = outcome
+                    span.args["query_id"] = handle.query_id
+                control.check()
+
+                pool_key, pool = entry.checkout_pool(config)
+                cluster = SimulatedCluster(
+                    entry.prepared.graph,
+                    config,
+                    telemetry=telemetry,
+                    store=entry.store_for(config),
+                )
+                sink = None
+                if buffer is not None:
+                    sink = (
+                        LimitSink(buffer, handle.limit, control)
+                        if handle.limit is not None
+                        else buffer
+                    )
+                result = execute_plan(
+                    plan,
+                    entry.prepared,
+                    config,
+                    telemetry=telemetry,
+                    cluster=cluster,
+                    sink=sink,
+                    control=control,
+                    worker_caches=pool.caches,
+                )
+            handle._result = result
+            status = QueryStatus.SUCCEEDED
+        except QueryCancelled as exc:
+            if exc.reason == LimitSink.REASON:
+                # The limit stopping the run early is a success.
+                handle.truncated = True
+                status = QueryStatus.SUCCEEDED
+            else:
+                handle.error = exc
+                status = QueryStatus.CANCELLED
+        except DeadlineExpired as exc:
+            handle.error = exc
+            status = QueryStatus.DEADLINE_EXPIRED
+        except BaseException as exc:  # noqa: BLE001 — reported, not swallowed
+            handle.error = exc
+            status = QueryStatus.FAILED
+        finally:
+            if pool is not None and entry is not None:
+                entry.checkin_pool(pool_key, pool)
+            if entry is not None:
+                self.catalog.unpin(handle.graph_name)
+            # Status before close: consumers at end-of-stream must see a
+            # final state (and any error) the moment the stream ends.
+            handle._mark(status)
+            if buffer is not None:
+                buffer.close()
+            wall = time.perf_counter() - t0
+            self.registry.counter(
+                M_SERVICE_QUERIES, "queries by final status", ("status",)
+            ).inc(status=status.value)
+            self.registry.histogram(
+                H_QUERY_WALL_SECONDS,
+                help="wall-clock seconds per service query",
+                labels=("status",),
+            ).observe(wall, status=status.value)
+            # The per-query span tree (query → plan → execution …) stays
+            # reachable even when the run produced no result object.
+            handle.telemetry = telemetry
+        return None
+
+    # ------------------------------------------------------------------
+    def query(self, query_id: str) -> QueryHandle:
+        with self._lock:
+            handle = self._queries.get(query_id)
+        if handle is None:
+            raise UnknownQueryError(f"unknown query {query_id!r}")
+        return handle
+
+    def cancel(self, query_id: str, reason: str = "cancelled by client") -> QueryHandle:
+        handle = self.query(query_id)
+        handle.cancel(reason)
+        return handle
+
+    def queries(self) -> Dict[str, QueryHandle]:
+        with self._lock:
+            return dict(self._queries)
+
+    def stats(self) -> dict:
+        """A JSON-friendly snapshot of the service's telemetry."""
+        statuses: Dict[str, int] = {}
+        with self._lock:
+            for handle in self._queries.values():
+                statuses[handle.status.value] = (
+                    statuses.get(handle.status.value, 0) + 1
+                )
+        return {
+            "graphs": self.catalog.names(),
+            "catalog_bytes": self.catalog.memory_bytes(),
+            "plan_cache": {
+                "entries": len(self.plan_cache),
+                "hits": self.plan_cache.hits,
+                "misses": self.plan_cache.misses,
+            },
+            "scheduler": {
+                "running": self.scheduler.running,
+                "queued": self.scheduler.queued,
+                "max_concurrent": self.scheduler.max_concurrent,
+                "max_queued": self.scheduler.max_queued,
+            },
+            "queries": statuses,
+            "metrics": self.registry.as_dict(),
+        }
+
+    def close(self, cancel_running: bool = True) -> None:
+        """Shut down: stop admitting, optionally cancel in-flight queries."""
+        self._closed = True
+        if cancel_running:
+            with self._lock:
+                handles = list(self._queries.values())
+            for handle in handles:
+                if not handle.done:
+                    handle.cancel("service shutting down")
+        self.scheduler.shutdown(wait=True)
+
+    def __enter__(self) -> "BenuService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,332 @@
+"""Streaming query results: bounded buffers, handles, pagination.
+
+A service query never materializes its full embedding list (HUGE's
+bounded-memory output requirement): the executor emits matches into a
+:class:`StreamBuffer` — a bounded queue of fixed-size batches — and the
+client drains them through its :class:`QueryHandle`, either as an
+iterator (:meth:`QueryHandle.batches` / :meth:`QueryHandle.matches`) or
+with cursor pagination (:meth:`QueryHandle.fetch`), which is what the
+wire protocol's ``poll`` op uses.
+
+Backpressure: when the buffer is full the *producer* blocks, pacing the
+enumeration to the consumer.  A blocked producer still honors
+cancellation — the put loop re-checks the query's control, so ``cancel``
+(or a deadline) unstick it at the next tick.
+"""
+
+from __future__ import annotations
+
+import enum
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from ..engine.control import ExecutionControl, ExecutionInterrupted
+from .errors import InvalidQueryError
+
+#: End-of-stream marker (identity-compared).
+_DONE = object()
+
+
+class QueryStatus(str, enum.Enum):
+    """Lifecycle of a service query."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+    DEADLINE_EXPIRED = "deadline_expired"
+
+    @property
+    def finished(self) -> bool:
+        return self not in (QueryStatus.QUEUED, QueryStatus.RUNNING)
+
+
+class StreamBuffer:
+    """Bounded match stream between one producer and one consumer.
+
+    ``emit`` is the sink interface the execution engine calls; batches of
+    ``batch_size`` matches travel through a queue holding at most
+    ``max_batches`` of them, so buffered memory is bounded by
+    ``batch_size × max_batches`` matches regardless of result size.
+    """
+
+    def __init__(
+        self,
+        batch_size: int = 256,
+        max_batches: int = 64,
+        control: Optional[ExecutionControl] = None,
+    ) -> None:
+        if batch_size < 1 or max_batches < 1:
+            raise ValueError("batch_size and max_batches must be positive")
+        self.batch_size = batch_size
+        self.control = control
+        self._queue: "queue.Queue" = queue.Queue(maxsize=max_batches)
+        self._batch: List[Tuple] = []
+        self._closed = False
+        self.count = 0  # matches emitted (producer side)
+
+    # ----------------------------------------------------------- producer
+    def _put(self, item) -> None:
+        while True:
+            try:
+                self._queue.put(item, timeout=0.05)
+                return
+            except queue.Full:
+                # Re-check cancellation so a stalled consumer can't wedge
+                # the producer (the control raises out of the run).
+                if self.control is not None:
+                    self.control.check()
+
+    def emit(self, match: Tuple) -> None:
+        self._batch.append(match)
+        self.count += 1
+        if len(self._batch) >= self.batch_size:
+            self._put(self._batch)
+            self._batch = []
+
+    def close(self) -> None:
+        """Flush the partial batch and mark end-of-stream (idempotent).
+
+        The terminal marker is guaranteed to land: if the query was
+        cancelled or expired while the queue is full, buffered batches
+        are dropped to make room (the results are void anyway), so no
+        consumer can block forever on a dead stream.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            if self._batch:
+                self._put(self._batch)
+                self._batch = []
+            self._put(_DONE)
+        except ExecutionInterrupted:
+            self._batch = []
+            while True:
+                try:
+                    self._queue.put_nowait(_DONE)
+                    return
+                except queue.Full:
+                    try:
+                        self._queue.get_nowait()
+                    except queue.Empty:
+                        pass
+
+    # ----------------------------------------------------------- consumer
+    def next_batch(self, timeout: Optional[float] = None) -> Optional[List[Tuple]]:
+        """The next batch, ``None`` at end-of-stream.
+
+        Raises ``queue.Empty`` when ``timeout`` elapses first.
+        """
+        item = self._queue.get(timeout=timeout) if timeout is not None else self._queue.get()
+        if item is _DONE:
+            self._queue.put(_DONE)  # keep the stream terminal for re-reads
+            return None
+        return item
+
+    def poll_batch(self) -> Optional[List[Tuple]]:
+        """A batch if one is ready now, else ``[]``; ``None`` at end."""
+        try:
+            item = self._queue.get_nowait()
+        except queue.Empty:
+            return []
+        if item is _DONE:
+            self._queue.put(_DONE)
+            return None
+        return item
+
+
+@dataclass
+class FetchResult:
+    """One page of matches (the ``poll`` op's payload)."""
+
+    matches: List[Tuple]
+    cursor: int  # position *after* these matches
+    done: bool
+
+    def __iter__(self):
+        return iter(self.matches)
+
+
+class QueryHandle:
+    """Client-side handle to a submitted query.
+
+    The handle exposes the query's lifecycle (``status``, ``wait``,
+    ``result``), its streamed matches (``batches`` / ``matches`` /
+    ``fetch``) and cooperative ``cancel``.  Matches arrive already
+    translated to original vertex ids.
+    """
+
+    def __init__(
+        self,
+        query_id: str,
+        pattern_name: str,
+        graph_name: str,
+        control: ExecutionControl,
+        buffer: Optional[StreamBuffer] = None,
+        limit: Optional[int] = None,
+    ) -> None:
+        self.query_id = query_id
+        self.pattern_name = pattern_name
+        self.graph_name = graph_name
+        self.control = control
+        self.buffer = buffer
+        self.limit = limit
+        self.status = QueryStatus.QUEUED
+        self.error: Optional[BaseException] = None
+        #: True when the stream was cut short by ``limit``.
+        self.truncated = False
+        self._result = None
+        self._done = threading.Event()
+        self._lock = threading.Lock()
+        # Pagination state (fetch): matches pulled off the stream but not
+        # yet delivered, and the count delivered so far.
+        self._pending: List[Tuple] = []
+        self._delivered = 0
+        self._exhausted = False
+
+    # ------------------------------------------------------------ lifecycle
+    def _mark(self, status: QueryStatus) -> None:
+        self.status = status
+        if status.finished:
+            self._done.set()
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the query finishes; True when it did."""
+        return self._done.wait(timeout)
+
+    def cancel(self, reason: str = "cancelled by client") -> None:
+        """Request cooperative cancellation (noticed at a task boundary)."""
+        self.control.cancel(reason)
+
+    def result(self, timeout: Optional[float] = None):
+        """The :class:`~repro.engine.results.BenuResult`, or raise.
+
+        Re-raises the typed error for failed / cancelled /
+        deadline-expired queries.  For limit-truncated streams the result
+        is ``None`` (the matches travelled through the stream).
+        """
+        if not self._done.wait(timeout):
+            raise TimeoutError(f"query {self.query_id} still running")
+        if self.error is not None:
+            raise self.error
+        return self._result
+
+    @property
+    def streaming(self) -> bool:
+        return self.buffer is not None
+
+    # ------------------------------------------------------------- streaming
+    def batches(self) -> Iterator[List[Tuple]]:
+        """Yield match batches until the stream ends (blocking)."""
+        if self.buffer is None:
+            raise InvalidQueryError(
+                f"query {self.query_id} is a count query; no match stream"
+            )
+        while True:
+            batch = self.buffer.next_batch()
+            if batch is None:
+                break
+            with self._lock:
+                self._delivered += len(batch)
+            yield batch
+        self._raise_if_abnormal()
+
+    def matches(self) -> Iterator[Tuple]:
+        """Yield matches one by one until the stream ends (blocking)."""
+        for batch in self.batches():
+            yield from batch
+
+    def fetch(
+        self, limit: int = 256, cursor: Optional[int] = None
+    ) -> FetchResult:
+        """Up to ``limit`` matches from the current cursor (non-blocking).
+
+        Streams cannot rewind: ``cursor``, when given, must equal the
+        position the previous fetch returned.  ``done`` goes True once
+        the stream is exhausted *and* every match was delivered.
+        """
+        if self.buffer is None:
+            raise InvalidQueryError(
+                f"query {self.query_id} is a count query; no match stream"
+            )
+        if limit < 1:
+            raise InvalidQueryError("fetch limit must be positive")
+        with self._lock:
+            if cursor is not None and cursor != self._delivered:
+                raise InvalidQueryError(
+                    f"cursor {cursor} is not the stream position "
+                    f"({self._delivered}); streamed results cannot rewind"
+                )
+            out: List[Tuple] = []
+            while len(out) < limit:
+                if self._pending:
+                    take = min(limit - len(out), len(self._pending))
+                    out.extend(self._pending[:take])
+                    del self._pending[:take]
+                    continue
+                if self._exhausted:
+                    break
+                batch = self.buffer.poll_batch()
+                if batch is None:
+                    self._exhausted = True
+                    break
+                if not batch:
+                    # Nothing buffered right now; if the query already
+                    # finished, the terminal marker (or a final batch) is
+                    # instants away — spin once more via blocking read.
+                    if self.done:
+                        try:
+                            final = self.buffer.next_batch(timeout=0.25)
+                        except queue.Empty:
+                            break
+                        if final is None:
+                            self._exhausted = True
+                        else:
+                            self._pending.extend(final)
+                        continue
+                    break
+                self._pending.extend(batch)
+            self._delivered += len(out)
+            done = self._exhausted and not self._pending
+        if done:
+            self._raise_if_abnormal()
+        return FetchResult(matches=out, cursor=self._delivered, done=done)
+
+    @property
+    def delivered(self) -> int:
+        """Matches handed to the consumer so far."""
+        with self._lock:
+            return self._delivered
+
+    def _raise_if_abnormal(self) -> None:
+        """After the stream ends, surface abnormal termination.
+
+        Failed, cancelled and deadline-expired streams re-raise their
+        typed error so a consumer cannot mistake a cut-short stream for
+        a complete one.  Clean truncation by ``limit`` is a success and
+        raises nothing.
+        """
+        if self.done and self.status.finished and self.error is not None:
+            raise self.error
+
+    def describe(self) -> dict:
+        """A JSON-friendly snapshot (the protocol's view of the query)."""
+        return {
+            "query": self.query_id,
+            "pattern": self.pattern_name,
+            "graph": self.graph_name,
+            "status": self.status.value,
+            "streaming": self.streaming,
+            "delivered": self.delivered,
+            "truncated": self.truncated,
+            "limit": self.limit,
+            "error": str(self.error) if self.error else None,
+        }

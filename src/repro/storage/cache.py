@@ -44,6 +44,9 @@ class CacheStats:
         self.misses += other.misses
         self.evictions += other.evictions
 
+    def copy(self) -> "CacheStats":
+        return CacheStats(self.hits, self.misses, self.evictions)
+
     def record_to(self, registry, **labels) -> None:
         """Mirror this accounting into a telemetry registry.
 
@@ -156,6 +159,51 @@ class LRUDatabaseCache:
     def as_getter(self) -> Callable[[Vertex], FrozenSet[Vertex]]:
         """The ``get_adj`` callable handed to compiled plans."""
         return self.get
+
+
+class CachePool:
+    """One warm database cache per worker slot, reused across queries.
+
+    A one-shot BENU job builds its worker caches cold and throws them
+    away; a resident query service wants the opposite — hub adjacency
+    sets fetched by one query should serve the next.  The pool owns one
+    :class:`LRUDatabaseCache` per simulated worker and hands them to the
+    cluster's workers run after run (the worker rebinds the query-stats
+    ledger per run, so accounting stays per-query while contents stay
+    warm).
+
+    >>> from repro.graph.graph import complete_graph
+    >>> store = DistributedKVStore.from_graph(complete_graph(3))
+    >>> pool = CachePool(store, num_workers=2)
+    >>> len(pool.caches)
+    2
+    """
+
+    def __init__(
+        self,
+        store: DistributedKVStore,
+        num_workers: int,
+        capacity_bytes: Optional[int] = None,
+        policy: str = "lru",
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("need at least one worker slot")
+        self.store = store
+        self.caches = [
+            LRUDatabaseCache(store, capacity_bytes=capacity_bytes, policy=policy)
+            for _ in range(num_workers)
+        ]
+
+    def memory_bytes(self) -> int:
+        """Bytes currently held across all pooled caches."""
+        return sum(cache.used_bytes for cache in self.caches)
+
+    def clear(self) -> None:
+        for cache in self.caches:
+            cache.clear()
+
+    def __len__(self) -> int:
+        return len(self.caches)
 
 
 #: Preferred, policy-neutral alias.

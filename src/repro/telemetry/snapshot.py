@@ -54,6 +54,15 @@ __all__ = [
     "G_CACHE_HIT_RATIO",
     "H_TASK_SIM_SECONDS",
     "H_DB_QUERY_BYTES",
+    "M_SERVICE_QUERIES",
+    "M_SERVICE_REJECTED",
+    "M_PLAN_CACHE_HITS",
+    "M_PLAN_CACHE_MISSES",
+    "G_SERVICE_RUNNING",
+    "G_SERVICE_QUEUED",
+    "G_CATALOG_BYTES",
+    "M_CATALOG_EVICTIONS",
+    "H_QUERY_WALL_SECONDS",
 ]
 
 # Canonical metric names (``benu_`` prefix, Prometheus-style suffixes).
@@ -75,6 +84,17 @@ G_WORKERS = "benu_workers"
 G_CACHE_HIT_RATIO = "benu_cache_hit_ratio"
 H_TASK_SIM_SECONDS = "benu_task_sim_seconds"
 H_DB_QUERY_BYTES = "benu_db_query_bytes"
+
+# Query-service metrics (the resident engine built on top of one-shot runs).
+M_SERVICE_QUERIES = "benu_service_queries_total"
+M_SERVICE_REJECTED = "benu_service_rejected_total"
+M_PLAN_CACHE_HITS = "benu_service_plan_cache_hits_total"
+M_PLAN_CACHE_MISSES = "benu_service_plan_cache_misses_total"
+G_SERVICE_RUNNING = "benu_service_running_queries"
+G_SERVICE_QUEUED = "benu_service_queued_queries"
+G_CATALOG_BYTES = "benu_service_catalog_bytes"
+M_CATALOG_EVICTIONS = "benu_service_catalog_evictions_total"
+H_QUERY_WALL_SECONDS = "benu_service_query_wall_seconds"
 
 
 @dataclass

@@ -1,0 +1,115 @@
+"""Canonical pattern hashing: stable across relabelings, separates structures."""
+
+import random
+
+import pytest
+
+from repro.graph.graph import Graph, complete_graph, cycle_graph, path_graph, star_graph
+from repro.graph.patterns import PATTERNS
+from repro.pattern.canonical import (
+    canonical_form,
+    canonical_key,
+    canonical_relabeling,
+    wl_colors,
+)
+from repro.pattern.isomorphism import are_isomorphic
+
+
+def shuffled(graph: Graph, seed: int) -> Graph:
+    """A random relabeling of ``graph`` onto fresh, non-contiguous ids."""
+    rng = random.Random(seed)
+    ids = rng.sample(range(1000, 9999), graph.num_vertices)
+    mapping = dict(zip(graph.vertices, ids))
+    return graph.relabel(mapping)
+
+
+class TestInvariance:
+    @pytest.mark.parametrize("name", sorted(PATTERNS))
+    def test_bundled_patterns_stable_under_relabeling(self, name):
+        g = PATTERNS[name]
+        key = canonical_key(g)
+        for seed in range(5):
+            assert canonical_key(shuffled(g, seed)) == key
+
+    @pytest.mark.parametrize("name", sorted(PATTERNS))
+    def test_canonical_graphs_coincide(self, name):
+        g = PATTERNS[name]
+        cg, mapping = canonical_form(g)
+        assert sorted(mapping.values()) == list(range(g.num_vertices))
+        for seed in range(3):
+            other, _ = canonical_form(shuffled(g, seed))
+            assert other == cg
+
+    def test_mapping_is_an_isomorphism(self):
+        g = PATTERNS["q4"]
+        cg, mapping = canonical_form(g)
+        for a, b in g.edges():
+            assert cg.has_edge(mapping[a], mapping[b])
+        assert cg.num_edges == g.num_edges
+
+    def test_random_graphs_stable(self):
+        rng = random.Random(11)
+        for trial in range(20):
+            n = rng.randint(3, 7)
+            edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+            g = Graph(rng.sample(edges, rng.randint(n - 1, len(edges))),
+                      vertices=range(n))
+            key = canonical_key(g)
+            assert canonical_key(shuffled(g, trial)) == key
+
+
+class TestSeparation:
+    def test_bundled_patterns_pairwise_distinct(self):
+        keys = {}
+        for name, g in PATTERNS.items():
+            keys.setdefault(canonical_key(g), []).append(name)
+        for key, names in keys.items():
+            # Same key must mean genuinely isomorphic patterns.
+            for a in names[1:]:
+                assert are_isomorphic(PATTERNS[names[0]], PATTERNS[a])
+
+    def test_same_degree_sequence_different_structure(self):
+        # Both tadpoles have degree sequence (3, 2, 2, 2, 1) but one
+        # rings a square and the other a triangle.
+        square_tadpole = Graph([(1, 2), (2, 3), (3, 4), (4, 1), (1, 5)])
+        triangle_tadpole = Graph([(1, 2), (2, 3), (3, 1), (1, 4), (4, 5)])
+        assert sorted(square_tadpole.degree_sequence()) == sorted(
+            triangle_tadpole.degree_sequence()
+        )
+        assert not are_isomorphic(square_tadpole, triangle_tadpole)
+        assert canonical_key(square_tadpole) != canonical_key(triangle_tadpole)
+
+    def test_wl_hard_pair_separated_by_search(self):
+        # C6 and 2×C3 have identical WL colors (all 2-regular) but the
+        # exhaustive minimization still separates them.
+        c6 = cycle_graph(6)
+        two_triangles = Graph(
+            [(1, 2), (2, 3), (3, 1), (4, 5), (5, 6), (6, 4)]
+        )
+        assert set(wl_colors(c6).values()) == set(wl_colors(two_triangles).values())
+        assert canonical_key(c6) != canonical_key(two_triangles)
+
+    def test_basic_families_distinct(self):
+        graphs = [
+            complete_graph(4),
+            cycle_graph(4),
+            path_graph(4),
+            star_graph(3),
+            complete_graph(5),
+            cycle_graph(5),
+        ]
+        keys = [canonical_key(g) for g in graphs]
+        assert len(set(keys)) == len(keys)
+
+
+class TestShape:
+    def test_relabeling_is_dense(self):
+        g = shuffled(complete_graph(4), 3)
+        mapping = canonical_relabeling(g)
+        assert sorted(mapping.values()) == [0, 1, 2, 3]
+
+    def test_single_vertex(self):
+        g = Graph([], vertices=[42])
+        cg, mapping = canonical_form(g)
+        assert mapping == {42: 0}
+        assert cg.num_vertices == 1 and cg.num_edges == 0

@@ -68,7 +68,48 @@ class TestEnumerate:
         )
         captured = capsys.readouterr()
         assert len(captured.out.strip().splitlines()) == 3
-        assert "7 more" in captured.err
+        assert "stopped after 3 matches" in captured.err
+
+    def test_limit_zero(self, edge_file, capsys):
+        main(
+            ["enumerate", "--pattern", "triangle", "--edges", edge_file, "--limit", "0"]
+        )
+        captured = capsys.readouterr()
+        assert captured.out.strip() == ""
+
+    def test_jsonl_output(self, edge_file, capsys):
+        import json
+
+        main(
+            [
+                "enumerate",
+                "--pattern",
+                "triangle",
+                "--edges",
+                edge_file,
+                "--output",
+                "jsonl",
+            ]
+        )
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 10
+        matches = {tuple(json.loads(line)) for line in lines}
+        assert len(matches) == 10
+        assert all(len(m) == 3 for m in matches)
+
+    def test_streams_same_matches_as_collected_run(self, edge_file, capsys):
+        from repro.engine.benu import enumerate_subgraphs
+        from repro.graph.io import read_edge_list
+
+        main(["enumerate", "--pattern", "triangle", "--edges", edge_file])
+        lines = capsys.readouterr().out.strip().splitlines()
+        streamed = {tuple(int(x) for x in line.split("\t")) for line in lines}
+        expected = set(
+            enumerate_subgraphs(
+                get_pattern("triangle"), read_edge_list(edge_file)
+            )
+        )
+        assert streamed == expected
 
 
 class TestPlan:
@@ -108,6 +149,74 @@ class TestListings:
         main(["datasets", "--load"])
         out = capsys.readouterr().out
         assert "(lazy)" not in out
+
+
+class TestServe:
+    def _run_script(self, requests, argv, monkeypatch, capsys):
+        import io
+        import json
+        import sys
+
+        script = "\n".join(json.dumps(r) for r in requests) + "\n"
+        monkeypatch.setattr(sys, "stdin", io.StringIO(script))
+        assert main(["serve", *argv]) == 0
+        out = capsys.readouterr().out
+        return [json.loads(line) for line in out.strip().splitlines()]
+
+    def test_stdio_roundtrip(self, edge_file, monkeypatch, capsys):
+        responses = self._run_script(
+            [
+                {"op": "graphs"},
+                {"op": "submit", "pattern": "triangle", "graph": "k5"},
+                {"op": "poll", "query": "q-1", "limit": 100, "wait": 10},
+                {"op": "stats"},
+                {"op": "shutdown"},
+            ],
+            ["--edges-graph", f"k5={edge_file}"],
+            monkeypatch,
+            capsys,
+        )
+        graphs, submit, poll, stats, bye = responses
+        assert graphs["ok"] and graphs["graphs"] == ["k5"]
+        assert submit["ok"] and submit["query"] == "q-1"
+        assert poll["ok"] and poll["done"] is True
+        assert len(poll["matches"]) == 10
+        assert all(len(m) == 3 for m in poll["matches"])
+        assert stats["ok"] and stats["stats"]["plan_cache"]["misses"] == 1
+        assert bye["ok"] and bye["bye"] is True
+
+    def test_register_and_errors(self, monkeypatch, capsys):
+        responses = self._run_script(
+            [
+                {
+                    "op": "register",
+                    "name": "path",
+                    "edges": [[1, 2], [2, 3]],
+                },
+                {"op": "submit", "pattern": "triangle", "graph": "nope"},
+                {"op": "poll", "query": "q-404"},
+                {"op": "bogus"},
+                "not json at all",
+                {"op": "submit", "pattern": "triangle", "graph": "path"},
+                {"op": "poll", "query": "q-1", "wait": 10},
+                {"op": "shutdown"},
+            ],
+            [],
+            monkeypatch,
+            capsys,
+        )
+        register, unknown_graph, unknown_query, bogus, bad_json, submit, poll, _ = (
+            responses
+        )
+        assert register["ok"] and register["graph"] == "path"
+        assert not unknown_graph["ok"]
+        assert unknown_graph["error"] == "unknown_graph"
+        assert not unknown_query["ok"]
+        assert unknown_query["error"] == "unknown_query"
+        assert not bogus["ok"] and bogus["error"] == "invalid_query"
+        assert not bad_json["ok"] and bad_json["error"] == "invalid_query"
+        assert submit["ok"]
+        assert poll["ok"] and poll["done"] is True and poll["matches"] == []
 
 
 class TestParser:

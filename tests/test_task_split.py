@@ -127,3 +127,77 @@ class TestGenerateTasks:
         plan = compress_plan(optimize(generate_raw_plan(pg, [1, 2, 3, 4])))
         tasks = list(generate_tasks(plan, skewed_graph, 5))
         assert all(not t.is_split for t in tasks)
+
+
+class TestEdgeCases:
+    def test_empty_data_graph(self):
+        from repro.graph.graph import Graph
+
+        empty = Graph()
+        assert list(generate_tasks(plan_for("triangle"), empty, None)) == []
+        assert list(generate_tasks(plan_for("triangle"), empty, 2)) == []
+
+    def test_empty_data_graph_end_to_end(self):
+        from repro.engine.benu import count_subgraphs
+        from repro.engine.config import BenuConfig
+        from repro.graph.graph import Graph
+
+        config = BenuConfig(num_workers=2, split_threshold=2, relabel=False)
+        assert count_subgraphs(get_pattern("triangle"), Graph(), config) == 0
+
+    def test_data_graph_smaller_than_pattern(self):
+        """A 2-vertex data graph still yields one task per vertex for a
+        triangle plan — they all enumerate nothing, but generation and
+        execution must not blow up."""
+        from repro.engine.benu import count_subgraphs
+        from repro.engine.config import BenuConfig
+        from repro.graph.graph import Graph
+
+        tiny = Graph([(1, 2)])
+        tasks = list(generate_tasks(plan_for("triangle"), tiny, None))
+        assert len(tasks) == 2
+        assert all(not t.is_split for t in tasks)
+        config = BenuConfig(num_workers=4, split_threshold=1, relabel=False)
+        assert count_subgraphs(get_pattern("clique4"), tiny, config) == 0
+
+    def test_single_hub_splits_into_more_tasks_than_workers(self):
+        """One hub with d ≫ τ must fan out into many subtasks so every
+        worker gets a share — the whole point of Section V-B."""
+        from repro.engine.benu import run_benu
+        from repro.engine.config import BenuConfig
+
+        hub_graph, _ = relabel_by_degree_order(star_graph(40))
+        tau = 4
+        plan = plan_for("triangle")
+        tasks = list(generate_tasks(plan, hub_graph, tau))
+        hub = max(hub_graph.vertices, key=hub_graph.degree)
+        hub_tasks = [t for t in tasks if t.start == hub]
+        assert len(hub_tasks) == 10  # ceil(40 / 4)
+        num_workers = 4
+        assert len(hub_tasks) > num_workers
+        # Slices partition the hub's adjacency exactly.
+        union = set()
+        for t in hub_tasks:
+            assert not union & t.candidate_slice
+            union |= t.candidate_slice
+        assert union == set(hub_graph.neighbors(hub))
+        # End-to-end: split execution matches the unsplit count (a star
+        # has no triangles; use a wheel so the count is non-zero).
+        from repro.graph.graph import Graph
+
+        spokes = list(range(2, 42))
+        wheel = Graph(
+            [(1, s) for s in spokes]
+            + [(spokes[i], spokes[(i + 1) % len(spokes)]) for i in range(len(spokes))]
+        )
+        wheel, _ = relabel_by_degree_order(wheel)
+        split_cfg = BenuConfig(
+            num_workers=num_workers, split_threshold=tau, relabel=False
+        )
+        unsplit_cfg = BenuConfig(
+            num_workers=num_workers, split_threshold=None, relabel=False
+        )
+        pattern = get_pattern("triangle")
+        split_result = run_benu(pattern, wheel, split_cfg)
+        assert split_result.count == run_benu(pattern, wheel, unsplit_cfg).count
+        assert split_result.count == 40
