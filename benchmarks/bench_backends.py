@@ -1,0 +1,116 @@
+"""Execution-backend throughput on the Table-1 workload.
+
+One plan, three runtimes: the deterministic simulated cluster, the
+literal plan interpreter, and the pool of OS worker processes.  This
+bench counts the Table-1 core structures (triangle, 4-clique, chordal
+square) on the AS stand-in with each backend and records wall-clock
+throughput (matches enumerated per second) per backend, so a regression
+in the process backend fails `scripts/perf_guard.py` exactly like an
+intersect-kernel one does.
+
+The interpreter is benched on the triangle only — it is the oracle, not
+a contender, and interpreting the heavier plans would dominate the whole
+suite's runtime without guarding anything new.
+"""
+
+import os
+
+import pytest
+
+from repro.engine.benu import run_benu
+from repro.engine.config import BenuConfig
+from repro.graph.datasets import load_dataset
+from repro.graph.patterns import get_pattern
+from repro.metrics import format_table
+
+from common import telemetry_record, write_report
+
+CORE_PATTERNS = ("triangle", "clique4", "chordal_square")
+DATASET = "as_sim"
+NUM_WORKERS = max(2, min(4, os.cpu_count() or 2))
+
+
+def run(backend: str, pattern_name: str):
+    return run_benu(
+        get_pattern(pattern_name),
+        load_dataset(DATASET),
+        BenuConfig(
+            relabel=False,
+            execution_backend=backend,
+            num_workers=NUM_WORKERS,
+            adjacency_backend="csr",
+        ),
+    )
+
+
+def _workload(backend: str) -> dict:
+    """Total wall seconds + per-pattern telemetry for one backend."""
+    patterns = CORE_PATTERNS if backend != "inline" else ("triangle",)
+    runs = {}
+    wall = 0.0
+    count = 0
+    for name in patterns:
+        result = run(backend, name)
+        runs[name] = telemetry_record(result)
+        wall += result.wall_seconds
+        count += result.count
+    return {"runs": runs, "wall_seconds": wall, "count": count}
+
+
+def _make_report():
+    cores = os.cpu_count() or 1
+    per_backend = {b: _workload(b) for b in ("simulated", "inline", "process")}
+    ops = {
+        b: (w["count"] / w["wall_seconds"] if w["wall_seconds"] > 0 else 0.0)
+        for b, w in per_backend.items()
+    }
+    speedup = (
+        per_backend["simulated"]["wall_seconds"]
+        / per_backend["process"]["wall_seconds"]
+        if per_backend["process"]["wall_seconds"] > 0
+        else 0.0
+    )
+    rows = [
+        [
+            b,
+            ",".join(sorted(w["runs"])),
+            f"{w['count']:,}",
+            f"{w['wall_seconds']:.3f}",
+            f"{ops[b]:,.0f}",
+        ]
+        for b, w in per_backend.items()
+    ]
+    text = format_table(
+        ["backend", "patterns", "matches", "wall s", "matches/s"], rows
+    ) + (
+        f"\nprocess vs simulated wall-clock speedup: {speedup:.2f}x "
+        f"({cores} cores, {NUM_WORKERS} workers)"
+    )
+    write_report(
+        "backends",
+        text,
+        record={
+            "dataset": DATASET,
+            "cpu_count": cores,
+            "num_workers": NUM_WORKERS,
+            "backends": per_backend,
+            "process_speedup_vs_simulated": speedup,
+            "ops_per_sec": ops,
+        },
+    )
+    return speedup
+
+
+def test_backends_report(benchmark):
+    speedup = benchmark.pedantic(_make_report, rounds=1, iterations=1)
+    assert speedup > 0
+    if (os.cpu_count() or 1) >= 2:
+        # With real cores available, the process backend must beat the
+        # single-core simulated cluster on wall-clock (the acceptance
+        # criterion for making it the serving path).
+        assert speedup > 1.0
+
+
+@pytest.mark.parametrize("backend", ("simulated", "process"))
+def test_bench_triangle_per_backend(benchmark, backend):
+    benchmark.pedantic(run, args=(backend, "triangle"), rounds=1, iterations=2)

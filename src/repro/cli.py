@@ -29,7 +29,7 @@ from .engine.benu import (
     prepare_plan,
     run_benu,
 )
-from .engine.config import BenuConfig
+from .engine.config import ADJACENCY_BACKENDS, EXECUTION_BACKENDS, BenuConfig
 from .engine.control import ExecutionControl, QueryCancelled
 from .engine.sinks import CallbackSink, JsonlSink, LimitSink
 from .graph.datasets import DATASET_ORDER, DATASET_SPECS, load_dataset
@@ -62,6 +62,8 @@ def _config_from(
         num_workers=args.workers,
         threads_per_worker=args.threads,
         cache_capacity_bytes=args.cache_bytes,
+        adjacency_backend=args.adjacency_backend,
+        execution_backend=args.execution_backend,
         split_threshold=args.tau,
         optimization_level=args.level,
         compressed=getattr(args, "compressed", False),
@@ -80,6 +82,13 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-bytes", type=int, default=None)
     parser.add_argument("--tau", type=int, default=64, help="task-splitting threshold")
     parser.add_argument("--level", type=int, default=3, help="optimization level 0-3")
+    parser.add_argument("--execution-backend", choices=EXECUTION_BACKENDS,
+                        default="simulated",
+                        help="runtime: simulated cluster (default), inline "
+                             "interpreter, or real OS worker processes")
+    parser.add_argument("--adjacency-backend", choices=ADJACENCY_BACKENDS,
+                        default="frozenset",
+                        help="adjacency layout: frozenset (default) or csr")
 
 
 def cmd_count(args: argparse.Namespace) -> int:
@@ -214,6 +223,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         num_workers=args.workers,
         threads_per_worker=args.threads,
         cache_capacity_bytes=args.cache_bytes,
+        adjacency_backend=args.adjacency_backend,
+        execution_backend=args.execution_backend,
         split_threshold=args.tau,
         optimization_level=args.level,
     )
@@ -223,6 +234,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_queued=args.max_queued,
         memory_budget_bytes=args.memory_budget_bytes,
         catalog_capacity_bytes=args.catalog_bytes,
+        max_worker_processes=args.max_worker_processes,
     )
     try:
         for spec in args.graph or []:
@@ -353,6 +365,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-bytes", type=int, default=None)
     p.add_argument("--tau", type=int, default=64)
     p.add_argument("--level", type=int, default=3)
+    p.add_argument("--execution-backend", choices=EXECUTION_BACKENDS,
+                   default="simulated",
+                   help="runtime queries execute on; 'process' fans each "
+                        "query out over real OS worker processes")
+    p.add_argument("--adjacency-backend", choices=ADJACENCY_BACKENDS,
+                   default="frozenset")
+    p.add_argument("--max-worker-processes", type=int, default=None,
+                   help="machine-wide cap on worker processes across all "
+                        "concurrent process-backend queries (default: cores)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("patterns", help="list built-in patterns")

@@ -10,6 +10,15 @@ from .benu import (
     prepare_plan,
     run_benu,
 )
+from .backends import (
+    EXECUTION_BACKENDS,
+    ExecutionBackend,
+    ExecutionRequest,
+    InlineBackend,
+    ProcessBackend,
+    SimulatedBackend,
+    get_backend,
+)
 from .cluster import SimulatedCluster
 from .config import BenuConfig, SimulationCostModel
 from .control import (
@@ -20,7 +29,7 @@ from .control import (
 )
 from .interpreter import interpret_all, interpret_plan
 from .local_task import LocalSearchTask
-from .parallel import ParallelResult, ParallelRunner, parallel_count
+from .parallel import ParallelRunner, parallel_count
 from .results import BenuResult
 from .sinks import (
     CallbackSink,
@@ -54,7 +63,13 @@ __all__ = [
     "interpret_all",
     "interpret_plan",
     "LocalSearchTask",
-    "ParallelResult",
+    "EXECUTION_BACKENDS",
+    "ExecutionBackend",
+    "ExecutionRequest",
+    "InlineBackend",
+    "ProcessBackend",
+    "SimulatedBackend",
+    "get_backend",
     "ParallelRunner",
     "parallel_count",
     "BenuResult",

@@ -1,0 +1,222 @@
+"""The execution-backend contract and the utilities every backend shares.
+
+The paper's Fig. 2 architecture has exactly one execution model — workers
+pulling local search tasks against a shared adjacency store — and this
+package keeps exactly one *logical* pipeline for it.  What varies is the
+runtime underneath: the deterministic simulated cluster, the literal
+plan interpreter, or a pool of OS processes.  Each of those is an
+:class:`ExecutionBackend`; they all consume the same
+:class:`ExecutionRequest` and produce the same
+:class:`~repro.engine.results.BenuResult`, with the same telemetry
+metric names, so everything above the backend (``run_benu``, the CLI,
+the query service) selects one by name and never special-cases it.
+
+Shared here:
+
+* :func:`resolve_tasks` — task generation under the tracer span every
+  backend records;
+* :func:`task_sim_seconds` — the deterministic cost-model clock (the
+  single definition the simulated worker and the process backend both
+  use, so their ``benu_task_sim_seconds`` histograms are comparable);
+* :func:`record_worker_ledgers` / :func:`record_run_gauges` — the
+  end-of-run registry population, keeping metric names identical across
+  backends by construction.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ...graph.graph import Graph
+from ...plan.codegen import TaskCounters
+from ...plan.generation import ExecutionPlan
+from ...storage.cache import CacheStats
+from ...storage.kvstore import DistributedKVStore, QueryStats
+from ...telemetry.registry import MetricsRegistry
+from ...telemetry.runtime import Telemetry
+from ...telemetry.snapshot import (
+    G_CACHE_HIT_RATIO,
+    G_MAKESPAN,
+    G_WALL,
+    G_WORKERS,
+    H_TASK_SIM_SECONDS,
+    M_TASKS,
+)
+from ..config import BenuConfig, SimulationCostModel
+from ..control import ExecutionControl
+from ..local_task import LocalSearchTask
+from ..task_split import generate_tasks
+
+
+@dataclass
+class ExecutionRequest:
+    """Everything one backend needs to run one plan over one graph.
+
+    ``store`` and ``worker_caches`` are reuse hooks for long-lived owners
+    (the query service's graph catalog); backends that cannot use them
+    (the process backend runs against the raw graph) simply ignore them.
+    ``tasks`` overrides task generation — Exp-4 compares splitting on/off
+    over identical plans this way.
+    """
+
+    plan: ExecutionPlan
+    graph: Graph
+    config: BenuConfig = field(default_factory=BenuConfig)
+    telemetry: Optional[Telemetry] = None
+    tasks: Optional[List[LocalSearchTask]] = None
+    sink: object = None
+    control: Optional[ExecutionControl] = None
+    store: Optional[DistributedKVStore] = None
+    worker_caches: Optional[list] = None
+
+    def __post_init__(self) -> None:
+        if self.telemetry is None:
+            self.telemetry = Telemetry(self.config.telemetry)
+
+    @property
+    def streaming(self) -> bool:
+        return self.sink is not None
+
+    @property
+    def mode(self) -> str:
+        """Compilation/collection mode: ``collect`` or ``count``."""
+        return (
+            "collect" if (self.config.collect or self.streaming) else "count"
+        )
+
+
+class ExecutionBackend(abc.ABC):
+    """One runtime for the BENU task loop.
+
+    The contract: :meth:`execute` runs every task of ``request.plan``
+    over ``request.graph``, emits matches to ``request.sink`` (already
+    in execution-space ids — translation happens a layer up), honors
+    ``request.control`` at task boundaries (a cancel or expired deadline
+    raises the typed :class:`~repro.engine.control.ExecutionInterrupted`
+    out of this method; no partial result is returned), and returns a
+    :class:`~repro.engine.results.BenuResult` whose ``telemetry``
+    snapshot uses the canonical metric names of
+    :mod:`repro.telemetry.snapshot`.
+    """
+
+    #: Registry key (``BenuConfig.execution_backend`` value).
+    name: str = "?"
+
+    @abc.abstractmethod
+    def execute(self, request: ExecutionRequest):
+        """Run the request; return a :class:`BenuResult`."""
+
+
+# ----------------------------------------------------------------- helpers
+def resolve_tasks(request: ExecutionRequest, tracer) -> List[LocalSearchTask]:
+    """The request's task list, generating (under a span) when not given."""
+    if request.tasks is not None:
+        return list(request.tasks)
+    with tracer.span("task-generation") as span:
+        tasks = list(
+            generate_tasks(
+                request.plan, request.graph, request.config.split_threshold
+            )
+        )
+        span.args["tasks"] = len(tasks)
+    return tasks
+
+
+def task_sim_seconds(
+    counters: TaskCounters,
+    cost_model: SimulationCostModel,
+    db_seconds: float = 0.0,
+) -> float:
+    """Deterministic simulated duration of one task (Section IV-C).
+
+    Every ``get_adj`` is a cache lookup; misses add the DB round-trip
+    time the caller measured into ``db_seconds`` (zero for backends whose
+    workers own the whole graph locally).
+    """
+    return (
+        counters.int_ops * cost_model.int_seconds
+        + counters.trc_ops * cost_model.trc_seconds
+        + counters.enu_steps * cost_model.enu_seconds
+        + counters.results * cost_model.result_seconds
+        + counters.dbq_ops * cost_model.cache_hit_seconds
+        + db_seconds
+    )
+
+
+@dataclass
+class WorkerLedger:
+    """One worker's end-of-run accounting, backend-agnostic.
+
+    The simulated backend fills it from its :class:`Worker` objects, the
+    process backend from the per-task records its processes sent home —
+    either way :func:`record_worker_ledgers` mirrors it into the registry
+    under the same metric names.
+    """
+
+    worker_id: str
+    counters: TaskCounters = field(default_factory=TaskCounters)
+    query_stats: QueryStats = field(default_factory=QueryStats)
+    cache_stats: CacheStats = field(default_factory=CacheStats)
+    num_tasks: int = 0
+    task_sim_seconds: List[float] = field(default_factory=list)
+    busy_seconds: float = 0.0
+    wall_seconds: float = 0.0
+
+
+def record_worker_ledgers(
+    registry: MetricsRegistry, ledgers: List[WorkerLedger]
+) -> Dict[str, object]:
+    """Mirror per-worker ledgers into ``registry``; return the totals.
+
+    Returns ``{"counters": TaskCounters, "communication": QueryStats,
+    "cache": CacheStats, "per_task": [float]}`` — the aggregate the
+    result object carries alongside the registry-backed views.
+    """
+    total_counters = TaskCounters()
+    communication = QueryStats()
+    cache = CacheStats()
+    per_task: List[float] = []
+    task_hist = registry.histogram(
+        H_TASK_SIM_SECONDS,
+        help="simulated duration per local search task (Fig. 9 skew)",
+        labels=("worker",),
+    )
+    tasks_counter = registry.counter(
+        M_TASKS, "local search tasks executed", ("worker",)
+    )
+    for ledger in ledgers:
+        total_counters = total_counters + ledger.counters
+        communication.merge(ledger.query_stats)
+        cache.merge(ledger.cache_stats)
+        per_task.extend(ledger.task_sim_seconds)
+        wid = ledger.worker_id
+        ledger.query_stats.record_to(registry, worker=wid)
+        ledger.cache_stats.record_to(registry, worker=wid)
+        ledger.counters.record_to(registry, worker=wid)
+        tasks_counter.inc(ledger.num_tasks, worker=wid)
+        for sim in ledger.task_sim_seconds:
+            task_hist.observe(sim, worker=wid)
+    return {
+        "counters": total_counters,
+        "communication": communication,
+        "cache": cache,
+        "per_task": per_task,
+    }
+
+
+def record_run_gauges(
+    registry: MetricsRegistry,
+    makespan: float,
+    wall: float,
+    num_workers: int,
+    cache: CacheStats,
+) -> None:
+    """The end-of-run gauges every backend sets under the same names."""
+    registry.gauge(G_MAKESPAN, "simulated job makespan").set(makespan)
+    registry.gauge(G_WALL, "wall-clock run time").set(wall)
+    registry.gauge(G_WORKERS, "worker machines/processes").set(num_workers)
+    registry.gauge(G_CACHE_HIT_RATIO, "database cache hit ratio").set(
+        cache.hit_rate
+    )

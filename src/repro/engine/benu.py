@@ -164,30 +164,67 @@ def execute_plan(
     control: Optional[ExecutionControl] = None,
     tasks=None,
     worker_caches=None,
+    execution_backend: Optional[str] = None,
 ) -> BenuResult:
     """Run ``plan`` over prepared data and translate results back.
 
-    ``cluster`` reuses an existing simulated cluster (and with it the
-    distributed store); ``worker_caches`` keeps worker database caches
-    warm across calls; ``sink`` streams matches — already translated to
-    original ids — instead of collecting them; ``control`` is checked at
-    every task boundary.
+    The runtime is ``config.execution_backend`` (or the explicit
+    ``execution_backend`` override): the in-process backends (simulated /
+    inline) run on a :class:`SimulatedCluster` — ``cluster`` reuses an
+    existing one, and with it the distributed store — while the process
+    backend fans tasks out over OS worker processes against the raw
+    graph (``cluster``/``worker_caches`` are ignored there).
+
+    ``worker_caches`` keeps worker database caches warm across calls;
+    ``sink`` streams matches — already translated to original ids —
+    instead of collecting them; ``control`` is checked at every task
+    boundary, on whichever side of the process boundary the tasks run.
     """
     config = config or BenuConfig()
+    backend_name = (
+        execution_backend if execution_backend is not None
+        else config.execution_backend
+    )
     if telemetry is None:
         telemetry = (
             cluster.telemetry if cluster is not None else Telemetry(config.telemetry)
         )
-    if cluster is None:
-        cluster = SimulatedCluster(prepared.graph, config, telemetry=telemetry)
     if sink is not None and prepared.relabeled and not plan.compressed:
         # Streamed full matches leave in original ids; compressed codes
         # stay in execution space (their expansion constraints compare
         # under ≺), exactly like collected results.
         sink = TranslatingSink(sink, prepared.inverse)
-    result = cluster.run_plan(
-        plan, tasks=tasks, sink=sink, control=control, worker_caches=worker_caches
-    )
+    if backend_name == "process":
+        from .backends import ExecutionRequest, get_backend
+
+        result = get_backend("process").execute(
+            ExecutionRequest(
+                plan=plan,
+                graph=prepared.graph,
+                config=config,
+                telemetry=telemetry,
+                tasks=tasks,
+                sink=sink,
+                control=control,
+            )
+        )
+    else:
+        if cluster is None:
+            cluster = SimulatedCluster(
+                prepared.graph,
+                replace(config, execution_backend=backend_name),
+                telemetry=telemetry,
+            )
+        elif cluster.config.execution_backend != backend_name:
+            cluster = SimulatedCluster(
+                prepared.graph,
+                replace(cluster.config, execution_backend=backend_name),
+                telemetry=telemetry,
+                store=cluster.store,
+            )
+        result = cluster.run_plan(
+            plan, tasks=tasks, sink=sink, control=control, worker_caches=worker_caches
+        )
 
     if prepared.relabeled:
         result.id_mapping = prepared.inverse

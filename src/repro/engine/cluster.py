@@ -1,49 +1,26 @@
 """The simulated shared-nothing cluster (Fig. 2's architecture).
 
-The master generates local search tasks and shuffles them evenly across
-worker machines (the paper hands them to 16 reducers round-robin); each
-worker executes its tasks against its shared database cache, on simulated
-threads.  The job makespan is the slowest worker's makespan — exactly the
-quantity Figs. 9 and 10 plot.
-
-Telemetry: every ``run_plan`` builds a fresh
-:class:`~repro.telemetry.registry.MetricsRegistry`, populated at end-of-run
-from the per-worker stats ledgers (so the default, hook-free path stays as
-fast as before), and attaches the resulting snapshot to the result.  With
-``config.telemetry`` set, the run additionally records a span tree
-(codegen → task-generation → execution → per-worker spans), the simulated
-schedule timeline, a DB payload-size histogram, and — with ``profile=True``
-— sampled per-instruction timings from probes compiled into the plan.
+Historically this module held the whole task loop; that now lives in
+:mod:`repro.engine.backends` (shared by the simulated, inline and process
+runtimes), and :class:`SimulatedCluster` is the façade the rest of the
+repo — experiments, benchmarks, the labeled-matching layer, the query
+service — drives: it owns the distributed KV store for one data graph
+and runs plans through whichever in-process backend the config selects.
 """
 
 from __future__ import annotations
 
-import time as _time
-from typing import Callable, List, Optional
+from typing import List, Optional
 
 from ..graph.graph import Graph
-from ..kernels.intersect import STATS as KERNEL_STATS, KernelStats
-from ..plan.codegen import CompiledPlan, TaskCounters, compile_plan
 from ..plan.generation import ExecutionPlan
-from ..storage.cache import CacheStats
-from ..storage.kvstore import DistributedKVStore, QueryStats
-from ..telemetry.registry import DEFAULT_BYTES_BUCKETS, MetricsRegistry
+from ..storage.kvstore import DistributedKVStore
 from ..telemetry.runtime import Telemetry
-from ..telemetry.snapshot import (
-    G_CACHE_HIT_RATIO,
-    G_MAKESPAN,
-    G_WALL,
-    G_WORKERS,
-    H_DB_QUERY_BYTES,
-    H_TASK_SIM_SECONDS,
-    M_TASKS,
-)
+from .backends import ExecutionRequest, get_backend
 from .config import BenuConfig
 from .control import ExecutionControl
 from .local_task import LocalSearchTask
 from .results import BenuResult
-from .task_split import generate_tasks
-from .worker import Worker
 
 
 class SimulatedCluster:
@@ -73,12 +50,6 @@ class SimulatedCluster:
             latency=self.config.latency,
             backend=self.config.adjacency_backend,
         )
-        if self.store.csr is not None:
-            # The V operand becomes a sorted view over the packed vertex-id
-            # array, so compiled kernels can bounds-slice it like any row.
-            self._vset = self.store.csr.universe()
-        else:
-            self._vset = frozenset(data.vertices)
 
     # ------------------------------------------------------------------
     def run_plan(
@@ -104,152 +75,24 @@ class SimulatedCluster:
         each worker an existing database cache to keep warm across runs
         (one per worker, see :class:`~repro.storage.cache.CachePool`).
         """
-        config = self.config
-        telemetry = self.telemetry
-        tracer = telemetry.tracer
-        registry = MetricsRegistry()
-        wall0 = _time.perf_counter()
-
-        if tasks is None:
-            with tracer.span("task-generation") as span:
-                tasks = list(
-                    generate_tasks(plan, self.data, config.split_threshold)
-                )
-                span.args["tasks"] = len(tasks)
-
-        streaming = sink is not None
-        mode = "collect" if (config.collect or streaming) else "count"
-        profiler = telemetry.make_profiler(registry)
-        with tracer.span("codegen") as span:
-            compiled = compile_plan(
-                plan,
-                mode=mode,
-                instrument=True,
-                profiler=profiler,
-                backend=config.adjacency_backend,
+        name = self.config.execution_backend
+        if name == "process":
+            raise ValueError(
+                "the process backend runs against the raw graph, not a "
+                "simulated store — use run_benu/execute_plan, which "
+                "dispatch on config.execution_backend"
             )
-            span.args.update(
-                mode=mode, source_lines=compiled.source.count("\n")
+        backend = get_backend(name)
+        return backend.execute(
+            ExecutionRequest(
+                plan=plan,
+                graph=self.data,
+                config=self.config,
+                telemetry=self.telemetry,
+                tasks=tasks,
+                sink=sink,
+                control=control,
+                store=self.store,
+                worker_caches=worker_caches,
             )
-
-        collected: Optional[list] = (
-            [] if config.collect and not streaming else None
-        )
-        if streaming:
-            emit: Optional[Callable] = sink.emit
-        elif collected is not None:
-            emit = collected.append
-        else:
-            emit = None
-
-        if telemetry.enabled:
-            payload_hist = registry.histogram(
-                H_DB_QUERY_BYTES,
-                help="payload size per distributed-store query",
-                buckets=DEFAULT_BYTES_BUCKETS,
-            )
-            self.store.on_query = (
-                lambda key, nbytes, cost: payload_hist.observe(nbytes)
-            )
-        kernel_base = KERNEL_STATS.as_tuple()
-        try:
-            with tracer.span("execution") as exec_span:
-                if worker_caches is not None and len(worker_caches) != config.num_workers:
-                    raise ValueError(
-                        f"need one cache per worker: got {len(worker_caches)} "
-                        f"for {config.num_workers} workers"
-                    )
-                workers = [
-                    Worker(
-                        i,
-                        self.store,
-                        config,
-                        tracer=tracer,
-                        cache=worker_caches[i] if worker_caches else None,
-                    )
-                    for i in range(config.num_workers)
-                ]
-                # Round-robin shuffle, as the paper distributes tasks evenly.
-                for i, task in enumerate(tasks):
-                    if control is not None:
-                        control.check()
-                    workers[i % len(workers)].execute_task(
-                        compiled, task, self._vset, emit
-                    )
-                for w in workers:
-                    tracer.add_span(
-                        f"worker-{w.worker_id}",
-                        wall_seconds=w.wall_seconds,
-                        sim_seconds=w.busy_seconds,
-                        category="execution",
-                        track=f"worker-{w.worker_id}",
-                        start=getattr(exec_span, "t0", None),
-                        args={
-                            "tasks": len(w.reports),
-                            "makespan_sim_seconds": w.makespan_seconds,
-                            "cache_hit_rate": w.cache_stats.hit_rate,
-                        },
-                    )
-                exec_span.args["tasks"] = len(tasks)
-        finally:
-            self.store.on_query = None
-        KernelStats(**KERNEL_STATS.delta_since(kernel_base)).record_to(registry)
-
-        total_counters = TaskCounters()
-        communication = QueryStats()
-        cache = CacheStats()
-        per_task: List[float] = []
-        task_hist = registry.histogram(
-            H_TASK_SIM_SECONDS,
-            help="simulated duration per local search task (Fig. 9 skew)",
-            labels=("worker",),
-        )
-        for w in workers:
-            total_counters = total_counters + w.total_counters()
-            communication.merge(w.query_stats)
-            cache.merge(w.cache_stats)
-            per_task.extend(r.sim_seconds for r in w.reports)
-            # Registry-backed views of the per-worker ledgers.
-            wid = str(w.worker_id)
-            w.query_stats.record_to(registry, worker=wid)
-            w.cache_stats.record_to(registry, worker=wid)
-            w.total_counters().record_to(registry, worker=wid)
-            registry.counter(
-                M_TASKS, "local search tasks executed", ("worker",)
-            ).inc(len(w.reports), worker=wid)
-            for r in w.reports:
-                task_hist.observe(r.sim_seconds, worker=wid)
-
-        matches = None
-        codes = None
-        if collected is not None:
-            if plan.compressed:
-                codes = collected
-            else:
-                matches = collected
-
-        makespan = max(w.makespan_seconds for w in workers)
-        wall = _time.perf_counter() - wall0
-        registry.gauge(G_MAKESPAN, "simulated job makespan").set(makespan)
-        registry.gauge(G_WALL, "wall-clock run time").set(wall)
-        registry.gauge(G_WORKERS, "simulated worker machines").set(len(workers))
-        registry.gauge(G_CACHE_HIT_RATIO, "database cache hit ratio").set(
-            cache.hit_rate
-        )
-
-        return BenuResult(
-            plan=plan,
-            count=total_counters.results,
-            matches=matches,
-            codes=codes,
-            counters=total_counters,
-            communication=communication,
-            cache=cache,
-            num_tasks=len(tasks),
-            num_workers=len(workers),
-            makespan_seconds=makespan,
-            per_worker_busy_seconds=[w.busy_seconds for w in workers],
-            per_task_sim_seconds=per_task,
-            wall_seconds=wall,
-            telemetry=telemetry.snapshot(registry),
         )

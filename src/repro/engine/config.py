@@ -9,6 +9,7 @@ accordingly while keeping every ratio meaningful.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -17,6 +18,17 @@ from ..telemetry.runtime import TelemetryConfig
 
 #: The adjacency layouts the engine can negotiate end-to-end.
 ADJACENCY_BACKENDS = ("frozenset", "csr")
+
+#: The execution runtimes the engine can negotiate end-to-end
+#: (see repro.engine.backends): "simulated" — deterministic single-core
+#: cluster simulation; "inline" — the literal plan interpreter on the
+#: simulated task loop; "process" — real OS worker processes.
+EXECUTION_BACKENDS = ("simulated", "inline", "process")
+
+
+def _default_process_workers() -> int:
+    """All cores but one — the process backend's conventional default."""
+    return max(1, (os.cpu_count() or 2) - 1)
 
 
 @dataclass(frozen=True)
@@ -52,6 +64,10 @@ class BenuConfig:
     #: "csr" (packed sorted arrays + adaptive intersection kernels; exact
     #: 8-bytes-per-id accounting, shareable zero-copy between processes).
     adjacency_backend: str = "frozenset"
+    #: Execution runtime: "simulated" (deterministic cluster simulation,
+    #: the default), "inline" (plan interpreter, the oracle), or
+    #: "process" (a pool of OS worker processes — real cores).
+    execution_backend: str = "simulated"
     #: Task-splitting degree threshold τ (Section V-B); None disables.
     split_threshold: Optional[int] = 64
     #: Optimization level 0–3 (Fig. 7's x-axis); 3 is the paper's default.
@@ -93,6 +109,11 @@ class BenuConfig:
             raise ValueError(
                 f"unknown adjacency backend {self.adjacency_backend!r}; "
                 f"options: {sorted(ADJACENCY_BACKENDS)}"
+            )
+        if self.execution_backend not in EXECUTION_BACKENDS:
+            raise ValueError(
+                f"unknown execution backend {self.execution_backend!r}; "
+                f"options: {sorted(EXECUTION_BACKENDS)}"
             )
         from ..storage.policies import POLICIES
 

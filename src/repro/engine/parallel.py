@@ -1,227 +1,55 @@
-"""A real multiprocessing executor (true parallelism, not simulation).
+"""Compatibility shims over the process execution backend.
 
-The :class:`SimulatedCluster` measures everything deterministically but
-runs on one core.  This module actually fans local search tasks out over
-OS processes — the closest a single machine gets to the paper's
-16-worker deployment — and reports genuine wall-clock speedup.
-
-Design notes
-------------
-* One process per worker; compiled closures cannot be pickled, so each
-  worker compiles the plan in its initializer.
-* Adjacency sharing is backend-negotiated.  Under ``backend="frozenset"``
-  each worker inherits the graph's hash-set adjacency at fork
-  (copy-on-write pages that unshare as refcounts touch them).  Under
-  ``backend="csr"`` the parent packs the graph once into one
-  ``multiprocessing.shared_memory`` block and workers *attach* by name:
-  per-worker memory no longer scales with graph size, because no
-  adjacency bytes cross the process boundary or get copied on fault.
-* Tasks flow through a work queue (``imap_unordered`` with a small
-  chunksize) instead of static round-robin chunks, so a worker that drew
-  cheap tasks keeps pulling while another grinds through a hub vertex.
-* Counting mode only: counters are tiny and cross the process boundary
-  cheaply.  Collected matches would dominate IPC; use the simulated
-  cluster (or per-worker files) for collection.
-* Every task result carries the worker's kernel-dispatch delta since its
-  previous result, so the parent's aggregate kernel counts are exact.
+The real-multiprocessing executor that used to live here is now the
+``process`` :class:`~repro.engine.backends.ExecutionBackend`
+(:mod:`repro.engine.backends.process`), selected end-to-end via
+``BenuConfig(execution_backend="process")`` — with streaming
+enumeration, cooperative cancellation and full telemetry parity, none of
+which the old counting-only runner had.  This module keeps the historical
+entry points alive as thin wrappers returning the unified
+:class:`~repro.engine.results.BenuResult` (``ParallelResult`` is gone —
+every field it carried lives on the result object now).
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
-import os
-import time as _time
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Optional
 
-from ..graph.csr import ATTACH_STATS, CSRAdjacency, CSRShmHandle, ShmAttachStats
 from ..graph.graph import Graph
-from ..kernels.intersect import STATS as KERNEL_STATS, KernelStats
-from ..plan.codegen import TaskCounters, compile_plan
 from ..plan.generation import ExecutionPlan
-from .config import ADJACENCY_BACKENDS
-from .local_task import LocalSearchTask
-from .task_split import generate_tasks
-
-# Globals populated inside each worker process by the pool initializer.
-_worker_state: dict = {}
-
-
-def _init_worker(plan: ExecutionPlan, backend: str, payload) -> None:
-    """Build per-process state: compiled plan + adjacency access.
-
-    ``payload`` is the :class:`Graph` itself for the frozenset backend
-    (inherited via fork) or a :class:`CSRShmHandle` for the csr backend
-    (workers attach to the parent's shared block, copying nothing).
-    """
-    _worker_state["compiled"] = compile_plan(
-        plan, mode="count", instrument=True, backend=backend
-    )
-    if backend == "csr":
-        csr = CSRAdjacency.from_shared(payload)
-        _worker_state["csr"] = csr  # keeps the mapping alive
-        _worker_state["get_adj"] = csr.row
-        _worker_state["vset"] = csr.universe()
-    else:
-        adjacency = payload.adjacency()
-        _worker_state["get_adj"] = adjacency.__getitem__
-        _worker_state["vset"] = frozenset(payload.vertices)
-    _worker_state["kernel_base"] = KERNEL_STATS.as_tuple()
-
-
-def _run_task(task: LocalSearchTask) -> Tuple[Tuple[int, ...], Tuple[int, ...], int]:
-    """Execute one local search task; return (counters, kernel Δ, pid).
-
-    The kernel delta is measured against this worker's previous task, so
-    summing deltas across all results reconstructs the exact per-kernel
-    totals regardless of how the queue interleaved the work.
-    """
-    state = _worker_state
-    counters = state["compiled"].run(
-        task.start,
-        state["get_adj"],
-        vset=state["vset"],
-        tcache={},
-        candidate_override=task.candidate_slice,
-    )
-    base = state["kernel_base"]
-    now = KERNEL_STATS.as_tuple()
-    state["kernel_base"] = now
-    delta = tuple(n - b for n, b in zip(now, base))
-    return (
-        (
-            counters.int_ops,
-            counters.trc_ops,
-            counters.trc_misses,
-            counters.dbq_ops,
-            counters.enu_steps,
-            counters.results,
-        ),
-        delta,
-        os.getpid(),
-    )
-
-
-@dataclass
-class ParallelResult:
-    """Outcome of a genuinely parallel run."""
-
-    count: int
-    counters: TaskCounters
-    num_workers: int
-    num_tasks: int
-    wall_seconds: float
-    #: Adjacency layout the workers ran against.
-    backend: str = "frozenset"
-    #: Exact per-kernel dispatch counts summed over all workers (csr only).
-    kernel_counts: Dict[str, int] = field(default_factory=dict)
-    #: Distinct worker processes that attached the shared CSR block.
-    shm_attaches: int = 0
-    #: Size of the shared block every worker mapped (0 under frozenset).
-    shm_bytes: int = 0
-
-    def record_to(self, registry) -> None:
-        """Mirror kernel + shared-memory stats into a telemetry registry."""
-        KernelStats(**{f: self.kernel_counts.get(f, 0) for f in KernelStats.FIELDS}).record_to(registry)
-        ShmAttachStats(self.shm_attaches, self.shm_bytes).record_to(registry)
+from .backends import ExecutionRequest, ProcessBackend
+from .config import BenuConfig, _default_process_workers
+from .results import BenuResult
 
 
 @dataclass
 class ParallelRunner:
-    """Fan a plan's local search tasks over OS processes."""
+    """Fan a plan's local search tasks over OS processes.
+
+    Thin façade over :class:`~repro.engine.backends.ProcessBackend`; new
+    code should go through ``run_benu``/``execute_plan`` with
+    ``BenuConfig(execution_backend="process")`` instead.
+    """
 
     plan: ExecutionPlan
     data: Graph
-    num_workers: int = max(1, (os.cpu_count() or 2) - 1)
+    num_workers: int = 0  # 0 = all cores but one (resolved in run())
     split_threshold: Optional[int] = 64
     backend: str = "frozenset"
-    #: Tasks handed to a worker per queue pull; small values keep the
-    #: queue adaptive, larger ones amortize IPC.  None = auto.
+    #: Tasks handed to a worker per queue pull; None = auto.
     queue_chunksize: Optional[int] = None
 
-    def _chunksize(self, num_tasks: int) -> int:
-        if self.queue_chunksize is not None:
-            return max(1, self.queue_chunksize)
-        # ~16 pulls per worker: adaptive enough for skewed task costs,
-        # coarse enough that pickling tasks is not the bottleneck.
-        return max(1, num_tasks // (self.num_workers * 16))
-
-    def run(self) -> ParallelResult:
-        if self.backend not in ADJACENCY_BACKENDS:
-            raise ValueError(f"unknown adjacency backend {self.backend!r}")
-        tasks = list(
-            generate_tasks(self.plan, self.data, self.split_threshold)
+    def run(self) -> BenuResult:
+        config = BenuConfig(
+            num_workers=self.num_workers or _default_process_workers(),
+            split_threshold=self.split_threshold,
+            adjacency_backend=self.backend,
+            execution_backend="process",
+            relabel=False,
         )
-        t0 = _time.perf_counter()
-
-        shm = None
-        shm_bytes = 0
-        if self.backend == "csr":
-            handle, shm = self.data.csr().to_shared()
-            shm_bytes = handle.nbytes
-            payload = handle
-        else:
-            payload = self.data
-
-        try:
-            if self.num_workers == 1:
-                attach_base = ATTACH_STATS.attaches
-                _init_worker(self.plan, self.backend, payload)
-                results = [_run_task(t) for t in tasks]
-                attaches = ATTACH_STATS.attaches - attach_base
-            else:
-                ctx = (
-                    mp.get_context("fork")
-                    if hasattr(os, "fork")
-                    else mp.get_context()
-                )
-                with ctx.Pool(
-                    processes=self.num_workers,
-                    initializer=_init_worker,
-                    initargs=(self.plan, self.backend, payload),
-                ) as pool:
-                    results = list(
-                        pool.imap_unordered(
-                            _run_task, tasks, chunksize=self._chunksize(len(tasks))
-                        )
-                    )
-                # Each worker attaches exactly once, in its initializer.
-                attaches = (
-                    len({pid for _, _, pid in results})
-                    if self.backend == "csr"
-                    else 0
-                )
-        finally:
-            if shm is not None:
-                if self.num_workers == 1:
-                    # The inline "worker" mapped the block in this process;
-                    # drop its views so the mapping can actually close.
-                    attached = _worker_state.get("csr")
-                    _worker_state.clear()
-                    if attached is not None:
-                        attached.detach()
-                shm.close()
-                shm.unlink()
-
-        total = TaskCounters()
-        kernel_totals = [0] * len(KernelStats.FIELDS)
-        for raw, delta, _pid in results:
-            total = total + TaskCounters.from_tuple(raw)
-            for i, d in enumerate(delta):
-                kernel_totals[i] += d
-        kernel_counts = {
-            f: n for f, n in zip(KernelStats.FIELDS, kernel_totals) if n
-        }
-        return ParallelResult(
-            count=total.results,
-            counters=total,
-            num_workers=self.num_workers,
-            num_tasks=len(tasks),
-            wall_seconds=_time.perf_counter() - t0,
-            backend=self.backend,
-            kernel_counts=kernel_counts,
-            shm_attaches=attaches if self.backend == "csr" else 0,
-            shm_bytes=shm_bytes,
+        return ProcessBackend(queue_chunksize=self.queue_chunksize).execute(
+            ExecutionRequest(plan=self.plan, graph=self.data, config=config)
         )
 
 
@@ -231,7 +59,7 @@ def parallel_count(
     num_workers: Optional[int] = None,
     split_threshold: Optional[int] = 64,
     backend: str = "frozenset",
-) -> ParallelResult:
+) -> BenuResult:
     """Count matches of ``plan`` over ``data`` with real OS parallelism."""
     runner = ParallelRunner(
         plan, data, split_threshold=split_threshold, backend=backend

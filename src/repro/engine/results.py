@@ -36,6 +36,13 @@ class BenuResult:
     per_worker_busy_seconds: List[float] = field(default_factory=list)
     per_task_sim_seconds: List[float] = field(default_factory=list)
     wall_seconds: float = 0.0
+    #: Which runtime executed the plan ("simulated", "inline", "process").
+    execution_backend: str = "simulated"
+    #: Adjacency layout the run used ("frozenset" or "csr").
+    adjacency_backend: str = "frozenset"
+    #: Shared-memory accounting (process backend with csr adjacency only).
+    shm_attaches: int = 0
+    shm_bytes: int = 0
     #: relabeled-id → original-id translation; None when no relabeling ran.
     #: Collected ``matches`` are already translated; ``codes`` stay in the
     #: relabeled space (expansion constraints compare under ≺) and are
@@ -78,6 +85,13 @@ class BenuResult:
     @property
     def cache_hit_rate(self) -> float:
         return self.cache.hit_rate
+
+    @property
+    def kernel_counts(self) -> dict:
+        """Per-kernel intersection dispatch counts from the run's snapshot."""
+        if self.telemetry is None:
+            return {}
+        return self.telemetry.kernel_counts
 
     def summary(self) -> str:
         """One-paragraph human-readable run report."""

@@ -27,6 +27,52 @@ from ..telemetry.snapshot import (
 from .errors import AdmissionError, ServiceClosedError
 
 
+class WorkerSlotPool:
+    """Caps the machine's *total* OS worker processes across queries.
+
+    Process-backend queries each want a pool of worker processes; running
+    ``max_concurrent`` of them with ``num_workers`` each would oversubscribe
+    the machine ``max_concurrent``-fold.  This pool makes the cap global:
+    a query :meth:`acquire`\\ s before forking and is granted *up to* its
+    requested worker count — possibly fewer under contention, never less
+    than one — so concurrent queries share the cores instead of stacking
+    pools.  Waits are control-checked: a cancel or an expired deadline
+    interrupts a query still parked at the slot gate.
+    """
+
+    def __init__(self, max_workers: int) -> None:
+        if max_workers < 1:
+            raise ValueError("need at least one worker slot")
+        self.max_workers = max_workers
+        self._free = max_workers
+        self._cond = threading.Condition()
+
+    @property
+    def in_use(self) -> int:
+        with self._cond:
+            return self.max_workers - self._free
+
+    def acquire(self, requested: int, control=None) -> int:
+        """Block until ≥1 slot frees; return the granted worker count."""
+        if requested < 1:
+            raise ValueError("need at least one worker")
+        with self._cond:
+            while self._free < 1:
+                if control is not None:
+                    control.check()
+                self._cond.wait(timeout=0.05)
+            granted = min(requested, self._free)
+            self._free -= granted
+            return granted
+
+    def release(self, granted: int) -> None:
+        with self._cond:
+            self._free += granted
+            if self._free > self.max_workers:
+                raise ValueError("released more worker slots than acquired")
+            self._cond.notify_all()
+
+
 class QueryScheduler:
     """Bounded concurrent executor with fast-reject admission control."""
 

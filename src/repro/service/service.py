@@ -20,8 +20,10 @@ through a bounded buffer.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
+from dataclasses import replace as _replace
 from typing import Dict, Optional, Union
 
 from ..engine.benu import execute_plan
@@ -45,7 +47,7 @@ from ..telemetry.snapshot import (
 from .catalog import GraphCatalog
 from .errors import InvalidQueryError, UnknownQueryError
 from .plan_cache import PlanCache
-from .scheduler import QueryScheduler
+from .scheduler import QueryScheduler, WorkerSlotPool
 from .streaming import QueryHandle, QueryStatus, StreamBuffer
 
 PatternLike = Union[str, Graph, PatternGraph]
@@ -67,6 +69,7 @@ class BenuService:
         batch_size: int = 256,
         max_buffered_batches: int = 64,
         trace_queries: bool = False,
+        max_worker_processes: Optional[int] = None,
     ) -> None:
         self.default_config = config or BenuConfig()
         self.batch_size = batch_size
@@ -82,6 +85,13 @@ class BenuService:
             max_queued=max_queued,
             memory_budget_bytes=memory_budget_bytes,
             registry=self.registry,
+        )
+        # Machine-wide cap on OS worker processes, shared by every
+        # process-backend query in flight (not a per-query allowance).
+        self.worker_slots = WorkerSlotPool(
+            max_worker_processes
+            if max_worker_processes is not None
+            else max(2, os.cpu_count() or 2)
         )
         self._queries: Dict[str, QueryHandle] = {}
         self._seq = 0
@@ -197,6 +207,7 @@ class BenuService:
         status = QueryStatus.FAILED
         entry = None
         pool_key = pool = None
+        granted_workers = 0
         telemetry = Telemetry(
             TelemetryConfig(trace=True) if self.trace_queries else None
         )
@@ -224,13 +235,6 @@ class BenuService:
                     span.args["query_id"] = handle.query_id
                 control.check()
 
-                pool_key, pool = entry.checkout_pool(config)
-                cluster = SimulatedCluster(
-                    entry.prepared.graph,
-                    config,
-                    telemetry=telemetry,
-                    store=entry.store_for(config),
-                )
                 sink = None
                 if buffer is not None:
                     sink = (
@@ -238,16 +242,39 @@ class BenuService:
                         if handle.limit is not None
                         else buffer
                     )
-                result = execute_plan(
-                    plan,
-                    entry.prepared,
-                    config,
-                    telemetry=telemetry,
-                    cluster=cluster,
-                    sink=sink,
-                    control=control,
-                    worker_caches=pool.caches,
-                )
+                if config.execution_backend == "process":
+                    # The cap is on *total* worker processes across all
+                    # in-flight queries: block until slots free up, and
+                    # run with however many this query was granted.
+                    granted_workers = self.worker_slots.acquire(
+                        config.num_workers, control=control
+                    )
+                    result = execute_plan(
+                        plan,
+                        entry.prepared,
+                        _replace(config, num_workers=granted_workers),
+                        telemetry=telemetry,
+                        sink=sink,
+                        control=control,
+                    )
+                else:
+                    pool_key, pool = entry.checkout_pool(config)
+                    cluster = SimulatedCluster(
+                        entry.prepared.graph,
+                        config,
+                        telemetry=telemetry,
+                        store=entry.store_for(config),
+                    )
+                    result = execute_plan(
+                        plan,
+                        entry.prepared,
+                        config,
+                        telemetry=telemetry,
+                        cluster=cluster,
+                        sink=sink,
+                        control=control,
+                        worker_caches=pool.caches,
+                    )
             handle._result = result
             status = QueryStatus.SUCCEEDED
         except QueryCancelled as exc:
@@ -265,6 +292,8 @@ class BenuService:
             handle.error = exc
             status = QueryStatus.FAILED
         finally:
+            if granted_workers:
+                self.worker_slots.release(granted_workers)
             if pool is not None and entry is not None:
                 entry.checkin_pool(pool_key, pool)
             if entry is not None:
@@ -326,6 +355,11 @@ class BenuService:
                 "queued": self.scheduler.queued,
                 "max_concurrent": self.scheduler.max_concurrent,
                 "max_queued": self.scheduler.max_queued,
+            },
+            "execution": {
+                "default_backend": self.default_config.execution_backend,
+                "worker_processes_in_use": self.worker_slots.in_use,
+                "max_worker_processes": self.worker_slots.max_workers,
             },
             "queries": statuses,
             "metrics": self.registry.as_dict(),

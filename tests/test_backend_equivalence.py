@@ -1,23 +1,31 @@
-"""Backend equivalence: frozenset and csr must be indistinguishable.
+"""Backend equivalence: every runtime × layout must be indistinguishable.
 
-Two axes, crossed over the exhaustive connected-pattern corpus:
+Three axes, crossed over the exhaustive connected-pattern corpus and the
+bundled pattern library:
 
 * frozenset vs csr through the full pipeline — identical counts and
   identical match multisets;
-* interpreter (the literal oracle, fed CSR views) vs compiled csr plans.
+* interpreter (the literal oracle, fed CSR views) vs compiled csr plans;
+* the execution-backend matrix — simulated / inline / process ×
+  frozenset / csr, byte-identical match sets for every bundled pattern.
 
-Any kernel dispatch bug, bounds-slice off-by-one or view-protocol gap
-shows up here as a count mismatch on some 3/4-vertex pattern.
+Any kernel dispatch bug, bounds-slice off-by-one, view-protocol gap or
+IPC envelope bug shows up here as a mismatch on some small pattern.
 """
 
 import pytest
 
 from repro.engine.benu import build_plan, count_subgraphs, run_benu
-from repro.engine.config import BenuConfig
+from repro.engine.config import (
+    ADJACENCY_BACKENDS,
+    EXECUTION_BACKENDS,
+    BenuConfig,
+)
 from repro.engine.interpreter import interpret_all
 from repro.graph.generators import chung_lu, erdos_renyi
 from repro.graph.graph import star_graph
 from repro.graph.order import relabel_by_degree_order
+from repro.graph.patterns import PATTERNS
 from repro.pattern.pattern_graph import PatternGraph
 
 from tests.test_exhaustive_small import PATTERNS_3, PATTERNS_4
@@ -67,6 +75,68 @@ class TestCountEquivalence:
         assert sorted(fs.matches) == sorted(cs.matches)
 
 
+class TestExecutionBackendMatrix:
+    """simulated / inline / process × frozenset / csr, every bundled pattern.
+
+    The contract the backends package exists for: one logical pipeline,
+    interchangeable runtimes.  Match sets are compared *byte*-identical
+    (same tuples, same canonical serialization) so nothing — not an IPC
+    envelope, not an id translation, not an emit-ordering quirk after
+    sorting — can distinguish which runtime produced a result.
+    """
+
+    @staticmethod
+    def _canonical(result):
+        return b"\n".join(
+            b",".join(str(v).encode() for v in match)
+            for match in sorted(result.matches)
+        )
+
+    @pytest.mark.parametrize("name", sorted(PATTERNS))
+    def test_bundled_pattern_matrix(self, name, data_graphs):
+        g = data_graphs[0]
+        expected_bytes = None
+        expected_count = None
+        for execution in EXECUTION_BACKENDS:
+            for adjacency in ADJACENCY_BACKENDS:
+                result = run_benu(
+                    PATTERNS[name],
+                    g,
+                    BenuConfig(
+                        relabel=False,
+                        collect=True,
+                        execution_backend=execution,
+                        adjacency_backend=adjacency,
+                        num_workers=2,
+                        split_threshold=16,
+                    ),
+                )
+                got = self._canonical(result)
+                if expected_bytes is None:
+                    expected_bytes = got
+                    expected_count = result.count
+                assert got == expected_bytes, (name, execution, adjacency)
+                assert result.count == expected_count, (name, execution, adjacency)
+
+    def test_compressed_counts_across_backends(self, data_graphs):
+        """VCBC code counts agree between the simulated and process runtimes."""
+        g = data_graphs[1]
+        counts = {
+            backend: run_benu(
+                PATTERNS["clique4"],
+                g,
+                BenuConfig(
+                    relabel=False,
+                    compressed=True,
+                    execution_backend=backend,
+                    num_workers=2,
+                ),
+            ).count
+            for backend in ("simulated", "process")
+        }
+        assert counts["simulated"] == counts["process"]
+
+
 class TestInterpreterOracle:
     """The interpreter consumes raw CSR views and must agree with codegen."""
 
@@ -103,6 +173,24 @@ class TestModesUnderCsr:
                     for backend in ("frozenset", "csr")
                 ]
                 assert counts[0] == counts[1], (level, compressed)
+
+    def test_kernel_counts_populated_matrix(self, data_graphs):
+        """Kernel dispatch totals agree across runtimes on csr."""
+        pg = PatternGraph(ALL_PATTERNS[-1], "dense4")
+        counts = {
+            backend: run_benu(
+                pg,
+                data_graphs[0],
+                BenuConfig(
+                    relabel=False,
+                    adjacency_backend="csr",
+                    execution_backend=backend,
+                    num_workers=2,
+                ),
+            ).kernel_counts
+            for backend in ("simulated", "process")
+        }
+        assert counts["simulated"] == counts["process"]
 
     def test_kernel_counts_populated(self, data_graphs):
         pg = PatternGraph(ALL_PATTERNS[-1], "dense4")

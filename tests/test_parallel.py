@@ -1,9 +1,17 @@
-"""Tests for the real multiprocessing executor."""
+"""Tests for the process execution backend (real OS multiprocessing).
+
+Covers the compat shims in ``repro.engine.parallel`` and the
+``ProcessBackend`` itself: correctness against the simulated reference,
+csr shared-memory accounting, and the restart-robust kernel-stat
+aggregation (per-task before/after snapshots — a pool recycling its
+workers mid-run can neither drop nor double-count deltas).
+"""
 
 import os
 
 import pytest
 
+from repro.engine.backends import ExecutionRequest, ProcessBackend
 from repro.engine.benu import build_plan, count_subgraphs
 from repro.engine.config import BenuConfig
 from repro.engine.parallel import ParallelRunner, parallel_count
@@ -30,6 +38,7 @@ class TestCorrectness:
             get_pattern("chordal_square"), data_graph, BenuConfig(relabel=False)
         )
         assert result.count == reference
+        assert result.execution_backend == "process"
 
     def test_multi_worker_matches_single(self, plan, data_graph):
         one = parallel_count(plan, data_graph, num_workers=1)
@@ -51,11 +60,13 @@ class TestCorrectness:
         assert result.counters.results == result.count
         assert result.counters.dbq_ops > 0
         assert result.wall_seconds > 0
+        assert len(result.per_task_sim_seconds) == result.num_tasks
+        assert result.makespan_seconds > 0
 
     def test_runner_defaults(self, plan, data_graph):
         runner = ParallelRunner(plan, data_graph)
-        assert runner.num_workers >= 1
         result = runner.run()
+        assert result.num_workers >= 1
         assert result.count == parallel_count(plan, data_graph, 1).count
 
 
@@ -65,7 +76,8 @@ class TestCsrBackend:
         cs = parallel_count(plan, data_graph, num_workers=2, backend="csr")
         assert cs.count == fs.count
         assert cs.counters.enu_steps == fs.counters.enu_steps
-        assert cs.backend == "csr" and fs.backend == "frozenset"
+        assert cs.adjacency_backend == "csr"
+        assert fs.adjacency_backend == "frozenset"
 
     def test_workers_attach_shared_block(self, plan, data_graph):
         """Each worker maps the one shared CSR block instead of copying
@@ -88,21 +100,65 @@ class TestCsrBackend:
         assert result.count == reference.count
         assert result.shm_attaches == 1
 
-    def test_result_records_to_registry(self, plan, data_graph):
-        from repro.telemetry.registry import MetricsRegistry
-        from repro.telemetry.snapshot import M_KERNEL_CALLS, M_SHM_ATTACHES
+    def test_telemetry_snapshot_records_shm(self, plan, data_graph):
+        from repro.telemetry.snapshot import M_SHM_ATTACHES
 
         result = parallel_count(plan, data_graph, num_workers=2, backend="csr")
-        reg = MetricsRegistry()
-        result.record_to(reg)
-        assert reg.counter_total(M_SHM_ATTACHES) == result.shm_attaches
-        assert reg.counter_total(M_KERNEL_CALLS) == sum(
-            result.kernel_counts.values()
-        )
+        snap = result.telemetry
+        assert snap.registry.counter_total(M_SHM_ATTACHES) == result.shm_attaches
+        assert snap.kernel_counts == result.kernel_counts
 
     def test_unknown_backend_rejected(self, plan, data_graph):
         with pytest.raises(ValueError):
             parallel_count(plan, data_graph, num_workers=1, backend="btree")
+
+
+class TestRestartRobustAccounting:
+    """Kernel deltas are per-task before/after snapshots — a worker
+    recycled mid-run (``maxtasksperchild``, the pool-restart failure the
+    old since-previous-result scheme silently miscounted under) changes
+    nothing about the aggregated totals."""
+
+    @pytest.mark.parametrize("adjacency", ["frozenset", "csr"])
+    def test_pool_restarts_do_not_skew_totals(self, data_graph, adjacency):
+        plan = build_plan(get_pattern("clique4"), data_graph)
+        config = BenuConfig(
+            num_workers=2,
+            split_threshold=8,
+            adjacency_backend=adjacency,
+            execution_backend="process",
+            relabel=False,
+        )
+
+        def run(backend):
+            return backend.execute(
+                ExecutionRequest(plan=plan, graph=data_graph, config=config)
+            )
+
+        # Every chunk lands in a fresh worker process: maximal churn.
+        churned = run(ProcessBackend(queue_chunksize=1, maxtasksperchild=1))
+        stable = run(ProcessBackend())
+        assert churned.count == stable.count
+        assert churned.counters == stable.counters
+        assert churned.kernel_counts == stable.kernel_counts
+        if adjacency == "csr":
+            assert sum(churned.kernel_counts.values()) > 0
+
+    def test_restarted_workers_each_attach(self, data_graph):
+        plan = build_plan(get_pattern("chordal_square"), data_graph)
+        config = BenuConfig(
+            num_workers=2,
+            split_threshold=8,
+            adjacency_backend="csr",
+            execution_backend="process",
+            relabel=False,
+        )
+        result = ProcessBackend(queue_chunksize=1, maxtasksperchild=1).execute(
+            ExecutionRequest(plan=plan, graph=data_graph, config=config)
+        )
+        # Restarts mean more distinct pids than configured workers — the
+        # attach count follows actual processes, not the configured pool.
+        assert result.shm_attaches >= 2
 
 
 @pytest.mark.skipif(
