@@ -7,10 +7,14 @@ contract this repo's benchmarks rely on:
 * the exported trace validates against the minimal Chrome ``trace_event``
   schema and contains the pipeline's load-bearing spans;
 * the telemetry snapshot agrees with the legacy stats ledgers;
-* the machine-readable ``BENCH_*.json`` record round-trips through JSON.
+* the machine-readable ``BENCH_*.json`` record round-trips through JSON;
+* observability off is *free*: no events, per-task IPC records stay the
+  exact 5-tuples they always were, and attaching cost-model predictions
+  leaves the compiled plan source byte-identical.
 """
 
 import json
+import pickle
 
 import pytest
 
@@ -60,6 +64,77 @@ def test_smoke_snapshot_parity(traced_result):
     assert snap.db_queries == traced_result.communication.queries
     assert snap.cache_hit_rate == pytest.approx(traced_result.cache.hit_rate)
     assert snap.instruction_counts["RES"] == traced_result.count
+
+
+class TestTelemetryOffIsFree:
+    """The zero-overhead contract: observability off must cost nothing."""
+
+    def test_no_events_without_a_service(self):
+        from repro.telemetry import NULL_EVENTS, Telemetry
+        from repro.telemetry.events import M_EVENTS
+
+        hub = Telemetry()
+        assert hub.events is NULL_EVENTS
+        assert hub.events.emit("query_started", query_id="q") is None
+        assert len(hub.events) == 0 and hub.events.dropped == 0
+        # A full default run registers no event metric at all.
+        result = run_benu(
+            get_pattern("triangle"),
+            erdos_renyi(30, 0.2, seed=5),
+            BenuConfig(num_workers=2),
+        )
+        assert result.telemetry.registry.get(M_EVENTS) is None
+
+    def test_untraced_ipc_records_are_exact_five_tuples(self, monkeypatch):
+        """Tracing off → per-task records carry zero extra payload bytes."""
+        from repro.engine.backends import process as proc
+
+        seen = []
+        original = proc._run_task
+
+        def spy(task):
+            record = original(task)
+            seen.append(record)
+            return record
+
+        monkeypatch.setattr(proc, "_run_task", spy)
+        pattern = get_pattern("triangle")
+        data = erdos_renyi(30, 0.2, seed=5)
+        config = BenuConfig(num_workers=1, execution_backend="process")
+        run_benu(pattern, data, config)
+        records = [r for r in seen if r is not None]
+        assert records
+        assert all(len(r) == 5 for r in records)
+        # Explicitly: the serialized record IS the bare 5-tuple.
+        assert all(
+            pickle.dumps(r) == pickle.dumps(tuple(r[:5])) for r in records
+        )
+        # Tracing on appends exactly one trailing element (the spans).
+        seen.clear()
+        run_benu(
+            pattern,
+            data,
+            BenuConfig(
+                num_workers=1,
+                execution_backend="process",
+                telemetry=TelemetryConfig(trace=True),
+            ),
+        )
+        traced = [r for r in seen if r is not None]
+        assert traced and all(len(r) == 6 for r in traced)
+
+    def test_predictions_leave_compiled_source_byte_identical(self):
+        from repro.engine.benu import build_plan
+        from repro.plan.codegen import generate_source
+
+        plan = build_plan(
+            get_pattern("chordal_square"), data=erdos_renyi(40, 0.2, seed=11)
+        )
+        assert plan.predicted_counts  # build_plan attaches the estimates
+        with_predictions = generate_source(plan)
+        plan.predicted_counts = None
+        without_predictions = generate_source(plan)
+        assert with_predictions == without_predictions
 
 
 def test_smoke_bench_record_roundtrip(traced_result, tmp_path, monkeypatch):

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Forbid bare ``print(`` calls in the library (``src/repro/``).
+
+Library code reports through the telemetry package — the metrics
+registry, the tracer, the event log — never by printing to stdout: a
+resident ``benu serve`` speaks a line protocol on stdout, so any stray
+``print`` corrupts the wire.  The only sanctioned user-facing printer is
+the CLI (``src/repro/cli.py``), which is excluded.
+
+The check is AST-based: only genuine ``print(...)`` call expressions
+fail; ``print`` inside docstrings/doctests or comments does not.
+
+Usage::
+
+    python scripts/lint_no_print.py            # lint src/repro
+    python scripts/lint_no_print.py PATH ...   # lint specific trees
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_TARGET = REPO_ROOT / "src" / "repro"
+
+#: Files allowed to print (relative to the lint target root).
+ALLOWED = {"cli.py"}
+
+
+def find_prints(source: str, filename: str) -> list:
+    """``(line, col)`` of every ``print(...)`` call in ``source``."""
+    tree = ast.parse(source, filename=filename)
+    hits = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            hits.append((node.lineno, node.col_offset))
+    return hits
+
+
+def lint_tree(target: Path, out=sys.stdout) -> int:
+    """Lint every ``.py`` under ``target``; return the violation count."""
+    violations = 0
+    files = [target] if target.is_file() else sorted(target.rglob("*.py"))
+    for path in files:
+        if path.name in ALLOWED:
+            continue
+        try:
+            hits = find_prints(path.read_text(encoding="utf-8"), str(path))
+        except SyntaxError as exc:
+            print(f"{path}: syntax error: {exc}", file=out)
+            violations += 1
+            continue
+        for line, col in hits:
+            print(
+                f"{path}:{line}:{col + 1}: print() call in library code "
+                "(use the telemetry package; only cli.py may print)",
+                file=out,
+            )
+            violations += 1
+    return violations
+
+
+def main(argv=None) -> int:
+    targets = [Path(a) for a in (argv if argv is not None else sys.argv[1:])]
+    if not targets:
+        targets = [DEFAULT_TARGET]
+    violations = sum(lint_tree(t) for t in targets)
+    if violations:
+        print(f"lint-no-print: {violations} violation(s)")
+        return 1
+    print("lint-no-print: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

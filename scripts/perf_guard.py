@@ -5,8 +5,11 @@
 ``BENCH_<name>.json`` to ``BENCH_<name>.prev.json`` before every
 overwrite, so each results directory carries the newest record and the
 one before it.  This guard walks every such pair, compares each numeric
-figure found under an ``"ops_per_sec"`` key, and fails when any
-throughput fell by more than the threshold (default 20%).
+figure found under an ``"ops_per_sec"`` key *or* a ``*speedup`` key
+(the warm-vs-cold ratios of ``BENCH_service.json``: plan-cache hit
+speedups and resident-service throughput speedup), and fails when any
+figure fell by more than the threshold (default 20%).  A failing record
+prints the full per-metric diff, not just the regressed figures.
 
 Usage::
 
@@ -31,6 +34,8 @@ from pathlib import Path
 DEFAULT_RESULTS_DIR = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
 DEFAULT_THRESHOLD = 0.20
 GUARDED_KEY = "ops_per_sec"
+#: Keys ending in this also guard (warm-vs-cold and service speedups).
+GUARDED_SUFFIX = "speedup"
 
 
 @dataclass(frozen=True)
@@ -47,28 +52,39 @@ class Regression:
         return 1.0 - self.current / self.previous
 
     def __str__(self) -> str:
+        leaf = self.path.rsplit(".", 1)[-1]
+        unit = "x warm/cold" if leaf.endswith(GUARDED_SUFFIX) else "ops/sec"
         return (
             f"{self.record}: {self.path} fell {self.drop:.1%} "
-            f"({self.previous:,.1f} -> {self.current:,.1f} ops/sec)"
+            f"({self.previous:,.1f} -> {self.current:,.1f} {unit})"
         )
 
 
-def collect_ops(record: dict, prefix: str = "") -> dict:
-    """Flatten every numeric figure living under an ``ops_per_sec`` key.
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
 
-    Returns ``{dotted.path: value}``.  A scalar ``"ops_per_sec": 42.0``
-    and a grouped ``"ops_per_sec": {"csr": ..., "frozenset": ...}`` both
-    count; non-numeric leaves are ignored.
+
+def collect_ops(record: dict, prefix: str = "") -> dict:
+    """Flatten every guarded numeric figure into ``{dotted.path: value}``.
+
+    Guarded keys are ``ops_per_sec`` (scalar ``"ops_per_sec": 42.0`` and
+    grouped ``"ops_per_sec": {"csr": ..., "frozenset": ...}`` both
+    count) and any key ending in ``speedup`` — the warm-vs-cold ratios
+    the service benchmark records (``exact_hit_speedup``,
+    ``service_speedup``, ...).  Non-numeric leaves are ignored.
     """
     out = {}
     for key, value in record.items():
         path = f"{prefix}.{key}" if prefix else str(key)
-        if key == GUARDED_KEY:
-            if isinstance(value, (int, float)) and not isinstance(value, bool):
+        guarded = key == GUARDED_KEY or (
+            isinstance(key, str) and key.endswith(GUARDED_SUFFIX)
+        )
+        if guarded:
+            if _is_number(value):
                 out[path] = float(value)
             elif isinstance(value, dict):
                 for sub, v in value.items():
-                    if isinstance(v, (int, float)) and not isinstance(v, bool):
+                    if _is_number(v):
                         out[f"{path}.{sub}"] = float(v)
         elif isinstance(value, dict):
             out.update(collect_ops(value, path))
@@ -91,6 +107,36 @@ def diff_records(
         if prev > 0 and curr < prev * (1.0 - threshold):
             regressions.append(Regression(name, path, prev, curr))
     return regressions
+
+
+def format_diff(
+    previous: dict, current: dict, threshold: float = DEFAULT_THRESHOLD
+) -> list:
+    """Readable per-metric diff lines covering *every* shared figure.
+
+    Printed under a FAIL so the report shows the whole record's shape —
+    what regressed, what held, and by how much — not just the offenders.
+    """
+    prev_ops = collect_ops(previous)
+    curr_ops = collect_ops(current)
+    shared = sorted(prev_ops.keys() & curr_ops.keys())
+    if not shared:
+        return []
+    width = max(len(path) for path in shared)
+    lines = []
+    for path in shared:
+        prev, curr = prev_ops[path], curr_ops[path]
+        change = (curr - prev) / prev if prev else float("inf")
+        flag = (
+            "  <-- REGRESSED"
+            if prev > 0 and curr < prev * (1.0 - threshold)
+            else ""
+        )
+        lines.append(
+            f"      {path:<{width}}  {prev:>14,.2f} -> {curr:>14,.2f}"
+            f"  {change:+8.1%}{flag}"
+        )
+    return lines
 
 
 def guard(
@@ -122,6 +168,8 @@ def guard(
             print(f"FAIL  {label}: {len(regressions)}/{guarded} figures regressed", file=out)
             for r in regressions:
                 print(f"      {r}", file=out)
+            for line in format_diff(previous, current, threshold):
+                print(line, file=out)
             failures.extend(regressions)
         else:
             print(f"OK    {label}: {guarded} figures within {threshold:.0%}", file=out)

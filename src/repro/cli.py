@@ -19,7 +19,9 @@ writes a Chrome ``trace_event`` file — open it in ``chrome://tracing``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from typing import List, Optional, Sequence
 
 from .engine.benu import (
@@ -40,7 +42,7 @@ from .metrics import format_bytes, format_table
 from .pattern.pattern_graph import PatternGraph
 from .plan.cost import GraphStats, estimate_plan_cost
 from .plan.search import generate_best_plan
-from .telemetry import TelemetryConfig
+from .telemetry import TelemetryConfig, render_prometheus
 
 
 def _load_data_graph(args: argparse.Namespace) -> Graph:
@@ -73,8 +75,11 @@ def _config_from(
     )
 
 
-def _add_run_options(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--pattern", required=True, help="pattern name (see `patterns`)")
+def _add_run_options(
+    parser: argparse.ArgumentParser, pattern_required: bool = True
+) -> None:
+    parser.add_argument("--pattern", required=pattern_required,
+                        help="pattern name (see `patterns`)")
     parser.add_argument("--dataset", help="bundled dataset name (see `datasets`)")
     parser.add_argument("--edges", help="path to a SNAP-style edge list")
     parser.add_argument("--workers", type=int, default=4)
@@ -155,13 +160,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_stats(args: argparse.Namespace) -> int:
-    data = _load_data_graph(args)
-    pattern = PatternGraph(get_pattern(args.pattern), args.pattern)
-    telemetry = TelemetryConfig(trace=False, profile=args.profile)
-    result = run_benu(pattern, data, _config_from(args, telemetry=telemetry))
+def _print_metric_table(registry) -> None:
     rows = []
-    for metric in result.telemetry.registry.metrics():
+    for metric in registry.metrics():
         for labels, value in metric.samples():
             label_text = ",".join(f"{k}={v}" for k, v in labels.items())
             if metric.kind == "histogram":
@@ -175,6 +176,93 @@ def cmd_stats(args: argparse.Namespace) -> int:
                 rendered = _format_metric_value(value)
             rows.append([metric.name, metric.kind, label_text, rendered])
     print(format_table(["metric", "kind", "labels", "value"], rows))
+
+
+def _service_request(connect: str, payload: dict) -> dict:
+    """One request/response round-trip against ``benu serve --port``."""
+    import socket
+
+    host, _, port = connect.rpartition(":")
+    if not port.isdigit():
+        raise SystemExit(f"bad --connect address {connect!r}; expected HOST:PORT")
+    with socket.create_connection((host or "127.0.0.1", int(port)), timeout=30) as sock:
+        fh = sock.makefile("rw", encoding="utf-8", newline="\n")
+        fh.write(json.dumps(payload) + "\n")
+        fh.flush()
+        line = fh.readline()
+    if not line:
+        raise SystemExit("service closed the connection")
+    response = json.loads(line)
+    if not response.get("ok"):
+        raise SystemExit(f"service error: {response.get('message')}")
+    return response
+
+
+def _print_service_stats(stats: dict) -> None:
+    sched = stats.get("scheduler", {})
+    events = stats.get("events", {})
+    print(
+        f"queries: running={sched.get('running')} queued={sched.get('queued')}"
+        f"  events: emitted={events.get('emitted')} dropped={events.get('dropped')}"
+    )
+    progress = stats.get("progress", {})
+    if progress:
+        rows = []
+        for query_id, p in sorted(progress.items()):
+            eta = p.get("eta_seconds")
+            rows.append([
+                query_id,
+                f"{p.get('tasks_done')}/{p.get('total_tasks') or '?'}",
+                f"{p.get('fraction', 0.0):.1%}",
+                p.get("embeddings"),
+                f"{eta:.1f}s" if eta is not None else "?",
+            ])
+        print(format_table(["query", "tasks", "done", "embeddings", "eta"], rows))
+    slow = stats.get("slow_queries", [])
+    if slow:
+        print(f"slow queries ({len(slow)}):")
+        for entry in slow:
+            print(
+                f"  {entry.get('query_id')} {entry.get('pattern')}@"
+                f"{entry.get('graph')} {entry.get('wall_seconds', 0.0):.2f}s"
+                f" (threshold {entry.get('threshold_seconds')}s)"
+            )
+
+
+def _stats_from_service(args: argparse.Namespace) -> int:
+    while True:
+        if args.format == "prometheus":
+            response = _service_request(args.connect, {"op": "metrics"})
+            print(response["metrics"], end="")
+        else:
+            response = _service_request(args.connect, {"op": "stats"})
+            stats = response["stats"]
+            if args.format == "json":
+                print(json.dumps(stats, indent=1, sort_keys=True))
+            else:
+                _print_service_stats(stats)
+        if not args.watch:
+            return 0
+        time.sleep(args.watch)
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    if args.connect:
+        return _stats_from_service(args)
+    if args.watch:
+        raise SystemExit("--watch needs --connect HOST:PORT (a live service)")
+    if not args.pattern:
+        raise SystemExit("--pattern is required (unless using --connect)")
+    data = _load_data_graph(args)
+    pattern = PatternGraph(get_pattern(args.pattern), args.pattern)
+    telemetry = TelemetryConfig(trace=False, profile=args.profile)
+    result = run_benu(pattern, data, _config_from(args, telemetry=telemetry))
+    if args.format == "prometheus":
+        print(render_prometheus(result.telemetry.registry), end="")
+    elif args.format == "json":
+        print(json.dumps(result.telemetry.as_dict(), indent=1, sort_keys=True))
+    else:
+        _print_metric_table(result.telemetry.registry)
     print(result.summary(), file=sys.stderr)
     return 0
 
@@ -235,6 +323,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         memory_budget_bytes=args.memory_budget_bytes,
         catalog_capacity_bytes=args.catalog_bytes,
         max_worker_processes=args.max_worker_processes,
+        event_log_path=args.event_log,
+        slow_query_seconds=args.slow_query_seconds,
     )
     try:
         for spec in args.graph or []:
@@ -325,10 +415,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("stats", help="run and print the telemetry metrics")
-    _add_run_options(p)
+    _add_run_options(p, pattern_required=False)
     p.add_argument("--compressed", action="store_true")
     p.add_argument("--profile", action="store_true",
                    help="include sampled per-instruction timings")
+    p.add_argument("--format", choices=("table", "prometheus", "json"),
+                   default="table",
+                   help="metric table (default), Prometheus text "
+                        "exposition, or the full JSON export")
+    p.add_argument("--connect", metavar="HOST:PORT",
+                   help="read stats from a running `serve --port` service "
+                        "instead of executing a query")
+    p.add_argument("--watch", type=float, default=None, metavar="SECONDS",
+                   help="with --connect: refresh every SECONDS (live "
+                        "progress and ETA per in-flight query)")
     p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("plan", help="show an execution plan")
@@ -374,6 +474,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-worker-processes", type=int, default=None,
                    help="machine-wide cap on worker processes across all "
                         "concurrent process-backend queries (default: cores)")
+    p.add_argument("--event-log", metavar="FILE", default=None,
+                   help="append every lifecycle event to FILE as JSON lines")
+    p.add_argument("--slow-query-seconds", type=float, default=None,
+                   help="log queries slower than this (stats.slow_queries "
+                        "and a slow_query event with a trace summary)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("patterns", help="list built-in patterns")

@@ -34,11 +34,15 @@ from ...plan.codegen import TaskCounters
 from ...plan.generation import ExecutionPlan
 from ...storage.cache import CacheStats
 from ...storage.kvstore import DistributedKVStore, QueryStats
+from ...plan.cost import q_error
+from ...telemetry.progress import NULL_PROGRESS
 from ...telemetry.registry import MetricsRegistry
 from ...telemetry.runtime import Telemetry
 from ...telemetry.snapshot import (
     G_CACHE_HIT_RATIO,
     G_MAKESPAN,
+    G_PLAN_PREDICTED,
+    G_PLAN_QERROR,
     G_WALL,
     G_WORKERS,
     H_TASK_SIM_SECONDS,
@@ -70,6 +74,9 @@ class ExecutionRequest:
     control: Optional[ExecutionControl] = None
     store: Optional[DistributedKVStore] = None
     worker_caches: Optional[list] = None
+    #: Live progress tracker (the service polls it mid-run); the shared
+    #: no-op by default, so backends report unconditionally.
+    progress: object = NULL_PROGRESS
 
     def __post_init__(self) -> None:
         if self.telemetry is None:
@@ -204,6 +211,55 @@ def record_worker_ledgers(
         "cache": cache,
         "per_task": per_task,
     }
+
+
+#: Instruction-type name → the :class:`TaskCounters` field that holds the
+#: exact executed count it predicts.
+PREDICTED_COUNTER_FIELDS: Dict[str, str] = {
+    "INT": "int_ops",
+    "TRC": "trc_ops",
+    "DBQ": "dbq_ops",
+    "ENU": "enu_steps",
+    "RES": "results",
+}
+
+
+def record_plan_prediction(
+    registry: MetricsRegistry,
+    plan: ExecutionPlan,
+    counters: TaskCounters,
+) -> Optional[Dict[str, Dict[str, float]]]:
+    """Confront the plan's cost-model estimates with the executed counts.
+
+    Mirrors per-instruction-type predictions and q-errors into the
+    registry gauges (``benu_plan_predicted_executions`` /
+    ``benu_plan_q_error``) and returns ``{instr: {predicted, actual,
+    q_error}}`` for event emission — or None when the plan carries no
+    predictions (plans built outside ``build_plan``), keeping the
+    no-telemetry path free of new metrics.
+    """
+    predicted = getattr(plan, "predicted_counts", None)
+    if not predicted:
+        return None
+    pred_gauge = registry.gauge(
+        G_PLAN_PREDICTED,
+        help="cost-model execution estimate per instruction type (§IV-C)",
+        labels=("instr",),
+    )
+    qerr_gauge = registry.gauge(
+        G_PLAN_QERROR,
+        help="max(pred/actual, actual/pred) per instruction type",
+        labels=("instr",),
+    )
+    out: Dict[str, Dict[str, float]] = {}
+    for instr, pred in predicted.items():
+        field_name = PREDICTED_COUNTER_FIELDS.get(instr)
+        actual = float(getattr(counters, field_name, 0)) if field_name else 0.0
+        qe = q_error(pred, actual)
+        pred_gauge.set(pred, instr=instr)
+        qerr_gauge.set(qe, instr=instr)
+        out[instr] = {"predicted": pred, "actual": actual, "q_error": qe}
+    return out
 
 
 def record_run_gauges(

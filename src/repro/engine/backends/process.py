@@ -49,6 +49,7 @@ from ...graph.csr import ATTACH_STATS, CSRAdjacency, ShmAttachStats
 from ...kernels.intersect import STATS as KERNEL_STATS, KernelStats
 from ...plan.codegen import COUNTER_FIELDS, TaskCounters, compile_plan
 from ...storage.cache import CacheStats
+from ...telemetry.events import EV_TASK_DISPATCHED, EV_TASK_FINISHED
 from ...telemetry.registry import MetricsRegistry
 from ..control import ExecutionInterrupted
 from ..local_task import LocalSearchTask
@@ -57,6 +58,7 @@ from .base import (
     ExecutionBackend,
     ExecutionRequest,
     WorkerLedger,
+    record_plan_prediction,
     record_run_gauges,
     record_worker_ledgers,
     resolve_tasks,
@@ -64,19 +66,35 @@ from .base import (
 )
 
 #: Result of one task: (counters, kernel Δ, pid, wall seconds, matches|None).
+#: When the parent traces, one trailing element is appended — a list of
+#: wire-format span dicts (see ``span_to_wire``) recorded in the worker —
+#: so the untraced record stays the exact 5-tuple it always was (zero
+#: extra IPC bytes when telemetry is off).
 _TaskRecord = Tuple[Tuple[int, ...], Tuple[int, ...], int, float, Optional[list]]
+
+#: One queue pull: (index of the chunk's first task, its tasks).
+_TaskChunk = Tuple[int, List[LocalSearchTask]]
 
 # Globals populated inside each worker process by the pool initializer.
 _worker_state: dict = {}
 
 
-def _init_worker(plan, adjacency_backend: str, payload, mode: str, cancel_event) -> None:
+def _init_worker(
+    plan, adjacency_backend: str, payload, mode: str, cancel_event,
+    trace: bool = False,
+) -> None:
     """Build per-process state: compiled plan + adjacency access + control.
 
     ``payload`` is the :class:`Graph` itself for the frozenset backend
     (inherited via fork) or a :class:`CSRShmHandle` for the csr backend
     (workers attach to the parent's shared block, copying nothing).
+
+    With ``trace`` on, the initializer times itself and parks the span
+    (wire format, absolute ``perf_counter`` instants — fork children
+    share the parent's monotonic epoch) for the first task record to
+    carry home; the parent stitches it under a per-pid process track.
     """
+    t0 = _time.perf_counter() if trace else 0.0
     _worker_state.clear()
     _worker_state["compiled"] = compile_plan(
         plan, mode=mode, instrument=True, backend=adjacency_backend
@@ -92,6 +110,17 @@ def _init_worker(plan, adjacency_backend: str, payload, mode: str, cancel_event)
         _worker_state["vset"] = frozenset(payload.vertices)
     _worker_state["collect"] = mode == "collect"
     _worker_state["cancel"] = cancel_event
+    _worker_state["trace"] = trace
+    if trace:
+        _worker_state["pending_spans"] = [
+            {
+                "name": "worker-init",
+                "t0": t0,
+                "t1": _time.perf_counter(),
+                "category": "worker",
+                "args": {"backend": adjacency_backend, "mode": mode},
+            }
+        ]
 
 
 def _run_task(task: LocalSearchTask) -> Optional[_TaskRecord]:
@@ -118,29 +147,49 @@ def _run_task(task: LocalSearchTask) -> Optional[_TaskRecord]:
         tcache={},
         candidate_override=task.candidate_slice,
     )
-    wall = _time.perf_counter() - t0
+    t1 = _time.perf_counter()
+    wall = t1 - t0
     delta = tuple(
         now - before
         for now, before in zip(KERNEL_STATS.as_tuple(), kernel_before)
     )
-    return (
+    record = (
         tuple(getattr(counters, f) for f in COUNTER_FIELDS),
         delta,
         os.getpid(),
         wall,
         matches,
     )
+    if not state["trace"]:
+        return record
+    # Drain whatever spans are parked (the init span rides the first
+    # record out) and append this task's own span.
+    spans = state.get("pending_spans") or []
+    state["pending_spans"] = []
+    spans.append(
+        {
+            "name": f"task[{task.start}]",
+            "t0": t0,
+            "t1": t1,
+            "category": "task",
+            "args": {"results": counters.results},
+        }
+    )
+    return record + (spans,)
 
 
-def _run_chunk(chunk: List[LocalSearchTask]) -> List[Optional[_TaskRecord]]:
+def _run_chunk(chunk: _TaskChunk) -> Tuple[int, List[Optional[_TaskRecord]]]:
     """One queue pull's worth of tasks, records kept per task.
 
     Chunking is done here (not via ``imap_unordered``'s ``chunksize``,
     which swaps the pool's timeout-pollable result iterator for a plain
     generator) so the parent keeps its 0.1 s control-poll cadence while
-    IPC is still amortized over the chunk.
+    IPC is still amortized over the chunk.  The chunk's base index rides
+    along so the parent can attribute finish events to task ids even
+    though chunks complete out of order.
     """
-    return [_run_task(task) for task in chunk]
+    base, tasks = chunk
+    return base, [_run_task(task) for task in tasks]
 
 
 class ProcessBackend(ExecutionBackend):
@@ -181,6 +230,10 @@ class ProcessBackend(ExecutionBackend):
         mode = request.mode
         num_workers = config.num_workers
         adjacency_backend = config.adjacency_backend
+        events = telemetry.events
+        progress = request.progress
+        progress.set_total_tasks(len(tasks))
+        trace = bool(tracer.enabled)
 
         collected: Optional[list] = (
             [] if config.collect and not request.streaming else None
@@ -208,16 +261,19 @@ class ProcessBackend(ExecutionBackend):
                 if num_workers == 1:
                     attaches = self._run_inline(
                         plan, adjacency_backend, payload, mode, tasks,
-                        control, emit, records,
+                        control, emit, records, trace, events, progress,
                     )
                 else:
                     self._run_pool(
                         plan, adjacency_backend, payload, mode, tasks,
-                        control, emit, records, num_workers,
+                        control, emit, records, num_workers, trace, events,
+                        progress,
                     )
                     # Each worker attaches exactly once, in its initializer.
                     if adjacency_backend == "csr":
-                        attaches = len({rec[2] for rec in records})
+                        attaches = len(
+                            {rec[2] for rec in records if rec is not None}
+                        )
                 exec_span.args["tasks"] = len(tasks)
         finally:
             if shm is not None:
@@ -239,32 +295,44 @@ class ProcessBackend(ExecutionBackend):
     # ------------------------------------------------------------------
     def _run_inline(
         self, plan, adjacency_backend, payload, mode, tasks, control, emit,
-        records,
+        records, trace, events, progress,
     ) -> int:
         """Degenerate one-worker run in this very process (no fork)."""
         attach_base = ATTACH_STATS.attaches
-        _init_worker(plan, adjacency_backend, payload, mode, None)
-        for task in tasks:
+        _init_worker(plan, adjacency_backend, payload, mode, None, trace)
+        for i, task in enumerate(tasks):
             if control is not None:
                 control.check()
+            if events.enabled:
+                events.emit(EV_TASK_DISPATCHED, task_id=i)
             record = _run_task(task)
             records.append(record)
             self._deliver(record, emit)
+            self._account(record, i, events, progress)
         return ATTACH_STATS.attaches - attach_base
 
     def _run_pool(
         self, plan, adjacency_backend, payload, mode, tasks, control, emit,
-        records, num_workers,
+        records, num_workers, trace, events, progress,
     ) -> None:
         """Drive a worker pool, polling control while draining results."""
         ctx = mp.get_context("fork") if hasattr(os, "fork") else mp.get_context()
         cancel_event = ctx.Event()
         size = self._chunksize(len(tasks), num_workers)
-        chunks = [tasks[i : i + size] for i in range(0, len(tasks), size)]
+        chunks = [
+            (i, tasks[i : i + size]) for i in range(0, len(tasks), size)
+        ]
+        if events.enabled:
+            # The whole queue is handed to the pool up front; dispatch is
+            # the enqueue instant, finish events arrive per record below.
+            for i in range(len(tasks)):
+                events.emit(EV_TASK_DISPATCHED, task_id=i)
         with ctx.Pool(
             processes=num_workers,
             initializer=_init_worker,
-            initargs=(plan, adjacency_backend, payload, mode, cancel_event),
+            initargs=(
+                plan, adjacency_backend, payload, mode, cancel_event, trace,
+            ),
             maxtasksperchild=self.maxtasksperchild,
         ) as pool:
             results = pool.imap_unordered(_run_chunk, chunks, chunksize=1)
@@ -272,7 +340,7 @@ class ProcessBackend(ExecutionBackend):
             try:
                 while pending:
                     try:
-                        chunk_records = results.next(timeout=0.1)
+                        base, chunk_records = results.next(timeout=0.1)
                     except mp.TimeoutError:
                         # Nothing arrived: the deadline can still expire and
                         # a cancel can still land — keep the control live.
@@ -280,9 +348,10 @@ class ProcessBackend(ExecutionBackend):
                             control.check()
                         continue
                     pending -= 1
-                    for record in chunk_records:
+                    for offset, record in enumerate(chunk_records):
                         records.append(record)
                         self._deliver(record, emit)
+                        self._account(record, base + offset, events, progress)
                     if control is not None:
                         control.check()
             except ExecutionInterrupted:
@@ -301,6 +370,24 @@ class ProcessBackend(ExecutionBackend):
             for match in matches:
                 emit(match)
 
+    @staticmethod
+    def _account(
+        record: Optional[_TaskRecord], task_id: int, events, progress
+    ) -> None:
+        """Parent-side progress/event bookkeeping for one arrived record."""
+        if record is None:  # skipped at the boundary after a cancel
+            return
+        results = record[0][COUNTER_FIELDS.index("results")]
+        progress.task_done(embeddings=results)
+        if events.enabled:
+            events.emit(
+                EV_TASK_FINISHED,
+                task_id=task_id,
+                worker_pid=record[2],
+                embeddings=results,
+                wall_seconds=record[3],
+            )
+
     # ------------------------------------------------------------------
     def _finalize(
         self, request, registry, tasks, records, attaches, shm_bytes,
@@ -313,11 +400,14 @@ class ProcessBackend(ExecutionBackend):
         # worker ids are dense, in order of first result arrival.
         worker_index: Dict[int, str] = {}
         ledgers: Dict[str, WorkerLedger] = {}
+        remote_spans: Dict[int, list] = {}
         kernel_totals = [0] * len(KernelStats.FIELDS)
         for record in records:
             if record is None:  # skipped at the boundary after a cancel
                 continue
-            raw, delta, pid, wall, _matches = record
+            raw, delta, pid, wall, _matches = record[:5]
+            if len(record) > 5 and record[5]:
+                remote_spans.setdefault(pid, []).extend(record[5])
             wid = worker_index.setdefault(pid, str(len(worker_index)))
             ledger = ledgers.setdefault(wid, WorkerLedger(worker_id=wid))
             counters = TaskCounters.from_tuple(raw)
@@ -329,6 +419,10 @@ class ProcessBackend(ExecutionBackend):
             ledger.wall_seconds += wall
             for i, d in enumerate(delta):
                 kernel_totals[i] += d
+        # Stitch the workers' own span trees (shipped over the result
+        # channel in wire form) under real-pid process tracks.
+        for pid, spans in remote_spans.items():
+            tracer.add_remote_spans(pid, spans)
         for ledger in ledgers.values():
             # Workers own the whole graph locally: zero store round-trips,
             # every adjacency lookup a local hit (same metric names as the
@@ -345,6 +439,7 @@ class ProcessBackend(ExecutionBackend):
 
         ordered = [ledgers[k] for k in sorted(ledgers, key=int)]
         totals = record_worker_ledgers(registry, ordered)
+        record_plan_prediction(registry, request.plan, totals["counters"])
         KernelStats(
             **{f: n for f, n in zip(KernelStats.FIELDS, kernel_totals)}
         ).record_to(registry)

@@ -28,10 +28,12 @@ from ...telemetry.registry import DEFAULT_BYTES_BUCKETS, MetricsRegistry
 from ...telemetry.snapshot import H_DB_QUERY_BYTES
 from ..results import BenuResult
 from ..worker import Worker
+from ...telemetry.events import EV_TASK_DISPATCHED, EV_TASK_FINISHED
 from .base import (
     ExecutionBackend,
     ExecutionRequest,
     WorkerLedger,
+    record_plan_prediction,
     record_run_gauges,
     record_worker_ledgers,
     resolve_tasks,
@@ -91,9 +93,13 @@ class SimulatedBackend(ExecutionBackend):
         registry = MetricsRegistry()
         wall0 = _time.perf_counter()
 
+        events = telemetry.events
+        progress = request.progress
+
         store = build_store(request)
         vset = store_vset(store, request.graph)
         tasks = resolve_tasks(request, tracer)
+        progress.set_total_tasks(len(tasks))
 
         mode = request.mode
         profiler = telemetry.make_profiler(registry)
@@ -141,9 +147,23 @@ class SimulatedBackend(ExecutionBackend):
                 for i, task in enumerate(tasks):
                     if control is not None:
                         control.check()
-                    workers[i % len(workers)].execute_task(
-                        runner, task, vset, emit
-                    )
+                    worker = workers[i % len(workers)]
+                    if events.enabled:
+                        events.emit(
+                            EV_TASK_DISPATCHED,
+                            task_id=i,
+                            worker=worker.worker_id,
+                        )
+                    report = worker.execute_task(runner, task, vset, emit)
+                    progress.task_done(embeddings=report.counters.results)
+                    if events.enabled:
+                        events.emit(
+                            EV_TASK_FINISHED,
+                            task_id=i,
+                            worker=worker.worker_id,
+                            embeddings=report.counters.results,
+                            sim_seconds=report.sim_seconds,
+                        )
                 for w in workers:
                     tracer.add_span(
                         f"worker-{w.worker_id}",
@@ -177,6 +197,7 @@ class SimulatedBackend(ExecutionBackend):
             for w in workers
         ]
         totals = record_worker_ledgers(registry, ledgers)
+        record_plan_prediction(registry, plan, totals["counters"])
 
         matches = None
         codes = None

@@ -26,7 +26,7 @@ from ..graph.order import invert_mapping, relabel_by_degree_order
 from ..pattern.pattern_graph import PatternGraph
 from ..plan.compression import compress_plan
 from ..plan.degree_filter import apply_degree_filter
-from ..plan.cost import GraphStats
+from ..plan.cost import DEFAULT_STATS, GraphStats, predict_instruction_counts
 from ..plan.generation import ExecutionPlan, generate_raw_plan
 from ..plan.optimizer import apply_generalized_clique_cache, optimize
 from ..plan.search import generate_best_plan
@@ -65,12 +65,12 @@ def build_plan(
     :class:`repro.telemetry.Tracer`) records the search's phases as spans.
     """
     pattern = _as_pattern(pattern)
+    stats = GraphStats.of(data) if data is not None else None
     if order is not None:
         plan = optimize(generate_raw_plan(pattern, order), optimization_level)
         if compressed:
             plan = compress_plan(plan)
     else:
-        stats = GraphStats.of(data) if data is not None else None
         kwargs = {"stats": stats} if stats is not None else {}
         plan = generate_best_plan(
             pattern,
@@ -84,6 +84,13 @@ def build_plan(
     if degree_filter_data is not None:
         plan = apply_degree_filter(plan, degree_filter_data)
     validate_plan(plan)
+    # Remember what the §IV-C estimator expects each instruction type to
+    # execute, so the run can report predicted-vs-actual q-errors.  Plan
+    # shape and codegen are untouched — compiled sources stay
+    # byte-identical with or without the predictions.
+    plan.predicted_counts = predict_instruction_counts(
+        plan, stats if stats is not None else DEFAULT_STATS
+    )
     return plan
 
 
@@ -165,6 +172,7 @@ def execute_plan(
     tasks=None,
     worker_caches=None,
     execution_backend: Optional[str] = None,
+    progress=None,
 ) -> BenuResult:
     """Run ``plan`` over prepared data and translate results back.
 
@@ -178,7 +186,9 @@ def execute_plan(
     ``worker_caches`` keeps worker database caches warm across calls;
     ``sink`` streams matches — already translated to original ids —
     instead of collecting them; ``control`` is checked at every task
-    boundary, on whichever side of the process boundary the tasks run.
+    boundary, on whichever side of the process boundary the tasks run;
+    ``progress`` (a :class:`repro.telemetry.QueryProgress`) is updated at
+    the same granularity, so a concurrent poller sees live completion.
     """
     config = config or BenuConfig()
     backend_name = (
@@ -197,17 +207,18 @@ def execute_plan(
     if backend_name == "process":
         from .backends import ExecutionRequest, get_backend
 
-        result = get_backend("process").execute(
-            ExecutionRequest(
-                plan=plan,
-                graph=prepared.graph,
-                config=config,
-                telemetry=telemetry,
-                tasks=tasks,
-                sink=sink,
-                control=control,
-            )
+        request = ExecutionRequest(
+            plan=plan,
+            graph=prepared.graph,
+            config=config,
+            telemetry=telemetry,
+            tasks=tasks,
+            sink=sink,
+            control=control,
         )
+        if progress is not None:
+            request.progress = progress
+        result = get_backend("process").execute(request)
     else:
         if cluster is None:
             cluster = SimulatedCluster(
@@ -223,7 +234,12 @@ def execute_plan(
                 store=cluster.store,
             )
         result = cluster.run_plan(
-            plan, tasks=tasks, sink=sink, control=control, worker_caches=worker_caches
+            plan,
+            tasks=tasks,
+            sink=sink,
+            control=control,
+            worker_caches=worker_caches,
+            progress=progress,
         )
 
     if prepared.relabeled:

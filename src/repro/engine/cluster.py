@@ -59,6 +59,7 @@ class SimulatedCluster:
         sink=None,
         control: Optional[ExecutionControl] = None,
         worker_caches: Optional[List] = None,
+        progress=None,
     ) -> BenuResult:
         """Execute one plan over the whole data graph.
 
@@ -83,16 +84,17 @@ class SimulatedCluster:
                 "dispatch on config.execution_backend"
             )
         backend = get_backend(name)
-        return backend.execute(
-            ExecutionRequest(
-                plan=plan,
-                graph=self.data,
-                config=self.config,
-                telemetry=self.telemetry,
-                tasks=tasks,
-                sink=sink,
-                control=control,
-                store=self.store,
-                worker_caches=worker_caches,
-            )
+        request = ExecutionRequest(
+            plan=plan,
+            graph=self.data,
+            config=self.config,
+            telemetry=self.telemetry,
+            tasks=tasks,
+            sink=sink,
+            control=control,
+            store=self.store,
+            worker_caches=worker_caches,
         )
+        if progress is not None:
+            request.progress = progress
+        return backend.execute(request)

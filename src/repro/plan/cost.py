@@ -149,6 +149,67 @@ def _walk_cost(
     return cost
 
 
+def predict_instruction_counts(
+    plan: ExecutionPlan, stats: GraphStats = DEFAULT_STATS
+) -> Dict[str, float]:
+    """Per-instruction-type execution estimates under the §IV-C model.
+
+    The same walk as :func:`_walk_cost`, but keeping each type separate
+    so the estimates can be confronted with the exact executed counts
+    the engine already measures (``TaskCounters``): an INT/TRC/DBQ at
+    prefix P_i executes once per estimated match of P_i; an ENU's loop
+    iterates once per match of the *extended* prefix; RES fires once per
+    match of the full enumerated prefix.
+
+    Keys are instruction-type names (``"INT"``, ``"TRC"``, ``"DBQ"``,
+    ``"ENU"``, ``"RES"``) — the same vocabulary as the registry's
+    ``instr`` label, so prediction and measurement join trivially.
+    """
+    from .instructions import var_index
+
+    pattern = plan.pattern.graph
+    prefix: list = []
+    cur_num = 0.0
+    predicted: Dict[str, float] = {}
+
+    def add(name: str, amount: float) -> None:
+        predicted[name] = predicted.get(name, 0.0) + amount
+
+    for inst in plan.instructions:
+        if inst.type in (InstructionType.INI, InstructionType.ENU):
+            prefix.append(var_index(inst.target))
+            cur_num = estimate_matches(_partial_pattern(pattern, prefix), stats)
+            if inst.type is InstructionType.ENU:
+                add("ENU", cur_num)
+        elif inst.type is InstructionType.INT:
+            add("INT", cur_num)
+        elif inst.type is InstructionType.TRC:
+            add("TRC", cur_num)
+        elif inst.type is InstructionType.DBQ:
+            add("DBQ", cur_num)
+        elif inst.type is InstructionType.RES:
+            add("RES", cur_num)
+    return predicted
+
+
+def q_error(predicted: float, actual: float) -> float:
+    """The symmetric estimation-error ratio, >= 1.
+
+    ``max(predicted/actual, actual/predicted)`` with both sides clamped
+    to >= 1 so zero counts (an estimate of 0.3 against 0 executions)
+    stay finite — the convention of the cardinality-estimation
+    literature (see PAPERS.md: Ren et al., querytorque).
+
+    >>> q_error(10.0, 100.0)
+    10.0
+    >>> q_error(0.0, 0.0)
+    1.0
+    """
+    p = max(float(predicted), 1.0)
+    a = max(float(actual), 1.0)
+    return max(p / a, a / p)
+
+
 def estimate_plan_cost(
     plan: ExecutionPlan, stats: GraphStats = DEFAULT_STATS
 ) -> PlanCost:

@@ -51,6 +51,10 @@ class ExecutionPlan:
     #: Named constant sets available to instructions (e.g. the per-label
     #: vertex pools of the property-graph extension).
     constants: Dict[str, frozenset] = field(default_factory=dict)
+    #: Cost-model estimate of per-instruction-type execution counts
+    #: (filled by ``build_plan`` against the target graph's stats);
+    #: confronted with the exact executed counts for q-error accounting.
+    predicted_counts: Optional[Dict[str, float]] = None
 
     def __str__(self) -> str:
         from .instructions import format_plan

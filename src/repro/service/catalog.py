@@ -26,6 +26,7 @@ from ..graph.graph import Graph
 from ..plan.cost import GraphStats
 from ..storage.cache import CachePool
 from ..storage.kvstore import DistributedKVStore
+from ..telemetry.events import EV_CATALOG_EVICTED, NULL_EVENTS
 from ..telemetry.snapshot import G_CATALOG_BYTES, M_CATALOG_EVICTIONS
 from .errors import InvalidQueryError, UnknownGraphError
 
@@ -136,12 +137,14 @@ class GraphCatalog:
     """
 
     def __init__(
-        self, capacity_bytes: Optional[int] = None, registry=None
+        self, capacity_bytes: Optional[int] = None, registry=None,
+        events=NULL_EVENTS,
     ) -> None:
         if capacity_bytes is not None and capacity_bytes < 0:
             raise ValueError("capacity must be non-negative or None")
         self.capacity_bytes = capacity_bytes
         self._registry = registry
+        self._events = events
         self._entries: Dict[str, CatalogEntry] = {}
         self._clock = 0
         self._lock = threading.Lock()
@@ -262,5 +265,6 @@ class GraphCatalog:
                 self._registry.counter(
                     M_CATALOG_EVICTIONS, "graphs evicted from the catalog"
                 ).inc()
+            self._events.emit(EV_CATALOG_EVICTED, graph=victim.name)
         self._update_gauge()
         return evicted

@@ -12,6 +12,8 @@ Operations
 ``poll``     {"op":"poll","query":"q-1","limit":100?,"wait":sec?}
 ``cancel``   {"op":"cancel","query":"q-1"}
 ``stats``    {"op":"stats"}
+``metrics``  {"op":"metrics"}              → Prometheus text exposition
+``events``   {"op":"events","type":t?,"query":"q-1"?,"limit":N?}
 ``graphs``   {"op":"graphs"}
 ``register`` {"op":"register","name":"g","dataset":"as_sim"|"edges":[[u,v],...]}
 ``queries``  {"op":"queries"}
@@ -38,6 +40,7 @@ from ..engine.config import BenuConfig
 from ..engine.control import ExecutionInterrupted
 from ..graph.datasets import load_dataset
 from ..graph.graph import Graph
+from ..telemetry.prometheus import render_prometheus
 from .errors import InvalidQueryError, ServiceError
 from .service import BenuService
 
@@ -163,6 +166,24 @@ class ServiceProtocol:
 
     def _op_stats(self, request: dict) -> dict:
         return {"stats": self.service.stats()}
+
+    def _op_metrics(self, request: dict) -> dict:
+        """Prometheus text exposition of the service registry."""
+        return {"metrics": render_prometheus(self.service.registry)}
+
+    def _op_events(self, request: dict) -> dict:
+        """Recent lifecycle events, optionally filtered."""
+        limit = request.get("limit")
+        rows = self.service.events.as_dicts(
+            type=request.get("type"),
+            query_id=request.get("query"),
+            limit=int(limit) if limit is not None else None,
+        )
+        return {
+            "events": rows,
+            "emitted": self.service.events.emitted,
+            "dropped": self.service.events.dropped,
+        }
 
     def _op_graphs(self, request: dict) -> dict:
         return {

@@ -23,6 +23,7 @@ from __future__ import annotations
 import os
 import threading
 import time
+from collections import deque
 from dataclasses import replace as _replace
 from typing import Dict, Optional, Union
 
@@ -38,11 +39,26 @@ from ..engine.sinks import LimitSink
 from ..graph.graph import Graph
 from ..graph.patterns import get_pattern
 from ..pattern.pattern_graph import PatternGraph
+from ..telemetry.events import (
+    EV_PLAN_RESOLVED,
+    EV_QUERY_CANCELLED,
+    EV_QUERY_FINISHED,
+    EV_QUERY_QERROR,
+    EV_QUERY_REJECTED,
+    EV_QUERY_STARTED,
+    EV_QUERY_SUBMITTED,
+    EV_SLOW_QUERY,
+    EventLog,
+    FileEventSink,
+)
+from ..telemetry.progress import QueryProgress
 from ..telemetry.registry import MetricsRegistry
 from ..telemetry.runtime import Telemetry, TelemetryConfig
 from ..telemetry.snapshot import (
+    H_QUERY_QERROR,
     H_QUERY_WALL_SECONDS,
     M_SERVICE_QUERIES,
+    QERROR_BUCKETS,
 )
 from .catalog import GraphCatalog
 from .errors import InvalidQueryError, UnknownQueryError
@@ -70,14 +86,32 @@ class BenuService:
         max_buffered_batches: int = 64,
         trace_queries: bool = False,
         max_worker_processes: Optional[int] = None,
+        event_log_capacity: int = 4096,
+        event_log_path: Optional[str] = None,
+        slow_query_seconds: Optional[float] = None,
     ) -> None:
         self.default_config = config or BenuConfig()
         self.batch_size = batch_size
         self.max_buffered_batches = max_buffered_batches
         self.trace_queries = trace_queries
         self.registry = MetricsRegistry()
+        #: The service flight recorder: every query's lifecycle, ring-
+        #: buffered in memory, optionally mirrored to a JSONL file.
+        self.events = EventLog(
+            capacity=event_log_capacity, registry=self.registry
+        )
+        self._event_file_sink: Optional[FileEventSink] = None
+        if event_log_path is not None:
+            self._event_file_sink = FileEventSink(event_log_path)
+            self.events.add_sink(self._event_file_sink)
+        #: Wall-time threshold past which a query lands in the slow-query
+        #: log (None = disabled).
+        self.slow_query_seconds = slow_query_seconds
+        self._slow_queries: "deque" = deque(maxlen=32)
         self.catalog = GraphCatalog(
-            capacity_bytes=catalog_capacity_bytes, registry=self.registry
+            capacity_bytes=catalog_capacity_bytes,
+            registry=self.registry,
+            events=self.events,
         )
         self.plan_cache = PlanCache(registry=self.registry)
         self.scheduler = QueryScheduler(
@@ -187,11 +221,27 @@ class BenuService:
             buffer=buffer,
             limit=limit,
         )
-
-        future = self.scheduler.submit(
-            lambda: self._run_query(handle, pattern_graph, query_config),
-            estimated_bytes=estimated_bytes,
+        handle.progress = QueryProgress()
+        self.events.emit(
+            EV_QUERY_SUBMITTED,
+            query_id=query_id,
+            pattern=pattern_graph.name,
+            graph=graph,
+            stream=stream,
+            limit=limit,
+            deadline_seconds=deadline_seconds,
         )
+
+        try:
+            future = self.scheduler.submit(
+                lambda: self._run_query(handle, pattern_graph, query_config),
+                estimated_bytes=estimated_bytes,
+            )
+        except Exception as exc:
+            self.events.emit(
+                EV_QUERY_REJECTED, query_id=query_id, reason=str(exc)
+            )
+            raise
         handle.future = future
         with self._lock:
             self._queries[query_id] = handle
@@ -208,11 +258,15 @@ class BenuService:
         entry = None
         pool_key = pool = None
         granted_workers = 0
+        events = self.events.bound(handle.query_id)
         telemetry = Telemetry(
-            TelemetryConfig(trace=True) if self.trace_queries else None
+            TelemetryConfig(trace=True) if self.trace_queries else None,
+            events=events,
         )
+        result = None
         try:
             handle._mark(QueryStatus.RUNNING)
+            events.emit(EV_QUERY_STARTED)
             control.check()  # queued past the deadline → never runs
             entry = self.catalog.pin(handle.graph_name)
             with telemetry.tracer.span(
@@ -233,6 +287,11 @@ class BenuService:
                     )
                     span.args["plan_cache"] = outcome
                     span.args["query_id"] = handle.query_id
+                events.emit(
+                    EV_PLAN_RESOLVED,
+                    outcome=outcome,
+                    order=[str(v) for v in plan.order],
+                )
                 control.check()
 
                 sink = None
@@ -256,6 +315,7 @@ class BenuService:
                         telemetry=telemetry,
                         sink=sink,
                         control=control,
+                        progress=handle.progress,
                     )
                 else:
                     pool_key, pool = entry.checkout_pool(config)
@@ -274,6 +334,7 @@ class BenuService:
                         sink=sink,
                         control=control,
                         worker_caches=pool.caches,
+                        progress=handle.progress,
                     )
             handle._result = result
             status = QueryStatus.SUCCEEDED
@@ -315,7 +376,86 @@ class BenuService:
             # The per-query span tree (query → plan → execution …) stays
             # reachable even when the run produced no result object.
             handle.telemetry = telemetry
+            self._account_query(handle, result, status, wall, events)
         return None
+
+    def _account_query(
+        self, handle, result, status, wall: float, events
+    ) -> None:
+        """End-of-query observability: q-error, slow-query log, finish event.
+
+        Isolated so a reporting hiccup can never change a query's
+        outcome; runs after the handle is marked and the stream closed.
+        """
+        q_errors = (
+            result.telemetry.q_errors if result is not None else {}
+        )
+        if q_errors:
+            qerr_hist = self.registry.histogram(
+                H_QUERY_QERROR,
+                help="per-query cost-model q-error by instruction type",
+                labels=("instr",),
+                buckets=QERROR_BUCKETS,
+            )
+            for instr, qe in q_errors.items():
+                qerr_hist.observe(qe, instr=instr)
+            events.emit(
+                EV_QUERY_QERROR,
+                q_errors=q_errors,
+                predicted=result.telemetry.predicted_counts,
+                actual=result.telemetry.instruction_counts,
+            )
+        events.emit(
+            EV_QUERY_FINISHED,
+            status=status.value,
+            wall_seconds=wall,
+            delivered=handle.delivered,
+            truncated=handle.truncated,
+        )
+        threshold = self.slow_query_seconds
+        if threshold is not None and wall > threshold:
+            entry = {
+                "query_id": handle.query_id,
+                "pattern": handle.pattern_name,
+                "graph": handle.graph_name,
+                "status": status.value,
+                "wall_seconds": wall,
+                "threshold_seconds": threshold,
+                "instruction_counts": (
+                    result.telemetry.instruction_counts
+                    if result is not None
+                    else {}
+                ),
+                "q_errors": q_errors,
+                "trace": self._trace_summary(handle.telemetry),
+            }
+            self._slow_queries.append(entry)
+            events.emit(EV_SLOW_QUERY, **entry)
+
+    @staticmethod
+    def _trace_summary(telemetry) -> list:
+        """Top-level span names + wall seconds (the slow-log trace view)."""
+        tracer = getattr(telemetry, "tracer", None)
+        if tracer is None or not tracer.enabled:
+            return []
+
+        def walk(span, depth):
+            rows = [
+                {
+                    "span": span.name,
+                    "depth": depth,
+                    "wall_seconds": span.wall_seconds,
+                }
+            ]
+            if depth < 2:
+                for child in span.children:
+                    rows.extend(walk(child, depth + 1))
+            return rows
+
+        out = []
+        for root in tracer.roots:
+            out.extend(walk(root, 0))
+        return out
 
     # ------------------------------------------------------------------
     def query(self, query_id: str) -> QueryHandle:
@@ -327,6 +467,7 @@ class BenuService:
 
     def cancel(self, query_id: str, reason: str = "cancelled by client") -> QueryHandle:
         handle = self.query(query_id)
+        self.events.emit(EV_QUERY_CANCELLED, query_id=query_id, reason=reason)
         handle.cancel(reason)
         return handle
 
@@ -362,6 +503,17 @@ class BenuService:
                 "max_worker_processes": self.worker_slots.max_workers,
             },
             "queries": statuses,
+            "progress": {
+                handle.query_id: handle.progress.describe()
+                for handle in self.queries().values()
+                if handle.progress is not None and not handle.done
+            },
+            "events": {
+                "emitted": self.events.emitted,
+                "retained": len(self.events),
+                "dropped": self.events.dropped,
+            },
+            "slow_queries": list(self._slow_queries),
             "metrics": self.registry.as_dict(),
         }
 
@@ -375,6 +527,9 @@ class BenuService:
                 if not handle.done:
                     handle.cancel("service shutting down")
         self.scheduler.shutdown(wait=True)
+        if self._event_file_sink is not None:
+            self._event_file_sink.close()
+            self._event_file_sink = None
 
     def __enter__(self) -> "BenuService":
         return self

@@ -177,6 +177,9 @@ class QueryHandle:
         self.limit = limit
         self.status = QueryStatus.QUEUED
         self.error: Optional[BaseException] = None
+        #: Live progress tracker (set by the service before execution);
+        #: ``None`` for handles created outside a service run.
+        self.progress = None
         #: True when the stream was cut short by ``limit``.
         self.truncated = False
         self._result = None
@@ -319,7 +322,7 @@ class QueryHandle:
 
     def describe(self) -> dict:
         """A JSON-friendly snapshot (the protocol's view of the query)."""
-        return {
+        out = {
             "query": self.query_id,
             "pattern": self.pattern_name,
             "graph": self.graph_name,
@@ -330,3 +333,6 @@ class QueryHandle:
             "limit": self.limit,
             "error": str(self.error) if self.error else None,
         }
+        if self.progress is not None:
+            out["progress"] = self.progress.describe()
+        return out

@@ -29,7 +29,19 @@ Enable it per run::
     result.telemetry.summary()                    # headline metrics
 """
 
+from .events import (
+    EVENT_TYPES,
+    NULL_EVENTS,
+    BoundEventLog,
+    Event,
+    EventLog,
+    FileEventSink,
+    NullEventLog,
+    parse_event,
+)
 from .profiler import INSTRUCTION_SECONDS_METRIC, SamplingProfiler
+from .progress import NULL_PROGRESS, NullProgress, QueryProgress
+from .prometheus import render_prometheus
 from .registry import (
     Counter,
     Gauge,
@@ -49,20 +61,32 @@ from .tracing import (
 )
 
 __all__ = [
+    "BoundEventLog",
     "Counter",
+    "EVENT_TYPES",
+    "Event",
+    "EventLog",
+    "FileEventSink",
     "Gauge",
     "Histogram",
     "HistogramValue",
     "INSTRUCTION_SECONDS_METRIC",
     "MetricError",
     "MetricsRegistry",
+    "NULL_EVENTS",
+    "NULL_PROGRESS",
     "NULL_TRACER",
+    "NullEventLog",
+    "NullProgress",
     "NullTracer",
+    "QueryProgress",
     "SamplingProfiler",
     "Span",
     "Telemetry",
     "TelemetryConfig",
     "TelemetrySnapshot",
     "Tracer",
+    "parse_event",
+    "render_prometheus",
     "validate_chrome_trace",
 ]

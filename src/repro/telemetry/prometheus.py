@@ -1,0 +1,123 @@
+"""Prometheus text-format exposition of a :class:`MetricsRegistry`.
+
+``benu serve`` answers a ``metrics`` protocol verb (and ``benu stats
+--format prometheus`` renders locally) with the standard text format, so
+a scraper pointed at the service sees the same counters Figs. 7-10 are
+built from: DB query volume, cache hits, instruction counts, per-query
+latency histograms.
+
+Faithful to the exposition format where it matters:
+
+* ``# HELP`` / ``# TYPE`` headers per metric family;
+* label values escaped (backslash, double-quote, newline);
+* histograms rendered **cumulatively** with a ``+Inf`` bucket plus
+  ``_sum``/``_count`` series — the registry stores non-cumulative
+  bucket counts, the renderer does the partial-summing;
+* metric and label names sanitized to the allowed charset.
+
+The renderer depends only on :mod:`repro.telemetry.registry` — it is a
+pure function over the registry's public surface.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List
+
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = ["render_prometheus", "escape_label_value"]
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_FIX = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(name: str) -> str:
+    """Sanitize a registry name into the Prometheus charset."""
+    if _NAME_OK.match(name):
+        return name
+    fixed = _NAME_FIX.sub("_", name)
+    if not fixed or not re.match(r"[a-zA-Z_:]", fixed[0]):
+        fixed = "_" + fixed
+    return fixed
+
+
+def escape_label_value(value: str) -> str:
+    r"""Escape a label value per the exposition format.
+
+    >>> escape_label_value('a"b\\c\nd')
+    'a\\"b\\\\c\\nd'
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_metric_name(k)}="{escape_label_value(str(v))}"'
+        for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _number(value: float) -> str:
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if math.isnan(value):
+            return "NaN"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render every metric in ``registry`` as exposition text.
+
+    >>> from repro.telemetry.registry import MetricsRegistry
+    >>> reg = MetricsRegistry()
+    >>> reg.counter("jobs_total", help="jobs run").inc(3)
+    >>> print(render_prometheus(reg), end="")
+    # HELP jobs_total jobs run
+    # TYPE jobs_total counter
+    jobs_total 3
+    """
+    lines: List[str] = []
+    for metric in registry.metrics():
+        name = _metric_name(metric.name)
+        help_text = metric.help.replace("\\", "\\\\").replace("\n", "\\n")
+        lines.append(f"# HELP {name} {help_text}".rstrip())
+        if isinstance(metric, Counter):
+            lines.append(f"# TYPE {name} counter")
+            for labels, value in metric.samples():
+                lines.append(f"{name}{_labels(labels)} {_number(value)}")
+        elif isinstance(metric, Gauge):
+            lines.append(f"# TYPE {name} gauge")
+            for labels, value in metric.samples():
+                lines.append(f"{name}{_labels(labels)} {_number(value)}")
+        elif isinstance(metric, Histogram):
+            lines.append(f"# TYPE {name} histogram")
+            bounds = list(metric.buckets)
+            for labels, hv in metric.samples():
+                cumulative = 0
+                for bound, count in zip(bounds, hv.bucket_counts):
+                    cumulative += count
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = _number(float(bound))
+                    lines.append(
+                        f"{name}_bucket{_labels(bucket_labels)} {cumulative}"
+                    )
+                inf_labels = dict(labels)
+                inf_labels["le"] = "+Inf"
+                lines.append(f"{name}_bucket{_labels(inf_labels)} {hv.count}")
+                lines.append(f"{name}_sum{_labels(labels)} {_number(hv.sum)}")
+                lines.append(f"{name}_count{_labels(labels)} {hv.count}")
+        else:  # pragma: no cover - registry only makes the three kinds
+            lines.append(f"# TYPE {name} untyped")
+            for labels, value in metric.samples():
+                lines.append(f"{name}{_labels(labels)} {_number(value)}")
+    return "\n".join(lines) + ("\n" if lines else "")

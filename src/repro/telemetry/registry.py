@@ -73,8 +73,13 @@ class _Metric:
         return dict(zip(self.label_names, key))
 
     def samples(self) -> Iterator[Tuple[Dict[str, str], object]]:
-        """Yield ``(labels, value)`` pairs, insertion-ordered."""
-        for key, value in self._values.items():
+        """Yield ``(labels, value)`` pairs, insertion-ordered.
+
+        Iterates an atomic snapshot of the label sets, so a live
+        ``stats``/``metrics`` reader never races a writer thread adding
+        a new label set mid-iteration.
+        """
+        for key, value in list(self._values.items()):
             yield self.labels_of(key), self._sample_value(value)
 
     def _sample_value(self, raw: object) -> object:
@@ -302,8 +307,15 @@ class MetricsRegistry:
         return metric.total()
 
     def as_dict(self) -> dict:
-        """A JSON-able snapshot of every metric (the export format)."""
-        return {name: metric.as_dict() for name, metric in self._metrics.items()}
+        """A JSON-able snapshot of every metric (the export format).
+
+        Snapshots the metric table first: a resident service exports
+        while queries are still registering metrics.
+        """
+        return {
+            name: metric.as_dict()
+            for name, metric in list(self._metrics.items())
+        }
 
     def __len__(self) -> int:
         return len(self._metrics)

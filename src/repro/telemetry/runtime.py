@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from .events import NULL_EVENTS, EventLog, NullEventLog
 from .profiler import INSTRUCTION_SECONDS_METRIC, SamplingProfiler
 from .registry import MetricsRegistry
 from .snapshot import TelemetrySnapshot
@@ -62,7 +63,11 @@ class Telemetry:
     (True, True)
     """
 
-    def __init__(self, config: Optional[TelemetryConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[TelemetryConfig] = None,
+        events: "EventLog | NullEventLog" = NULL_EVENTS,
+    ) -> None:
         self.config = config
         self.enabled = config is not None
         if self.enabled and config.trace:
@@ -71,6 +76,9 @@ class Telemetry:
             )
         else:
             self.tracer = NULL_TRACER
+        #: Lifecycle event log — the service passes its (query-bound)
+        #: log; one-shot runs keep the shared no-op.
+        self.events = events
 
     # ------------------------------------------------------------------
     @classmethod

@@ -63,6 +63,10 @@ __all__ = [
     "G_CATALOG_BYTES",
     "M_CATALOG_EVICTIONS",
     "H_QUERY_WALL_SECONDS",
+    "H_QUERY_QERROR",
+    "QERROR_BUCKETS",
+    "G_PLAN_PREDICTED",
+    "G_PLAN_QERROR",
 ]
 
 # Canonical metric names (``benu_`` prefix, Prometheus-style suffixes).
@@ -95,6 +99,17 @@ G_SERVICE_QUEUED = "benu_service_queued_queries"
 G_CATALOG_BYTES = "benu_service_catalog_bytes"
 M_CATALOG_EVICTIONS = "benu_service_catalog_evictions_total"
 H_QUERY_WALL_SECONDS = "benu_service_query_wall_seconds"
+
+H_QUERY_QERROR = "benu_service_query_q_error"
+
+#: Bucket bounds for q-error histograms (a ratio >= 1).
+QERROR_BUCKETS = (1.0, 1.5, 2.0, 5.0, 10.0, 100.0, 1000.0)
+
+# Predicted-vs-actual plan accounting (the §IV-C/§V estimator confronted
+# with the exact executed counts; the measurement half of adaptive
+# re-planning).
+G_PLAN_PREDICTED = "benu_plan_predicted_executions"
+G_PLAN_QERROR = "benu_plan_q_error"
 
 
 @dataclass
@@ -172,6 +187,28 @@ class TelemetrySnapshot:
                 out[kernel] = out.get(kernel, 0) + int(value)
         return {k: v for k, v in out.items() if v}
 
+    def _gauge_by_instr(self, name: str) -> Dict[str, float]:
+        metric = self.registry.get(name)
+        out: Dict[str, float] = {}
+        if metric is not None and metric.kind == "gauge":
+            for labels, value in metric.samples():
+                out[labels.get("instr", "?")] = float(value)
+        return out
+
+    @property
+    def predicted_counts(self) -> Dict[str, float]:
+        """Cost-model execution estimates per instruction type.
+
+        Empty when the run's plan carried no predictions (plans built
+        outside :func:`repro.engine.benu.build_plan`).
+        """
+        return self._gauge_by_instr(G_PLAN_PREDICTED)
+
+    @property
+    def q_errors(self) -> Dict[str, float]:
+        """Per-instruction-type q-error: max(pred/actual, actual/pred)."""
+        return self._gauge_by_instr(G_PLAN_QERROR)
+
     def instruction_wall_samples(self) -> Dict[str, HistogramValue]:
         """Sampled wall-time distributions per instruction type.
 
@@ -214,6 +251,8 @@ class TelemetrySnapshot:
             "cache_evictions": self.cache_evictions,
             "cache_hit_rate": self.cache_hit_rate,
             "instruction_counts": self.instruction_counts,
+            "predicted_counts": self.predicted_counts,
+            "q_errors": self.q_errors,
             "tasks": self.tasks,
             "makespan_seconds": self.makespan_seconds,
             "wall_seconds": self.wall_seconds,

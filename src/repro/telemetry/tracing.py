@@ -35,6 +35,8 @@ __all__ = [
     "NullTracer",
     "NULL_TRACER",
     "validate_chrome_trace",
+    "span_to_wire",
+    "span_from_wire",
 ]
 
 #: Chrome trace pids for the two clock domains.
@@ -94,6 +96,42 @@ class Span:
         return d
 
 
+def span_to_wire(span: Span) -> dict:
+    """Flatten a span (sub)tree into a picklable wire dict.
+
+    Wire instants stay in the *sender's* clock; the receiving tracer
+    rebases them onto its own origin in :meth:`Tracer.add_remote_spans`.
+    On Linux ``perf_counter`` is CLOCK_MONOTONIC, which fork children
+    share with the parent, so rebasing is a plain origin subtraction.
+    """
+    d: Dict[str, object] = {"name": span.name, "t0": span.t0, "t1": span.t1}
+    if span.category:
+        d["category"] = span.category
+    if span.sim_seconds is not None:
+        d["sim_seconds"] = span.sim_seconds
+    if span.args:
+        d["args"] = dict(span.args)
+    if span.children:
+        d["children"] = [span_to_wire(c) for c in span.children]
+    return d
+
+
+def span_from_wire(wire: dict, offset: float = 0.0) -> Span:
+    """Rebuild a span tree from :func:`span_to_wire`, shifting instants."""
+    t1 = wire.get("t1")
+    return Span(
+        name=wire["name"],
+        t0=wire["t0"] + offset,
+        t1=None if t1 is None else t1 + offset,
+        category=wire.get("category", ""),
+        sim_seconds=wire.get("sim_seconds"),
+        args=dict(wire.get("args", {})),
+        children=[
+            span_from_wire(c, offset) for c in wire.get("children", ())
+        ],
+    )
+
+
 @dataclass
 class SimSlice:
     """One slice of simulated work on one simulated thread."""
@@ -119,6 +157,8 @@ class Tracer:
         self._origin = clock()
         self._stack: List[Span] = []
         self.roots: List[Span] = []
+        #: Stitched-in span trees from worker processes, keyed by pid.
+        self.remote: Dict[int, List[Span]] = {}
         self.sim_events: List[SimSlice] = []
         self.max_sim_events = max_sim_events
         #: Slices discarded once the timeline hit ``max_sim_events`` —
@@ -169,6 +209,10 @@ class Tracer:
     ) -> Iterator[Span]:
         """Context-managed span; mutate the yielded span's ``args`` freely.
 
+        Exception-safe: if the spanned work raises, this span *and every
+        descendant still open* are closed at the raise instant and
+        flagged ``error=True``, so exports never see unbalanced trees.
+
         >>> tracer = Tracer()
         >>> with tracer.span("outer") as outer:
         ...     with tracer.span("inner") as inner:
@@ -179,8 +223,30 @@ class Tracer:
         span = self.begin(name, category=category, track=track, args=args)
         try:
             yield span
-        finally:
+        except BaseException:
+            self._unwind(span)
+            raise
+        else:
             self.end(span)
+
+    def _unwind(self, span: Span) -> None:
+        """Close ``span`` and any still-open descendants, flagging errors.
+
+        Manual ``begin``/``end`` stays strict (out-of-order is a bug);
+        exception unwinding is the one sanctioned way a subtree closes
+        early.  Nested ``span()`` context managers each unwind their own
+        span, so inner handlers may already have closed part of the
+        subtree — a span no longer on the stack is simply skipped.
+        """
+        if not any(s is span for s in self._stack):
+            return
+        now = self._now()
+        while self._stack:
+            top = self._stack.pop()
+            top.t1 = now
+            top.args["error"] = True
+            if top is span:
+                break
 
     def add_span(
         self,
@@ -215,6 +281,21 @@ class Tracer:
             self.roots.append(span)
         return span
 
+    # -- cross-process stitching ----------------------------------------
+    def add_remote_spans(self, pid: int, wire_spans: List[dict]) -> List[Span]:
+        """Stitch spans shipped from worker process ``pid`` into the trace.
+
+        ``wire_spans`` are :func:`span_to_wire` dicts whose instants are
+        absolute ``perf_counter`` readings from the worker.  Fork
+        children share the parent's monotonic clock epoch, so rebasing
+        onto this tracer's timeline is a single origin subtraction —
+        the stitched spans land at their true wall positions relative
+        to the parent pipeline.
+        """
+        spans = [span_from_wire(w, offset=-self._origin) for w in wire_spans]
+        self.remote.setdefault(pid, []).extend(spans)
+        return spans
+
     # -- simulated timeline ---------------------------------------------
     def add_sim_slice(
         self,
@@ -238,6 +319,10 @@ class Tracer:
         return {
             "clock": "seconds",
             "spans": [s.to_dict() for s in self.roots],
+            "workers": {
+                str(pid): [s.to_dict() for s in spans]
+                for pid, spans in self.remote.items()
+            },
             "sim_timeline": [
                 {
                     "track": e.track,
@@ -296,6 +381,39 @@ class Tracer:
         events.append(_meta(WALL_PID, 1, "thread_name", name="pipeline"))
         for root in self.roots:
             emit(root, 1)
+
+        def emit_remote(span: Span, pid: int, tid: int) -> None:
+            args = dict(span.args)
+            args["wall_seconds"] = span.wall_seconds
+            if span.sim_seconds is not None:
+                args["sim_seconds"] = span.sim_seconds
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.category or "benu-worker",
+                    "ph": "X",
+                    "ts": max(span.t0, 0.0) * 1e6,
+                    "dur": span.wall_seconds * 1e6,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+            for child in span.children:
+                emit_remote(child, pid, tid)
+
+        for pid, spans in self.remote.items():
+            # Real worker pids become Chrome pids; dodge the two
+            # reserved synthetic pids in the (unlikely) collision case.
+            chrome_pid = pid if pid not in (WALL_PID, SIM_PID) else pid + 10_000
+            events.append(
+                _meta(
+                    chrome_pid, 0, "process_name", name=f"benu worker (pid {pid})"
+                )
+            )
+            events.append(_meta(chrome_pid, 1, "thread_name", name="worker"))
+            for span in spans:
+                emit_remote(span, chrome_pid, 1)
 
         sim_tids: Dict[str, int] = {}
         for e in self.sim_events:
@@ -371,6 +489,7 @@ class NullTracer:
 
     enabled = False
     roots: List[Span] = []
+    remote: Dict[int, List[Span]] = {}
     sim_events: List[SimSlice] = []
     dropped_sim_events = 0
 
@@ -386,6 +505,9 @@ class NullTracer:
 
     def add_span(self, name, wall_seconds, **kwargs) -> _NullSpan:
         return _NullSpan()
+
+    def add_remote_spans(self, pid, wire_spans) -> List[Span]:
+        return []
 
     def add_sim_slice(self, track, name, start_seconds, duration_seconds, args=None):
         pass

@@ -17,6 +17,8 @@ from repro.plan.cost import (
     estimate_matches,
     estimate_plan_cost,
     order_communication_cost,
+    predict_instruction_counts,
+    q_error,
 )
 from repro.plan.generation import generate_raw_plan
 from repro.plan.optimizer import optimize
@@ -140,3 +142,76 @@ class TestPlanCost:
         assert estimate_communication_cost(compressed, stats) <= (
             estimate_communication_cost(plan, stats)
         )
+
+
+class TestPredictedCounts:
+    """The prediction half of predicted-vs-actual plan accounting."""
+
+    def test_triangle_predictions_cover_every_instruction_type(self):
+        pg = PatternGraph(get_pattern("triangle"), "triangle")
+        plan = optimize(generate_raw_plan(pg, [1, 2, 3]))
+        predicted = predict_instruction_counts(plan, GraphStats(100, 500))
+        assert set(predicted) <= {"INT", "TRC", "DBQ", "ENU", "RES"}
+        assert predicted["RES"] > 0
+        assert all(v >= 0 for v in predicted.values())
+
+    def test_res_prediction_matches_cardinality_model(self):
+        """RES fires once per full-pattern match, so its prediction is the
+        ER cardinality estimate of the whole pattern (times automorphism
+        dedup already baked into estimate_matches)."""
+        pg = PatternGraph(get_pattern("triangle"), "triangle")
+        plan = optimize(generate_raw_plan(pg, [1, 2, 3]))
+        stats = GraphStats(100, 500)
+        predicted = predict_instruction_counts(plan, stats)
+        assert predicted["RES"] == pytest.approx(
+            estimate_matches(pg.graph, stats)
+        )
+
+    def test_exact_on_complete_graph(self):
+        """On K_n the ER model is exact up to automorphisms: the model
+        counts ordered embeddings, the engine's symmetry breaking reports
+        each unordered match once (|Aut(triangle)| = 6)."""
+        from repro.engine.benu import run_benu
+
+        g = complete_graph(6)
+        result = run_benu(get_pattern("triangle"), g)
+        predicted = result.plan.predicted_counts
+        assert predicted is not None
+        assert predicted["RES"] == pytest.approx(result.count * 6, rel=0.01)
+
+    def test_build_plan_attaches_predictions(self):
+        from repro.engine.benu import build_plan
+
+        plan = build_plan(get_pattern("chordal_square"), erdos_renyi(30, 0.3, seed=2))
+        assert plan.predicted_counts
+        assert set(plan.predicted_counts) <= {"INT", "TRC", "DBQ", "ENU", "RES"}
+
+
+class TestQError:
+    def test_symmetric_ratio(self):
+        assert q_error(10.0, 100.0) == pytest.approx(10.0)
+        assert q_error(100.0, 10.0) == pytest.approx(10.0)
+        assert q_error(50.0, 50.0) == 1.0
+
+    def test_clamped_below_one(self):
+        assert q_error(0.0, 0.0) == 1.0
+        assert q_error(0.5, 0.0) == 1.0
+        assert q_error(0.0, 7.0) == 7.0
+
+    def test_run_snapshot_carries_q_errors(self):
+        from repro.engine.benu import run_benu
+
+        result = run_benu(
+            get_pattern("chordal_square"), erdos_renyi(40, 0.2, seed=11)
+        )
+        snap = result.telemetry
+        assert set(snap.q_errors) == set(snap.predicted_counts)
+        assert snap.q_errors and all(v >= 1.0 for v in snap.q_errors.values())
+        for instr, actual in snap.instruction_counts.items():
+            if instr in snap.predicted_counts:
+                assert snap.q_errors[instr] == pytest.approx(
+                    q_error(snap.predicted_counts[instr], float(actual))
+                )
+        summary = snap.summary()
+        assert summary["q_errors"] == snap.q_errors
+        assert summary["predicted_counts"] == snap.predicted_counts

@@ -70,6 +70,27 @@ class TestCollectOps:
         assert "backends.ops_per_sec.csr" in ops
         assert ops["backends.ops_per_sec.csr"] > ops["backends.ops_per_sec.frozenset"]
 
+    def test_speedup_keys_are_guarded(self):
+        ops = guard_mod.collect_ops(
+            {
+                "plan_latency": {"exact_hit_speedup": 40.0, "cold_ms": 3.0},
+                "throughput": {"service_speedup": 1.5, "queries": 12},
+            }
+        )
+        assert ops == {
+            "plan_latency.exact_hit_speedup": 40.0,
+            "throughput.service_speedup": 1.5,
+        }
+
+    def test_real_service_record_exposes_warm_vs_cold_ratios(self):
+        record = json.loads((RESULTS_DIR / "BENCH_service.json").read_text())
+        ops = guard_mod.collect_ops(record)
+        assert "throughput.service_speedup" in ops
+        assert "plan_latency.exact_hit_speedup" in ops
+        assert "plan_latency.isomorphic_hit_speedup" in ops
+        # warm plan-cache hits must beat cold planning
+        assert ops["plan_latency.exact_hit_speedup"] > 1.0
+
 
 class TestDiffRecords:
     def test_within_tolerance_passes(self):
@@ -95,6 +116,30 @@ class TestDiffRecords:
             {"a": {"ops_per_sec": 100.0}}, {"b": {"ops_per_sec": 1.0}}
         )
         assert regs == []
+
+    def test_speedup_regression_fails_with_ratio_unit(self):
+        regs = guard_mod.diff_records(
+            {"t": {"service_speedup": 2.0}},
+            {"t": {"service_speedup": 1.0}},
+            threshold=0.20,
+            name="service",
+        )
+        assert [r.path for r in regs] == ["t.service_speedup"]
+        assert "x warm/cold" in str(regs[0])
+
+
+class TestFormatDiff:
+    def test_covers_every_shared_figure_and_flags_regressions(self):
+        lines = guard_mod.format_diff(
+            _record(csr=100.0, merge=80.0),
+            _record(csr=50.0, merge=80.0),
+            threshold=0.20,
+        )
+        text = "\n".join(lines)
+        assert "backends.ops_per_sec.csr" in text
+        assert "backends.ops_per_sec.merge" in text  # held figures shown too
+        assert text.count("<-- REGRESSED") == 1
+        assert "-50.0%" in text
 
 
 class TestGuardCli:

@@ -20,6 +20,7 @@ from repro.engine.config import BenuConfig
 from repro.engine.control import ExecutionControl, QueryCancelled
 from repro.graph.generators import chung_lu
 from repro.graph.order import relabel_by_degree_order
+from repro.graph.patterns import get_pattern
 from repro.service import BenuService
 from repro.service.scheduler import WorkerSlotPool
 from repro.service.streaming import QueryStatus
@@ -216,6 +217,51 @@ class TestServiceParity:
             assert execution["default_backend"] == "process"
             assert execution["max_worker_processes"] == 5
             assert execution["worker_processes_in_use"] == 0
+
+    def test_worker_span_trees_are_stitched_into_the_trace(self, workload):
+        """Tracing a pooled run ships each worker's span tree home over
+        the result channel; the parent stitches them under real-pid
+        process tracks in the Chrome export."""
+        import os
+
+        from repro.engine.benu import run_benu
+        from repro.telemetry import TelemetryConfig, validate_chrome_trace
+
+        result = run_benu(
+            get_pattern("triangle"),
+            workload,
+            _process_config(telemetry=TelemetryConfig(trace=True)),
+        )
+        tracer = result.telemetry.tracer
+        # Both pool workers reported spans, keyed by their real pid.
+        assert len(tracer.remote) == 2
+        assert os.getpid() not in tracer.remote
+        for pid, spans in tracer.remote.items():
+            names = [s.name for s in spans]
+            assert "worker-init" in names
+            assert any(n.startswith("task[") for n in names)
+            # Rebased onto the parent's origin: spans closed, non-negative.
+            assert all(
+                s.t1 is not None and s.t1 >= s.t0 for s in spans
+            )
+        trace = result.telemetry.chrome_trace()
+        assert validate_chrome_trace(trace) == []
+        meta_names = {
+            e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        worker_tracks = {n for n in meta_names if n.startswith("benu worker (pid ")}
+        assert len(worker_tracks) == 2
+        # The nested JSON export carries the same worker trees.
+        exported = tracer.to_dict()
+        assert set(exported["workers"]) == {str(pid) for pid in tracer.remote}
+
+    def test_untraced_run_ships_no_spans(self, workload):
+        from repro.engine.benu import run_benu
+
+        result = run_benu(get_pattern("triangle"), workload, _process_config())
+        assert result.telemetry.tracer is None
 
     def test_telemetry_metric_names_match_simulated(self, workload):
         snaps = {}

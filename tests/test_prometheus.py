@@ -1,0 +1,165 @@
+"""Tests for the Prometheus text-format exposition.
+
+Pins format validity with a miniature parser: every non-comment line
+must be ``name{labels} value``, histogram bucket series must be
+cumulative and end in a ``+Inf`` bucket equal to ``_count``, and label
+values must round-trip through the escaping rules.  Then points the
+renderer at a real run's registry and the real service ``metrics`` verb.
+"""
+
+import re
+
+import pytest
+
+from repro.engine.benu import run_benu
+from repro.engine.config import BenuConfig
+from repro.graph.generators import erdos_renyi
+from repro.graph.patterns import get_pattern
+from repro.telemetry.prometheus import escape_label_value, render_prometheus
+from repro.telemetry.registry import MetricsRegistry
+
+#: ``name{labels} value`` — the exposition sample-line grammar (labels
+#: optional, values are Go-style floats incl. +Inf/-Inf/NaN).
+SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\\n]|\\\\|\\\"|\\n)*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\\n]|\\\\|\\\"|\\n)*\")*\})?"
+    r" (\+Inf|-Inf|NaN|-?[0-9.e+-]+)$"
+)
+
+
+def assert_valid_exposition(text):
+    """Every line is a comment or a well-formed sample; families typed."""
+    assert text.endswith("\n")
+    typed = set()
+    for line in text.splitlines():
+        if line.startswith("# TYPE "):
+            name, kind = line.split()[2:4]
+            assert kind in ("counter", "gauge", "histogram", "untyped")
+            assert name not in typed, f"duplicate TYPE for {name}"
+            typed.add(name)
+        elif line.startswith("# HELP "):
+            pass
+        else:
+            assert SAMPLE_LINE.match(line), f"malformed sample line: {line!r}"
+    return typed
+
+
+class TestRendering:
+    def test_counter_and_gauge(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs_total", help="jobs run", labels=("kind",)).inc(
+            3, kind="fast"
+        )
+        reg.gauge("temperature", help="degrees").set(-1.5)
+        text = render_prometheus(reg)
+        assert_valid_exposition(text)
+        assert '# HELP jobs_total jobs run\n' in text
+        assert 'jobs_total{kind="fast"} 3\n' in text
+        assert "temperature -1.5\n" in text
+
+    def test_integral_floats_render_as_ints(self):
+        reg = MetricsRegistry()
+        reg.gauge("n").set(4.0)
+        assert "\nn 4\n" in render_prometheus(reg)
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("c", labels=("path",)).inc(1, path='a"b\\c\nd')
+        text = render_prometheus(reg)
+        assert_valid_exposition(text)
+        assert 'c{path="a\\"b\\\\c\\nd"} 1' in text
+
+    def test_escape_label_value_rules(self):
+        assert escape_label_value('plain') == 'plain'
+        assert escape_label_value('\\') == '\\\\'
+        assert escape_label_value('"') == '\\"'
+        assert escape_label_value('\n') == '\\n'
+
+    def test_metric_name_sanitized(self):
+        reg = MetricsRegistry()
+        reg.counter("bad-name.with dots").inc()
+        text = render_prometheus(reg)
+        assert_valid_exposition(text)
+        assert "bad_name_with_dots 1" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+
+class TestHistograms:
+    def test_buckets_are_cumulative_with_inf_sum_count(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", help="latency", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.7, 5.0, 50.0):
+            h.observe(v)
+        text = render_prometheus(reg)
+        assert_valid_exposition(text)
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="1"} 3' in text
+        assert 'lat_bucket{le="10"} 4' in text
+        assert 'lat_bucket{le="+Inf"} 5' in text
+        assert "lat_count 5" in text
+        assert "lat_sum 56.25" in text
+
+    def test_labeled_histogram_keeps_le_per_series(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("t", labels=("instr",), buckets=(1.0,))
+        h.observe(0.5, instr="INT")
+        h.observe(2.0, instr="ENU")
+        text = render_prometheus(reg)
+        assert_valid_exposition(text)
+        assert 't_bucket{instr="INT",le="1"} 1' in text
+        assert 't_bucket{instr="INT",le="+Inf"} 1' in text
+        assert 't_bucket{instr="ENU",le="1"} 0' in text
+        assert 't_bucket{instr="ENU",le="+Inf"} 1' in text
+
+    def test_bucket_monotonicity_invariant(self):
+        """Parsed cumulative bucket counts never decrease as le grows."""
+        reg = MetricsRegistry()
+        h = reg.histogram("d", buckets=(1, 2, 4, 8))
+        for v in (0.5, 1.5, 3, 9, 100):
+            h.observe(v)
+        counts = []
+        for line in render_prometheus(reg).splitlines():
+            m = re.match(r'd_bucket\{le="[^"]+"\} (\d+)', line)
+            if m:
+                counts.append(int(m.group(1)))
+        assert counts == sorted(counts)
+        assert counts[-1] == 5  # +Inf == count
+
+
+class TestRealRegistries:
+    def test_full_run_registry_is_valid(self):
+        result = run_benu(
+            get_pattern("chordal_square"),
+            erdos_renyi(40, 0.2, seed=11),
+            BenuConfig(num_workers=2),
+        )
+        text = render_prometheus(result.telemetry.registry)
+        typed = assert_valid_exposition(text)
+        assert {
+            "benu_db_queries_total",
+            "benu_instructions_total",
+            "benu_task_sim_seconds",
+            "benu_plan_q_error",
+        } <= typed
+        assert re.search(r'benu_instructions_total\{instr="RES",worker="\d+"\}', text)
+
+    def test_service_registry_is_valid(self):
+        from repro.graph.graph import complete_graph
+        from repro.service import BenuService
+
+        with BenuService() as service:
+            service.register_graph("k6", complete_graph(6))
+            handle = service.submit("triangle", "k6", stream=False)
+            handle.wait(timeout=30)
+            text = render_prometheus(service.registry)
+        typed = assert_valid_exposition(text)
+        assert {
+            "benu_events_total",
+            "benu_service_queries_total",
+            "benu_service_query_q_error",
+            "benu_service_query_wall_seconds",
+        } <= typed
+        assert 'benu_events_total{type="query_submitted"} 1' in text

@@ -170,6 +170,81 @@ class TestTracer:
         assert NULL_TRACER.roots == []
         assert NULL_TRACER.to_dict() is None
 
+    def test_exception_unwinds_and_flags_span(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("job"):
+                with tracer.span("step", args={"k": 1}):
+                    raise ValueError("boom")
+        # Both spans are closed (no dangling stack) and flagged.
+        (root,) = tracer.roots
+        step = root.find("step")
+        assert step.t1 is not None and root.t1 is not None
+        assert step.args["error"] is True
+        assert root.args["error"] is True
+        assert step.args["k"] == 1  # pre-raise args survive
+        # The tracer is reusable after the unwind.
+        with tracer.span("after"):
+            pass
+        assert validate_chrome_trace(tracer.to_chrome()) == []
+
+    def test_exception_unwind_is_scoped_to_each_span(self):
+        """A span that observed the raise but exited cleanly isn't closed
+        twice, and siblings after recovery carry no error flag."""
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with pytest.raises(RuntimeError):
+                with tracer.span("failing"):
+                    raise RuntimeError("handled")
+            with tracer.span("recovery"):
+                pass
+        (root,) = tracer.roots
+        assert root.find("failing").args["error"] is True
+        assert "error" not in root.find("recovery").args
+        assert "error" not in root.args
+
+    def test_raising_plan_function_leaves_trace_consistent(
+        self, data_graph, monkeypatch
+    ):
+        """Regression: a plan function that raises mid-run used to leave
+        the tracer's span stack dangling, so the *export* — not the
+        user's error — blew up.  Now every open span is closed at the
+        raise instant with ``error=True`` and the trace stays exportable."""
+        from repro.engine.benu import (
+            execute_plan,
+            prepare_data,
+            prepare_plan,
+        )
+        from repro.telemetry.runtime import Telemetry
+
+        def broken_compile(*args, **kwargs):
+            raise RuntimeError("synthetic codegen failure")
+
+        monkeypatch.setattr(
+            "repro.engine.backends.simulated.compile_plan", broken_compile
+        )
+        config = BenuConfig(
+            num_workers=2, relabel=False,
+            telemetry=TelemetryConfig(trace=True),
+        )
+        hub = Telemetry(config.telemetry)
+        prepared = prepare_data(data_graph, config)
+        plan = prepare_plan(get_pattern("triangle"), prepared, config)
+        with pytest.raises(RuntimeError, match="synthetic codegen"):
+            execute_plan(plan, prepared, config, telemetry=hub)
+        tracer = hub.tracer
+        # No dangling open spans: everything closed by the unwind ...
+        def all_spans(spans):
+            for s in spans:
+                yield s
+                yield from all_spans(s.children)
+        assert all(s.t1 is not None for s in all_spans(tracer.roots))
+        # ... the failing path is flagged, and the export still works.
+        assert any(
+            s.args.get("error") for s in all_spans(tracer.roots)
+        )
+        assert validate_chrome_trace(tracer.to_chrome()) == []
+
     def test_sim_slice_cap_reports_drops(self):
         tracer = Tracer(max_sim_events=2)
         for i in range(5):
