@@ -5,11 +5,18 @@
 ``BENCH_<name>.json`` to ``BENCH_<name>.prev.json`` before every
 overwrite, so each results directory carries the newest record and the
 one before it.  This guard walks every such pair, compares each numeric
-figure found under an ``"ops_per_sec"`` key *or* a ``*speedup`` key
-(the warm-vs-cold ratios of ``BENCH_service.json``: plan-cache hit
-speedups and resident-service throughput speedup), and fails when any
-figure fell by more than the threshold (default 20%).  A failing record
-prints the full per-metric diff, not just the regressed figures.
+figure found under an ``"ops_per_sec"`` key or any key containing
+``speedup`` — suffixed (``exact_hit_speedup``) *and* prefixed
+(``speedup_vs_inline``) forms both count — and fails when any figure
+fell by more than the threshold (default 20%).  A failing record prints
+the full per-metric diff, not just the regressed figures.
+
+Besides the relative diff, ``--min`` imposes *absolute* floors on
+guarded figures — e.g. "the process backend must never be slower than
+inline, full stop", independent of what the previous record says::
+
+    python scripts/perf_guard.py \
+        --min backends:speedup_vs_inline.process=1.0
 
 Usage::
 
@@ -18,9 +25,10 @@ Usage::
     python scripts/perf_guard.py --threshold 0.1    # stricter
 
 Exit status 0 means every guarded figure is within tolerance (records
-without a previous run are reported as SKIP); 1 means at least one
-regressed.  The comparison is deliberately one-sided: speedups never
-fail, only slowdowns, so noisy improvements don't ratchet the baseline.
+without a previous run are reported as SKIP — absolute floors still
+apply); 1 means at least one regressed.  The pair comparison is
+deliberately one-sided: speedups never fail, only slowdowns, so noisy
+improvements don't ratchet the baseline.
 """
 
 from __future__ import annotations
@@ -36,6 +44,8 @@ DEFAULT_THRESHOLD = 0.20
 GUARDED_KEY = "ops_per_sec"
 #: Keys ending in this also guard (warm-vs-cold and service speedups).
 GUARDED_SUFFIX = "speedup"
+#: ... as do keys starting with it (``speedup_vs_inline`` groups).
+GUARDED_PREFIX = "speedup"
 
 
 @dataclass(frozen=True)
@@ -52,8 +62,7 @@ class Regression:
         return 1.0 - self.current / self.previous
 
     def __str__(self) -> str:
-        leaf = self.path.rsplit(".", 1)[-1]
-        unit = "x warm/cold" if leaf.endswith(GUARDED_SUFFIX) else "ops/sec"
+        unit = "x speedup" if GUARDED_SUFFIX in self.path else "ops/sec"
         return (
             f"{self.record}: {self.path} fell {self.drop:.1%} "
             f"({self.previous:,.1f} -> {self.current:,.1f} {unit})"
@@ -69,15 +78,18 @@ def collect_ops(record: dict, prefix: str = "") -> dict:
 
     Guarded keys are ``ops_per_sec`` (scalar ``"ops_per_sec": 42.0`` and
     grouped ``"ops_per_sec": {"csr": ..., "frozenset": ...}`` both
-    count) and any key ending in ``speedup`` — the warm-vs-cold ratios
-    the service benchmark records (``exact_hit_speedup``,
-    ``service_speedup``, ...).  Non-numeric leaves are ignored.
+    count) and any key ending *or starting* with ``speedup`` — the
+    warm-vs-cold ratios the service benchmark records
+    (``exact_hit_speedup``, ``service_speedup``, ...) and the
+    cross-backend groups of the backend benchmark
+    (``speedup_vs_inline``).  Non-numeric leaves are ignored.
     """
     out = {}
     for key, value in record.items():
         path = f"{prefix}.{key}" if prefix else str(key)
         guarded = key == GUARDED_KEY or (
-            isinstance(key, str) and key.endswith(GUARDED_SUFFIX)
+            isinstance(key, str)
+            and (key.endswith(GUARDED_SUFFIX) or key.startswith(GUARDED_PREFIX))
         )
         if guarded:
             if _is_number(value):
@@ -139,11 +151,52 @@ def format_diff(
     return lines
 
 
+def parse_floors(specs) -> dict:
+    """``["backends:speedup_vs_inline.process=1.0", ...]`` parsed to
+    ``{record_name: {dotted.path: floor}}``."""
+    floors: dict = {}
+    for spec in specs or ():
+        try:
+            target, value = spec.rsplit("=", 1)
+            record_name, path = target.split(":", 1)
+            floors.setdefault(record_name, {})[path] = float(value)
+        except ValueError:
+            raise SystemExit(
+                f"perf-guard: bad --min spec {spec!r} "
+                "(expected NAME:dotted.path=VALUE)"
+            )
+    return floors
+
+
+def check_floors(current: dict, floors: dict, name: str, out=sys.stdout) -> list:
+    """Guarded figures of ``current`` below their absolute floor."""
+    ops = collect_ops(current)
+    failures = []
+    for path, floor in floors.items():
+        value = ops.get(path)
+        if value is None:
+            print(f"FAIL  {name}: --min path {path} not in record", file=out)
+            failures.append(path)
+        elif value < floor:
+            print(
+                f"FAIL  {name}: {path} = {value:,.2f} below floor {floor:,.2f}",
+                file=out,
+            )
+            failures.append(path)
+        else:
+            print(
+                f"OK    {name}: {path} = {value:,.2f} >= floor {floor:,.2f}",
+                file=out,
+            )
+    return failures
+
+
 def guard(
     results_dir: Path = DEFAULT_RESULTS_DIR,
     threshold: float = DEFAULT_THRESHOLD,
     name: str = None,
     out=sys.stdout,
+    floors: dict = None,
 ) -> int:
     """Guard every BENCH pair in ``results_dir``; return the exit code."""
     pattern = f"BENCH_{name}.json" if name else "BENCH_*.json"
@@ -154,14 +207,18 @@ def guard(
         print(f"perf-guard: no records matching {pattern} in {results_dir}", file=out)
         return 1 if name else 0
     failures = []
+    floors = floors or {}
     for path in records:
         label = path.stem[len("BENCH_"):]
+        current = json.loads(path.read_text(encoding="utf-8"))
+        # Absolute floors apply to the current record alone — even on a
+        # fresh results directory with no previous run to diff against.
+        failures.extend(check_floors(current, floors.get(label, {}), label, out))
         prev_path = path.with_name(f"BENCH_{label}.prev.json")
         if not prev_path.exists():
             print(f"SKIP  {label}: no previous record", file=out)
             continue
         previous = json.loads(prev_path.read_text(encoding="utf-8"))
-        current = json.loads(path.read_text(encoding="utf-8"))
         guarded = len(collect_ops(previous).keys() & collect_ops(current).keys())
         regressions = diff_records(previous, current, threshold, label)
         if regressions:
@@ -190,8 +247,16 @@ def main(argv=None) -> int:
         "--name", default=None,
         help="guard only BENCH_<name>.json instead of every record",
     )
+    parser.add_argument(
+        "--min", action="append", dest="floors", metavar="NAME:PATH=VALUE",
+        help="absolute floor on a guarded figure, e.g. "
+        "backends:speedup_vs_inline.process=1.0 (repeatable)",
+    )
     args = parser.parse_args(argv)
-    return guard(args.results_dir, args.threshold, args.name)
+    return guard(
+        args.results_dir, args.threshold, args.name,
+        floors=parse_floors(args.floors),
+    )
 
 
 if __name__ == "__main__":

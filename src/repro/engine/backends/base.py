@@ -77,6 +77,10 @@ class ExecutionRequest:
     #: Live progress tracker (the service polls it mid-run); the shared
     #: no-op by default, so backends report unconditionally.
     progress: object = NULL_PROGRESS
+    #: Measured mean task wall seconds from a previous run of this plan
+    #: (``BenuResult.mean_task_wall_seconds``); the process backend sizes
+    #: its queue chunks from it.  None = cold start.
+    task_cost_hint: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.telemetry is None:

@@ -19,11 +19,21 @@ Design notes
 * Tasks flow through a work queue (``imap_unordered`` with a small
   chunksize) instead of static round-robin chunks, so a worker that drew
   cheap tasks keeps pulling while another grinds through a hub vertex.
+  The chunk size is *measured*, not guessed: a cost hint from a previous
+  run of the same plan (via :mod:`repro.engine.granularity`) sizes each
+  pull to a wall-clock budget; cold runs use a fixed pulls-per-worker
+  fallback.  Chunks of plain unsplit tasks ship as flat ``array('q')``
+  start-vertex buffers instead of pickled dataclass lists.
 * Enumeration crosses the process boundary as bounded per-task batches:
   a worker collects the matches of one (sub)task — task splitting
   already bounds how many that is — and ships them home with the task's
   counters; the parent feeds them to the sink (a ``StreamBuffer``, a
-  file, a ``LimitSink``...) in arrival order.
+  file, a ``LimitSink``...) in arrival order.  For uncompressed
+  int-vertex plans the matches travel *packed*: one flat ``array('q')``
+  of fixed-width rows per task instead of a pickled list of tuples, so
+  serialization collapses to a single buffer copy (~70x faster than
+  per-tuple pickle opcodes) and the parent unpacks rows back into
+  tuples at the sink boundary.
 * Control is threaded across the boundary as a shared ``Event``: the
   parent polls its :class:`~repro.engine.control.ExecutionControl` while
   draining results and trips the event on cancel/deadline; workers check
@@ -43,15 +53,18 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import time as _time
-from typing import Callable, Dict, List, Optional, Tuple
+from array import array
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from ...graph.csr import ATTACH_STATS, CSRAdjacency, ShmAttachStats
+from ...kernels import vectorized as _vec
 from ...kernels.intersect import STATS as KERNEL_STATS, KernelStats
 from ...plan.codegen import COUNTER_FIELDS, TaskCounters, compile_plan
 from ...storage.cache import CacheStats
 from ...telemetry.events import EV_TASK_DISPATCHED, EV_TASK_FINISHED
 from ...telemetry.registry import MetricsRegistry
 from ..control import ExecutionInterrupted
+from ..granularity import fallback_chunksize, measured_chunksize
 from ..local_task import LocalSearchTask
 from ..results import BenuResult
 from .base import (
@@ -66,14 +79,18 @@ from .base import (
 )
 
 #: Result of one task: (counters, kernel Δ, pid, wall seconds, matches|None).
-#: When the parent traces, one trailing element is appended — a list of
-#: wire-format span dicts (see ``span_to_wire``) recorded in the worker —
-#: so the untraced record stays the exact 5-tuple it always was (zero
-#: extra IPC bytes when telemetry is off).
+#: In packed collect mode the matches slot is a flat ``array('q')`` of
+#: fixed-width rows rather than a list of tuples.  When the parent
+#: traces, one trailing element is appended — a list of wire-format span
+#: dicts (see ``span_to_wire``) recorded in the worker — so the untraced
+#: record stays the exact 5-tuple it always was (zero extra IPC bytes
+#: when telemetry is off).
 _TaskRecord = Tuple[Tuple[int, ...], Tuple[int, ...], int, float, Optional[list]]
 
-#: One queue pull: (index of the chunk's first task, its tasks).
-_TaskChunk = Tuple[int, List[LocalSearchTask]]
+#: One queue pull: (index of the chunk's first task, its tasks).  A chunk
+#: of plain unsplit tasks ships its start vertices as one ``array('q')``
+#: — ~6x fewer pickled bytes than a list of dataclass instances.
+_TaskChunk = Tuple[int, Union[List[LocalSearchTask], array]]
 
 # Globals populated inside each worker process by the pool initializer.
 _worker_state: dict = {}
@@ -81,7 +98,7 @@ _worker_state: dict = {}
 
 def _init_worker(
     plan, adjacency_backend: str, payload, mode: str, cancel_event,
-    trace: bool = False,
+    trace: bool = False, pack: bool = False, vector_crossover=None,
 ) -> None:
     """Build per-process state: compiled plan + adjacency access + control.
 
@@ -89,12 +106,19 @@ def _init_worker(
     (inherited via fork) or a :class:`CSRShmHandle` for the csr backend
     (workers attach to the parent's shared block, copying nothing).
 
+    ``pack`` turns on flat ``array('q')`` match buffers (collect mode,
+    uncompressed int-vertex plans only — the parent decides eligibility
+    once).  ``vector_crossover`` pins the parent's measured vectorized-
+    dispatch threshold so every worker's python-vs-numpy kernel mix is
+    identical to the parent's regardless of per-process timing noise.
+
     With ``trace`` on, the initializer times itself and parks the span
     (wire format, absolute ``perf_counter`` instants — fork children
     share the parent's monotonic epoch) for the first task record to
     carry home; the parent stitches it under a per-pid process track.
     """
     t0 = _time.perf_counter() if trace else 0.0
+    _vec.set_crossover(vector_crossover)
     _worker_state.clear()
     _worker_state["compiled"] = compile_plan(
         plan, mode=mode, instrument=True, backend=adjacency_backend
@@ -109,6 +133,7 @@ def _init_worker(
         _worker_state["get_adj"] = adjacency.__getitem__
         _worker_state["vset"] = frozenset(payload.vertices)
     _worker_state["collect"] = mode == "collect"
+    _worker_state["pack"] = pack
     _worker_state["cancel"] = cancel_event
     _worker_state["trace"] = trace
     if trace:
@@ -136,14 +161,25 @@ def _run_task(task: LocalSearchTask) -> Optional[_TaskRecord]:
     cancel = state["cancel"]
     if cancel is not None and cancel.is_set():
         return None
-    matches: Optional[list] = [] if state["collect"] else None
+    matches = None
+    emit_cb = None
+    if state["collect"]:
+        if state["pack"]:
+            # Flat fixed-width rows: emit(tuple) flattens straight into
+            # the int64 buffer; the whole task's matches pickle as one
+            # machine-format byte string instead of per-tuple opcodes.
+            matches = array("q")
+            emit_cb = matches.extend
+        else:
+            matches = []
+            emit_cb = matches.append
     kernel_before = KERNEL_STATS.as_tuple()
     t0 = _time.perf_counter()
     counters = state["compiled"].run(
         task.start,
         state["get_adj"],
         vset=state["vset"],
-        emit=matches.append if matches is not None else None,
+        emit=emit_cb,
         tcache={},
         candidate_override=task.candidate_slice,
     )
@@ -181,14 +217,29 @@ def _run_task(task: LocalSearchTask) -> Optional[_TaskRecord]:
 def _run_chunk(chunk: _TaskChunk) -> Tuple[int, List[Optional[_TaskRecord]]]:
     """One queue pull's worth of tasks, records kept per task.
 
-    Chunking is done here (not via ``imap_unordered``'s ``chunksize``,
-    which swaps the pool's timeout-pollable result iterator for a plain
-    generator) so the parent keeps its 0.1 s control-poll cadence while
-    IPC is still amortized over the chunk.  The chunk's base index rides
-    along so the parent can attribute finish events to task ids even
-    though chunks complete out of order.
+    Chunking contract: the parent builds explicit chunks and submits them
+    with ``imap_unordered(..., chunksize=1)`` — one *pool* task per
+    chunk.  Batching via the pool's own ``chunksize`` would swap the
+    timeout-pollable result iterator for a plain generator and stall the
+    parent's 0.1 s control-poll cadence; doing it here keeps that cadence
+    while IPC is still amortized over the chunk.  The chunk's base index
+    rides along so the parent can attribute finish events to task ids
+    even though chunks complete out of order, and because every task's
+    record is self-contained (its own kernel delta and counters), chunk
+    arrival order never affects the final accounting.
+
+    A chunk of plain unsplit tasks arrives as a flat ``array('q')`` of
+    start vertices and is rehydrated here; its adjacency rows are then
+    looked up once up front, so the per-chunk DBQ traffic against the
+    shared CSR block is one batched sweep rather than interleaved
+    point lookups (the memoized views make the in-task lookups free).
     """
     base, tasks = chunk
+    if isinstance(tasks, array):
+        tasks = [LocalSearchTask(start) for start in tasks]
+        get_adj = _worker_state["get_adj"]
+        for task in tasks:
+            get_adj(task.start)
     return base, [_run_task(task) for task in tasks]
 
 
@@ -209,12 +260,27 @@ class ProcessBackend(ExecutionBackend):
         #: mainly a test hook for the restart-robust delta accounting.
         self.maxtasksperchild = maxtasksperchild
 
-    def _chunksize(self, num_tasks: int, num_workers: int) -> int:
+    def _chunksize(
+        self,
+        num_tasks: int,
+        num_workers: int,
+        task_cost_hint: Optional[float] = None,
+        target_seconds: float = 0.02,
+    ) -> int:
+        """Tasks per queue pull: explicit > measured > cold fallback.
+
+        An explicit ``queue_chunksize`` always wins.  Otherwise a task
+        cost hint (the mean task wall seconds measured on a previous run
+        of this plan) sizes pulls to ``target_seconds`` of work each;
+        without one, a fixed pulls-per-worker fallback applies.
+        """
         if self.queue_chunksize is not None:
             return max(1, self.queue_chunksize)
-        # ~16 pulls per worker: adaptive enough for skewed task costs,
-        # coarse enough that pickling tasks is not the bottleneck.
-        return max(1, num_tasks // (num_workers * 16))
+        if task_cost_hint:
+            return measured_chunksize(
+                num_tasks, num_workers, task_cost_hint, target_seconds
+            )
+        return fallback_chunksize(num_tasks, num_workers)
 
     # ------------------------------------------------------------------
     def execute(self, request: ExecutionRequest) -> BenuResult:
@@ -245,6 +311,17 @@ class ProcessBackend(ExecutionBackend):
         else:
             emit = None
 
+        # Packed match shipping: eligible whenever matches are plain
+        # fixed-width int tuples — uncompressed plans (compressed ones
+        # emit frozensets) over int-vertex graphs.  Decided once here;
+        # workers just honor the flag.
+        pack = (
+            mode == "collect"
+            and not plan.compressed
+            and all(isinstance(v, int) for v in request.graph.vertices)
+        )
+        match_width = plan.pattern.n
+
         shm = None
         shm_bytes = 0
         if adjacency_backend == "csr":
@@ -262,12 +339,14 @@ class ProcessBackend(ExecutionBackend):
                     attaches = self._run_inline(
                         plan, adjacency_backend, payload, mode, tasks,
                         control, emit, records, trace, events, progress,
+                        pack, match_width,
                     )
                 else:
                     self._run_pool(
                         plan, adjacency_backend, payload, mode, tasks,
                         control, emit, records, num_workers, trace, events,
-                        progress,
+                        progress, pack, match_width,
+                        request.task_cost_hint, config.chunk_target_seconds,
                     )
                     # Each worker attaches exactly once, in its initializer.
                     if adjacency_backend == "csr":
@@ -295,11 +374,14 @@ class ProcessBackend(ExecutionBackend):
     # ------------------------------------------------------------------
     def _run_inline(
         self, plan, adjacency_backend, payload, mode, tasks, control, emit,
-        records, trace, events, progress,
+        records, trace, events, progress, pack, match_width,
     ) -> int:
         """Degenerate one-worker run in this very process (no fork)."""
         attach_base = ATTACH_STATS.attaches
-        _init_worker(plan, adjacency_backend, payload, mode, None, trace)
+        _init_worker(
+            plan, adjacency_backend, payload, mode, None, trace, pack,
+            _vec.CROSSOVER,
+        )
         for i, task in enumerate(tasks):
             if control is not None:
                 control.check()
@@ -307,20 +389,24 @@ class ProcessBackend(ExecutionBackend):
                 events.emit(EV_TASK_DISPATCHED, task_id=i)
             record = _run_task(task)
             records.append(record)
-            self._deliver(record, emit)
+            self._deliver(record, emit, match_width)
             self._account(record, i, events, progress)
         return ATTACH_STATS.attaches - attach_base
 
     def _run_pool(
         self, plan, adjacency_backend, payload, mode, tasks, control, emit,
-        records, num_workers, trace, events, progress,
+        records, num_workers, trace, events, progress, pack, match_width,
+        task_cost_hint=None, chunk_target_seconds=0.02,
     ) -> None:
         """Drive a worker pool, polling control while draining results."""
         ctx = mp.get_context("fork") if hasattr(os, "fork") else mp.get_context()
         cancel_event = ctx.Event()
-        size = self._chunksize(len(tasks), num_workers)
+        size = self._chunksize(
+            len(tasks), num_workers, task_cost_hint, chunk_target_seconds
+        )
         chunks = [
-            (i, tasks[i : i + size]) for i in range(0, len(tasks), size)
+            (i, self._pack_tasks(tasks[i : i + size]))
+            for i in range(0, len(tasks), size)
         ]
         if events.enabled:
             # The whole queue is handed to the pool up front; dispatch is
@@ -332,6 +418,7 @@ class ProcessBackend(ExecutionBackend):
             initializer=_init_worker,
             initargs=(
                 plan, adjacency_backend, payload, mode, cancel_event, trace,
+                pack, _vec.CROSSOVER,
             ),
             maxtasksperchild=self.maxtasksperchild,
         ) as pool:
@@ -350,7 +437,7 @@ class ProcessBackend(ExecutionBackend):
                     pending -= 1
                     for offset, record in enumerate(chunk_records):
                         records.append(record)
-                        self._deliver(record, emit)
+                        self._deliver(record, emit, match_width)
                         self._account(record, base + offset, events, progress)
                     if control is not None:
                         control.check()
@@ -362,11 +449,39 @@ class ProcessBackend(ExecutionBackend):
                 raise
 
     @staticmethod
-    def _deliver(record: Optional[_TaskRecord], emit: Optional[Callable]) -> None:
+    def _pack_tasks(tasks: List[LocalSearchTask]):
+        """A chunk's wire form: flat start-vertex buffer when possible.
+
+        Only plain unsplit integer-start tasks pack (splitting rewrites a
+        task into several carrying ``candidate_slice`` payloads, which
+        need the dataclass); mixed chunks ship as-is.
+        """
+        if all(
+            task.candidate_slice is None
+            and task.split_total == 1
+            and isinstance(task.start, int)
+            for task in tasks
+        ):
+            return array("q", [task.start for task in tasks])
+        return tasks
+
+    @staticmethod
+    def _deliver(
+        record: Optional[_TaskRecord],
+        emit: Optional[Callable],
+        width: int = 0,
+    ) -> None:
         if record is None or emit is None:
             return
         matches = record[4]
-        if matches:
+        if not matches:
+            return
+        if isinstance(matches, array):
+            # Packed rows: unpack the flat buffer back into tuples at
+            # the sink boundary, width ints per match.
+            for i in range(0, len(matches), width):
+                emit(tuple(matches[i : i + width]))
+        else:
             for match in matches:
                 emit(match)
 
@@ -459,6 +574,12 @@ class ProcessBackend(ExecutionBackend):
         wall = _time.perf_counter() - wall0
         record_run_gauges(registry, makespan, wall, num_workers, totals["cache"])
 
+        # Measured mean per-task wall cost — the granularity feedback
+        # signal a warm re-run (or the service's cost profile) uses to
+        # right-size queue pulls.
+        walls = [r[3] for r in records if r is not None]
+        mean_task_wall = sum(walls) / len(walls) if walls else 0.0
+
         return BenuResult(
             plan=request.plan,
             count=totals["counters"].results,
@@ -473,6 +594,7 @@ class ProcessBackend(ExecutionBackend):
             per_worker_busy_seconds=[l.busy_seconds for l in ordered],
             per_task_sim_seconds=totals["per_task"],
             wall_seconds=wall,
+            mean_task_wall_seconds=mean_task_wall,
             execution_backend=self.name,
             adjacency_backend=config.adjacency_backend,
             shm_attaches=attaches if config.adjacency_backend == "csr" else 0,

@@ -173,6 +173,7 @@ def execute_plan(
     worker_caches=None,
     execution_backend: Optional[str] = None,
     progress=None,
+    task_cost_hint: Optional[float] = None,
 ) -> BenuResult:
     """Run ``plan`` over prepared data and translate results back.
 
@@ -188,7 +189,10 @@ def execute_plan(
     instead of collecting them; ``control`` is checked at every task
     boundary, on whichever side of the process boundary the tasks run;
     ``progress`` (a :class:`repro.telemetry.QueryProgress`) is updated at
-    the same granularity, so a concurrent poller sees live completion.
+    the same granularity, so a concurrent poller sees live completion;
+    ``task_cost_hint`` (a previous run's ``mean_task_wall_seconds``) lets
+    the process backend right-size its queue chunks instead of using the
+    cold-start heuristic.
     """
     config = config or BenuConfig()
     backend_name = (
@@ -215,6 +219,7 @@ def execute_plan(
             tasks=tasks,
             sink=sink,
             control=control,
+            task_cost_hint=task_cost_hint,
         )
         if progress is not None:
             request.progress = progress

@@ -82,6 +82,9 @@ class BenuConfig:
     compressed: bool = False
     #: Collect matches/codes (True) or only count them (False).
     collect: bool = False
+    #: Process backend: target wall seconds of work per queue pull when a
+    #: measured task cost is available (see ``repro.engine.granularity``).
+    chunk_target_seconds: float = 0.02
     #: Relabel the data graph by the (degree, id) total order first.
     #: Disable when the graph is already relabeled (the bundled datasets are).
     relabel: bool = True
@@ -103,6 +106,8 @@ class BenuConfig:
             raise ValueError("need at least one thread per worker")
         if self.split_threshold is not None and self.split_threshold < 1:
             raise ValueError("split threshold must be positive")
+        if self.chunk_target_seconds <= 0:
+            raise ValueError("chunk target seconds must be positive")
         if not 0 <= self.optimization_level <= 3:
             raise ValueError("optimization level must be 0..3")
         if self.adjacency_backend not in ADJACENCY_BACKENDS:

@@ -1,0 +1,146 @@
+"""Measured task granularity for the process backend.
+
+How many tasks a worker should receive per queue pull is a trade
+between two failure modes: pulls too small and the run is dominated by
+IPC (pickling the chunk, waking the parent, the result envelope); pulls
+too large and a worker that drew a hub vertex serializes the tail of
+the run while its peers idle.  The old heuristic — a fixed number of
+pulls per worker — knows nothing about how expensive a task actually
+is, so the same pattern could be IPC-bound on a cheap workload and
+imbalanced on a heavy one.
+
+This module sizes chunks from *measured* per-task cost instead:
+
+* :func:`measured_chunksize` targets a wall-clock budget per pull
+  (``target_seconds``) given the mean task cost observed on a previous
+  run, clamped so every worker still gets at least
+  ``MIN_PULLS_PER_WORKER`` pulls for load balancing;
+* :func:`fallback_chunksize` is the cold-start policy when no
+  measurement exists yet;
+* :class:`TaskCostProfile` is the EWMA ledger the service's graph
+  catalog keeps per (pattern, plan order, split threshold, mode), so a
+  resident service re-chunks every warm run from what the last run
+  actually cost.
+
+The mean task wall cost itself comes for free: the process backend's
+per-task records already carry each task's wall seconds for telemetry,
+and the result surfaces their mean as ``mean_task_wall_seconds``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "MIN_PULLS_PER_WORKER",
+    "TaskCostProfile",
+    "fallback_chunksize",
+    "measured_chunksize",
+    "task_cost_key",
+]
+
+#: Keep at least this many pulls per worker so the queue stays adaptive
+#: under skewed task costs (Fig. 9's heavy-tail motivates the floor).
+MIN_PULLS_PER_WORKER = 4
+
+#: Cold-start pulls per worker when no task-cost measurement exists.
+FALLBACK_PULLS_PER_WORKER = 8
+
+
+def fallback_chunksize(num_tasks: int, num_workers: int) -> int:
+    """Cold-start chunk size: a fixed pull budget per worker.
+
+    >>> fallback_chunksize(2400, 2)
+    150
+    """
+    return max(1, num_tasks // (num_workers * FALLBACK_PULLS_PER_WORKER))
+
+
+def measured_chunksize(
+    num_tasks: int,
+    num_workers: int,
+    task_cost_seconds: Optional[float],
+    target_seconds: float = 0.02,
+    min_pulls_per_worker: int = MIN_PULLS_PER_WORKER,
+) -> int:
+    """Tasks per queue pull so one pull costs ~``target_seconds`` of work.
+
+    ``task_cost_seconds`` is the measured mean wall cost of one task
+    (from a previous run's records); None or non-positive falls back to
+    :func:`fallback_chunksize`.  The result is clamped to keep at least
+    ``min_pulls_per_worker`` pulls per worker — balance still beats IPC
+    amortization once chunks are big enough.
+
+    >>> measured_chunksize(2400, 2, 0.00003)  # 30µs tasks -> ~666/pull
+    300
+    >>> measured_chunksize(2400, 2, 0.01)  # heavy tasks -> fine-grained
+    2
+    """
+    if not task_cost_seconds or task_cost_seconds <= 0:
+        return fallback_chunksize(num_tasks, num_workers)
+    size = max(1, int(target_seconds / task_cost_seconds))
+    balance_cap = max(1, num_tasks // (num_workers * min_pulls_per_worker))
+    return max(1, min(size, balance_cap))
+
+
+#: Profile key: (pattern name, matching order, split threshold, mode).
+CostKey = Tuple[str, Tuple[str, ...], Optional[int], str]
+
+
+def task_cost_key(plan, split_threshold: Optional[int], mode: str) -> CostKey:
+    """The profile key for one plan execution's task-cost measurement.
+
+    Task cost depends on the plan (pattern + matching order), how finely
+    tasks were split, and whether matches are collected or only counted
+    — not on worker count, so a measurement at one parallelism level
+    re-chunks runs at any other.
+    """
+    return (
+        plan.pattern.name,
+        tuple(str(v) for v in plan.order),
+        split_threshold,
+        mode,
+    )
+
+
+class TaskCostProfile:
+    """Thread-safe EWMA of mean task cost per :data:`CostKey`.
+
+    >>> profile = TaskCostProfile(alpha=0.5)
+    >>> key = ("triangle", ("1", "2", "3"), 64, "count")
+    >>> profile.record(key, 0.004)
+    >>> profile.record(key, 0.002)
+    >>> profile.hint(key)
+    0.003
+    """
+
+    def __init__(self, alpha: float = 0.5) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self._costs: Dict[CostKey, float] = {}
+        self._lock = threading.Lock()
+
+    def record(self, key: CostKey, mean_task_seconds: float) -> None:
+        """Fold one run's measured mean task cost into the profile."""
+        if mean_task_seconds <= 0:
+            return
+        with self._lock:
+            previous = self._costs.get(key)
+            if previous is None:
+                self._costs[key] = mean_task_seconds
+            else:
+                self._costs[key] = (
+                    self.alpha * mean_task_seconds
+                    + (1.0 - self.alpha) * previous
+                )
+
+    def hint(self, key: CostKey) -> Optional[float]:
+        """The smoothed mean task cost, or None before any measurement."""
+        with self._lock:
+            return self._costs.get(key)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._costs)

@@ -36,6 +36,10 @@ class BenuResult:
     per_worker_busy_seconds: List[float] = field(default_factory=list)
     per_task_sim_seconds: List[float] = field(default_factory=list)
     wall_seconds: float = 0.0
+    #: Measured mean wall seconds per local search task (process backend
+    #: only; 0.0 elsewhere).  Feed it back as ``task_cost_hint`` to
+    #: right-size queue chunks on the next run of the same plan.
+    mean_task_wall_seconds: float = 0.0
     #: Which runtime executed the plan ("simulated", "inline", "process").
     execution_backend: str = "simulated"
     #: Adjacency layout the run used ("frozenset" or "csr").

@@ -58,12 +58,13 @@ class AdjacencyView:
     (5, 9)
     """
 
-    __slots__ = ("ids", "_tuple", "_fset", "_owner")
+    __slots__ = ("ids", "_tuple", "_fset", "_np", "_owner")
 
     def __init__(self, ids: Sequence[int], owner: "CSRAdjacency" = None) -> None:
         self.ids = ids
         self._tuple: Optional[tuple] = None
         self._fset: Optional[frozenset] = None
+        self._np = None
         self._owner = owner
 
     # -- set-like protocol --------------------------------------------
@@ -104,6 +105,24 @@ class AdjacencyView:
 
     def has_fset(self) -> bool:
         return self._fset is not None
+
+    def npids(self):
+        """The row as an int64 ndarray — a zero-copy view over the packed
+        buffer (``np.frombuffer``), cached unconditionally: unlike the
+        tuple/frozenset caches it allocates nothing per element, so it
+        sits outside the ``hash_cache_limit`` budget.  Requires numpy
+        (only the vectorized kernels call this, and they only dispatch
+        when numpy is present)."""
+        a = self._np
+        if a is None:
+            import numpy as np
+
+            try:
+                a = np.frombuffer(self.ids, dtype=np.int64)
+            except TypeError:  # non-buffer ids (a plain sequence)
+                a = np.asarray(self.materialize(), dtype=np.int64)
+            self._np = a
+        return a
 
     def between(self, lo: Optional[int], hi: Optional[int]) -> tuple:
         """Elements ``v`` with ``v > lo`` and ``v < hi`` (either bound optional).

@@ -407,10 +407,12 @@ def generate_source(
                             and hi == "None"
                             and all(n in view_names for n in names)
                         ):
-                            # Two fresh rows: C-level hash intersection over
-                            # the rows' cached frozensets (built once per
-                            # row per process, reused by every task).
-                            call = f"{ops[0]}.fset() & {ops[1]}.fset()"
+                            # Two fresh rows: the view-pair kernel — hash
+                            # intersection over the rows' cached frozensets
+                            # (built once per row per process) below the
+                            # vectorized crossover, numpy over the raw
+                            # int64 buffers above it.
+                            call = f"_ikv({ops[0]}, {ops[1]})"
                         elif (
                             len(ops) == 2
                             and excl == "()"
@@ -466,7 +468,7 @@ def generate_source(
                 out.depth += 1
                 if csr:
                     if ai in view_names and aj in view_names:
-                        call = f"{_operand_expr(ai)}.fset() & {_operand_expr(aj)}.fset()"
+                        call = f"_ikv({_operand_expr(ai)}, {_operand_expr(aj)})"
                     else:
                         call = f"_ik2({ai}, {aj}, None, None, ())"
                     if inst.target in sorted_targets:
@@ -590,12 +592,14 @@ def compile_plan(
             ensure_sorted,
             filter_override,
             intersect_count,
+            intersect_views,
         )
 
         namespace["_ik1"] = _intersect1
         namespace["_ik2"] = _intersect2
         namespace["_ikn"] = _intersectn
         namespace["_ikc"] = intersect_count
+        namespace["_ikv"] = intersect_views
         namespace["_srt"] = ensure_sorted
         namespace["_ovr"] = filter_override
         namespace["_bl"] = bisect_left

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..engine.benu import PreparedData, prepare_data
 from ..engine.config import BenuConfig
+from ..engine.granularity import TaskCostProfile
 from ..graph.graph import Graph
 from ..plan.cost import GraphStats
 from ..storage.cache import CachePool
@@ -59,6 +60,9 @@ class CatalogEntry:
         self.pins = 0
         self.last_used = 0  # logical clock maintained by the catalog
         self._stores: Dict[StoreKey, DistributedKVStore] = {}
+        # Measured task-cost EWMA per plan profile: warm process-backend
+        # runs re-chunk from what the previous run actually cost.
+        self.task_costs = TaskCostProfile()
         # Pools not currently checked out by a running query.
         self._idle_pools: Dict[PoolKey, List[CachePool]] = {}
         self._checked_out = 0

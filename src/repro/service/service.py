@@ -35,6 +35,7 @@ from ..engine.control import (
     ExecutionControl,
     QueryCancelled,
 )
+from ..engine.granularity import task_cost_key
 from ..engine.sinks import LimitSink
 from ..graph.graph import Graph
 from ..graph.patterns import get_pattern
@@ -308,6 +309,15 @@ class BenuService:
                     granted_workers = self.worker_slots.acquire(
                         config.num_workers, control=control
                     )
+                    # Warm runs re-chunk from the measured task cost of
+                    # previous runs of this plan profile (the cost key is
+                    # worker-count independent).
+                    cost_key = task_cost_key(
+                        plan,
+                        config.split_threshold,
+                        "collect" if (config.collect or sink is not None)
+                        else "count",
+                    )
                     result = execute_plan(
                         plan,
                         entry.prepared,
@@ -316,6 +326,10 @@ class BenuService:
                         sink=sink,
                         control=control,
                         progress=handle.progress,
+                        task_cost_hint=entry.task_costs.hint(cost_key),
+                    )
+                    entry.task_costs.record(
+                        cost_key, result.mean_task_wall_seconds
                     )
                 else:
                     pool_key, pool = entry.checkout_pool(config)

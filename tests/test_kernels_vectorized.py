@@ -1,0 +1,232 @@
+"""Property tests: the numpy kernels are element-identical to the python ones.
+
+Randomized sorted-array suites (seeded, so failures reproduce) assert
+that every vectorized kernel of :mod:`repro.kernels.vectorized` returns
+exactly what its python counterpart in :mod:`repro.kernels.intersect`
+returns — including symmetry bounds, injectivity exclusions, and the
+empty/singleton/disjoint edges — plus dispatch tests pinning *when* the
+adaptive ``_intersect2``/``_intersectn`` sites take the numpy path (and
+that they never do once ``CROSSOVER`` is None).
+
+When hypothesis is installed locally, an extra exhaustive-ish suite runs
+the same assertions under its shrinking search; CI without hypothesis
+skips only that class.
+"""
+
+import random
+
+import pytest
+
+np = pytest.importorskip("numpy", exc_type=ImportError)
+
+from repro.graph.csr import CSRAdjacency
+from repro.graph.graph import Graph
+from repro.kernels import vectorized as vec
+from repro.kernels.intersect import (
+    KernelStats,
+    intersect_filtered,
+    intersect_gallop,
+    intersect_merge,
+    intersect_views,
+)
+
+pytestmark = pytest.mark.skipif(
+    not vec.HAVE_NUMPY, reason="numpy unavailable"
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_crossover():
+    """Dispatch tests pin CROSSOVER; put the measured value back after."""
+    before = vec.CROSSOVER
+    yield
+    vec.set_crossover(before)
+
+
+def _sorted_unique(rng, size, universe=10_000):
+    return sorted(rng.sample(range(universe), size))
+
+
+def _arr(seq):
+    return np.asarray(seq, dtype=np.int64)
+
+
+SIZES = [0, 1, 2, 3, 7, 50, 400]
+
+
+class TestKernelParity:
+    """np_* kernels == python kernels, element for element."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("na", SIZES)
+    @pytest.mark.parametrize("nb", [0, 1, 8, 300])
+    def test_merge_parity(self, seed, na, nb):
+        rng = random.Random((seed, na, nb).__hash__())
+        a = _sorted_unique(rng, na)
+        b = _sorted_unique(rng, nb)
+        expected = intersect_merge(a, b)
+        got = vec.np_intersect_merge(_arr(a), _arr(b)).tolist()
+        assert got == expected
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("nsmall", [0, 1, 5, 40])
+    def test_gallop_parity(self, seed, nsmall):
+        rng = random.Random((seed, nsmall).__hash__())
+        small = _sorted_unique(rng, nsmall)
+        large = _sorted_unique(rng, 800)
+        # Force overlap so the intersection is non-trivial.
+        small = sorted(set(small) | set(large[::97]))
+        expected = intersect_gallop(small, large)
+        got = vec.np_intersect_gallop(_arr(small), _arr(large)).tolist()
+        assert got == expected
+
+    def test_gallop_element_past_end_of_large(self):
+        # The pos == n guard: a small element beyond large's maximum.
+        got = vec.np_intersect_gallop(_arr([5, 999]), _arr([1, 5, 7])).tolist()
+        assert got == intersect_gallop([5, 999], [1, 5, 7]) == [5]
+
+    def test_adaptive_matches_merge_and_gallop(self):
+        rng = random.Random(7)
+        a = _sorted_unique(rng, 10)
+        b = _sorted_unique(rng, 900)
+        assert vec.np_intersect(_arr(a), _arr(b)).tolist() == intersect_merge(a, b)
+        # Symmetry: argument order must not matter.
+        assert (
+            vec.np_intersect(_arr(b), _arr(a)).tolist()
+            == vec.np_intersect(_arr(a), _arr(b)).tolist()
+        )
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("nops", [1, 2, 3, 4])
+    def test_filtered_parity_with_bounds_and_exclusions(self, seed, nops):
+        rng = random.Random((seed, nops).__hash__())
+        ops = [_sorted_unique(rng, rng.choice([0, 1, 6, 60, 500])) for _ in range(nops)]
+        lo = rng.choice([None, 2_000, 9_999])
+        hi = rng.choice([None, 8_000, 1])
+        pool = sorted(set().union(*map(set, ops))) or [0]
+        exclude = tuple(rng.sample(pool, min(len(pool), rng.choice([0, 1, 3]))))
+        stats = KernelStats()
+        expected = sorted(intersect_filtered(ops, lo, hi, exclude, stats=stats))
+        got = vec.np_intersect_filtered(ops, lo, hi, exclude)
+        assert got == expected
+        assert all(isinstance(v, int) for v in got)
+
+    def test_bounds_slice_edges(self):
+        arr = _arr([10, 20, 30, 40])
+        assert vec.np_bounds_slice(arr, None, None).tolist() == [10, 20, 30, 40]
+        assert vec.np_bounds_slice(arr, 10, None).tolist() == [20, 30, 40]
+        assert vec.np_bounds_slice(arr, None, 40).tolist() == [10, 20, 30]
+        assert vec.np_bounds_slice(arr, 40, None).tolist() == []
+        assert vec.np_bounds_slice(arr, None, 10).tolist() == []
+
+    def test_exclude_edges(self):
+        arr = _arr([1, 2, 3])
+        assert vec.np_exclude(arr, (2,)).tolist() == [1, 3]
+        assert vec.np_exclude(arr, (99,)).tolist() == [1, 2, 3]
+        assert vec.np_exclude(arr, (1, 2, 3)).tolist() == []
+        assert vec.np_exclude(_arr([]), (1,)).tolist() == []
+
+
+def _views(*rows):
+    """AdjacencyViews over a real CSR graph containing the given rows.
+
+    Row contents are shifted past the row indices so no edge is a self
+    loop; intersections between rows are preserved by the common shift.
+    """
+    base = len(rows)
+    edges = [(u, base + v) for u, row in enumerate(rows) for v in row]
+    csr = CSRAdjacency.from_graph(Graph(edges, vertices=range(len(rows))))
+    return [csr.row(u) for u in range(len(rows))]
+
+
+class TestDispatch:
+    """When the adaptive sites take the numpy path — and when they must not."""
+
+    def test_views_route_through_vector_above_crossover(self):
+        a, b = _views(range(0, 400, 2), range(0, 600, 3))
+        stats = KernelStats()
+        vec.set_crossover(16)
+        got = intersect_views(a, b, stats=stats)
+        assert stats.vector == 1 and stats.hash == 0
+        assert sorted(got) == sorted(set(a.materialize()) & set(b.materialize()))
+
+    def test_views_below_crossover_stay_python(self):
+        a, b = _views([1, 2, 3], [2, 3, 4])
+        stats = KernelStats()
+        vec.set_crossover(16)
+        got = intersect_views(a, b, stats=stats)
+        assert stats.vector == 0 and stats.hash == 1
+        assert sorted(got) == sorted(set(a.materialize()) & set(b.materialize()))
+
+    def test_crossover_none_disables_dispatch_entirely(self):
+        a, b = _views(range(0, 4000, 2), range(0, 6000, 3))
+        stats = KernelStats()
+        vec.set_crossover(None)
+        intersect_views(a, b, stats=stats)
+        assert stats.vector == 0 and stats.hash == 1
+
+    def test_filtered_views_dispatch_with_bounds(self):
+        a, b = _views(range(0, 400, 2), range(0, 600, 3))
+        stats = KernelStats()
+        vec.set_crossover(16)
+        got = intersect_filtered([a, b], lo=10, hi=500, exclude=(12,), stats=stats)
+        assert stats.vector == 1
+        oracle = sorted(
+            v
+            for v in set(a.materialize()) & set(b.materialize())
+            if 10 < v < 500 and v != 12
+        )
+        assert sorted(got) == oracle
+
+    def test_set_crossover_ignores_value_without_numpy(self, monkeypatch):
+        monkeypatch.setattr(vec, "HAVE_NUMPY", False)
+        vec.set_crossover(64)
+        assert vec.CROSSOVER is None
+
+    def test_env_override_disables(self, monkeypatch):
+        monkeypatch.setenv(vec.ENV_CROSSOVER, "off")
+        assert vec._compute_crossover() is None
+        monkeypatch.setenv(vec.ENV_CROSSOVER, "-1")
+        assert vec._compute_crossover() is None
+        monkeypatch.setenv(vec.ENV_CROSSOVER, "123")
+        assert vec._compute_crossover() == 123
+
+    def test_measure_crossover_returns_probed_or_sentinel(self):
+        value = vec.measure_crossover(sizes=(32, 64), repeats=2)
+        assert value in (32, 64, 256)
+
+
+try:
+    from hypothesis import given, settings, strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - CI installs pytest only
+    HAVE_HYPOTHESIS = False
+
+
+@pytest.mark.skipif(not HAVE_HYPOTHESIS, reason="hypothesis unavailable")
+class TestHypothesisParity:
+    """The same parity claims under hypothesis's shrinking search."""
+
+    sorted_sets = st.lists(
+        st.integers(min_value=0, max_value=5_000), max_size=120
+    ).map(lambda xs: sorted(set(xs)))
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=sorted_sets, b=sorted_sets)
+    def test_merge(self, a, b):
+        got = vec.np_intersect_merge(_arr(a), _arr(b)).tolist()
+        assert got == intersect_merge(a, b)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        ops=st.lists(sorted_sets, min_size=1, max_size=4),
+        lo=st.one_of(st.none(), st.integers(0, 5_000)),
+        hi=st.one_of(st.none(), st.integers(0, 5_000)),
+        exclude=st.lists(st.integers(0, 5_000), max_size=3).map(tuple),
+    )
+    def test_filtered(self, ops, lo, hi, exclude):
+        expected = sorted(
+            intersect_filtered(ops, lo, hi, exclude, stats=KernelStats())
+        )
+        assert vec.np_intersect_filtered(ops, lo, hi, exclude) == expected

@@ -125,7 +125,7 @@ class TestDiffRecords:
             name="service",
         )
         assert [r.path for r in regs] == ["t.service_speedup"]
-        assert "x warm/cold" in str(regs[0])
+        assert "x speedup" in str(regs[0])
 
 
 class TestFormatDiff:
@@ -140,6 +140,78 @@ class TestFormatDiff:
         assert "backends.ops_per_sec.merge" in text  # held figures shown too
         assert text.count("<-- REGRESSED") == 1
         assert "-50.0%" in text
+
+
+class TestPrefixedSpeedups:
+    def test_speedup_vs_inline_groups_are_guarded(self):
+        ops = guard_mod.collect_ops(
+            {"speedup_vs_inline": {"process": 2.1, "simulated": 3.0}}
+        )
+        assert ops == {
+            "speedup_vs_inline.process": 2.1,
+            "speedup_vs_inline.simulated": 3.0,
+        }
+
+    def test_real_backends_record_exposes_cross_backend_speedups(self):
+        record = json.loads((RESULTS_DIR / "BENCH_backends.json").read_text())
+        ops = guard_mod.collect_ops(record)
+        assert "speedup_vs_inline.process" in ops
+        # The acceptance criterion: the process backend beats the
+        # interpreter on the identical workload.
+        assert ops["speedup_vs_inline.process"] >= 1.0
+
+
+class TestFloors:
+    def test_parse_floors(self):
+        floors = guard_mod.parse_floors(
+            ["backends:speedup_vs_inline.process=1.0", "backends:x.y=2.5"]
+        )
+        assert floors == {
+            "backends": {"speedup_vs_inline.process": 1.0, "x.y": 2.5}
+        }
+
+    def test_bad_spec_raises(self):
+        with pytest.raises(SystemExit):
+            guard_mod.parse_floors(["no-equals-sign"])
+
+    def test_floor_failure_exits_nonzero_even_without_prev(self, tmp_path):
+        tmp_path.mkdir(exist_ok=True)
+        (tmp_path / "BENCH_b.json").write_text(
+            json.dumps({"speedup_vs_inline": {"process": 0.8}})
+        )
+        out = io.StringIO()
+        floors = {"b": {"speedup_vs_inline.process": 1.0}}
+        assert guard_mod.guard(tmp_path, out=out, floors=floors) == 1
+        assert "below floor" in out.getvalue()
+
+    def test_floor_pass_and_missing_path(self, tmp_path):
+        (tmp_path / "BENCH_b.json").write_text(
+            json.dumps({"speedup_vs_inline": {"process": 1.5}})
+        )
+        out = io.StringIO()
+        assert (
+            guard_mod.guard(
+                tmp_path, out=out,
+                floors={"b": {"speedup_vs_inline.process": 1.0}},
+            )
+            == 0
+        )
+        assert (
+            guard_mod.guard(
+                tmp_path, out=out, floors={"b": {"not.there": 1.0}}
+            )
+            == 1
+        )
+
+    def test_main_min_flag(self, tmp_path):
+        _write_pair(
+            tmp_path, "b",
+            {"speedup_vs_inline": {"process": 1.4}},
+            {"speedup_vs_inline": {"process": 1.5}},
+        )
+        argv = ["--results-dir", str(tmp_path), "--name", "b"]
+        assert guard_mod.main(argv + ["--min", "b:speedup_vs_inline.process=1.0"]) == 0
+        assert guard_mod.main(argv + ["--min", "b:speedup_vs_inline.process=2.0"]) == 1
 
 
 class TestGuardCli:
