@@ -1,0 +1,155 @@
+"""The sharded serving tier measured: fan-out cost and shard scaling.
+
+One record (``results/BENCH_shard.json``), two experiments:
+
+* **scaling** — the Table-1-style query mix through a router over
+  N ∈ {1, 2, 4} in-process shards versus the same mix on one unsharded
+  service.  Every configuration must return identical counts (the
+  correctness side rides along with the measurement); the figures of
+  interest are queries/sec per N and the router overhead at N=1 (pure
+  fan-out/merge tax, since one shard owns the whole task space).
+* **merge_stream** — matches/sec through the router's merged,
+  backpressured stream versus draining a single service's stream
+  directly, for one enumeration-heavy pattern.
+
+``scripts/perf_guard.py`` diffs every ``ops_per_sec`` figure in this
+record against the previous run and fails on >20% regressions.
+"""
+
+import time
+
+from repro.metrics import format_table
+from repro.service import BenuService
+from repro.shard import LocalShardClient, ShardNode, ShardRouter
+
+from common import bench_graph, write_report
+
+QUERY_MIX = ("clique5", "q1", "q3", "q5")
+ROUNDS = 2
+SHARD_COUNTS = (1, 2, 4)
+
+
+def _single_node_mix(graph):
+    with BenuService() as service:
+        service.register_graph("bench", graph, relabel=False)
+        for name in QUERY_MIX:  # warm the plan cache (untimed)
+            service.submit(name, "bench", stream=False).result(timeout=600)
+        t0 = time.perf_counter()
+        counts = []
+        for _ in range(ROUNDS):
+            for name in QUERY_MIX:
+                handle = service.submit(name, "bench", stream=False)
+                counts.append(handle.result(timeout=600).count)
+        wall = time.perf_counter() - t0
+    return counts, wall
+
+
+def _sharded_mix(graph, num_shards):
+    edges = [[u, v] for u, v in graph.edges()]
+    nodes = [ShardNode(i, num_shards) for i in range(num_shards)]
+    try:
+        router = ShardRouter([LocalShardClient(node) for node in nodes])
+        router.register("bench", edges=edges, relabel=False)
+        for name in QUERY_MIX:  # warm every shard's plan cache
+            router.submit(name, "bench", stream=False).result()
+        t0 = time.perf_counter()
+        counts = []
+        for _ in range(ROUNDS):
+            for name in QUERY_MIX:
+                counts.append(
+                    router.submit(name, "bench", stream=False).result()["count"]
+                )
+        wall = time.perf_counter() - t0
+        return counts, wall
+    finally:
+        for node in nodes:
+            node.close()
+
+
+def _scaling_experiment(graph):
+    single_counts, single_wall = _single_node_mix(graph)
+    queries = ROUNDS * len(QUERY_MIX)
+    rows = {"single": {"wall_seconds": single_wall,
+                       "ops_per_sec": queries / single_wall}}
+    for n in SHARD_COUNTS:
+        counts, wall = _sharded_mix(graph, n)
+        assert counts == single_counts, f"sharded N={n} diverged"
+        rows[f"shards_{n}"] = {
+            "wall_seconds": wall,
+            "ops_per_sec": queries / wall,
+        }
+    return {
+        "queries": queries,
+        "total_matches": sum(single_counts),
+        "rows": rows,
+        "ops_per_sec": {
+            name: row["ops_per_sec"] for name, row in rows.items()
+        },
+        "router_overhead_n1": (
+            rows["shards_1"]["wall_seconds"] / rows["single"]["wall_seconds"]
+        ),
+    }
+
+
+def _merge_stream_experiment(graph, pattern="q3"):
+    with BenuService() as service:
+        service.register_graph("bench", graph, relabel=False)
+        t0 = time.perf_counter()
+        direct = sum(1 for _ in service.submit(pattern, "bench").matches())
+        direct_wall = time.perf_counter() - t0
+
+    edges = [[u, v] for u, v in graph.edges()]
+    nodes = [ShardNode(i, 2) for i in range(2)]
+    try:
+        router = ShardRouter([LocalShardClient(node) for node in nodes])
+        router.register("bench", edges=edges, relabel=False)
+        t0 = time.perf_counter()
+        merged = sum(1 for _ in router.submit(pattern, "bench").matches())
+        merged_wall = time.perf_counter() - t0
+    finally:
+        for node in nodes:
+            node.close()
+
+    assert merged == direct, "merged stream must deliver every match"
+    return {
+        "pattern": pattern,
+        "matches": direct,
+        "wall_seconds": {"direct": direct_wall, "merged": merged_wall},
+        "ops_per_sec": {
+            "stream_direct": direct / direct_wall,
+            "stream_merged": merged / merged_wall,
+        },
+    }
+
+
+def _make_report():
+    graph = bench_graph("shard", 150, 4.5, seed=41)
+    scaling = _scaling_experiment(graph)
+    stream = _merge_stream_experiment(graph)
+
+    text = format_table(
+        ["deployment", "queries/sec", "wall (s)"],
+        [
+            [name, f"{row['ops_per_sec']:.2f}", f"{row['wall_seconds']:.2f}"]
+            for name, row in scaling["rows"].items()
+        ],
+    )
+    text += (
+        f"\n\nrouter overhead at N=1: "
+        f"{scaling['router_overhead_n1']:.2f}x the unsharded wall"
+        f"\nmerged stream ({stream['pattern']}): "
+        f"{stream['ops_per_sec']['stream_merged']:.0f} matches/sec vs "
+        f"{stream['ops_per_sec']['stream_direct']:.0f} direct"
+    )
+    write_report(
+        "shard", text, record={"scaling": scaling, "merge_stream": stream}
+    )
+    return scaling, stream
+
+
+def test_shard_report(benchmark):
+    scaling, stream = benchmark.pedantic(_make_report, rounds=1, iterations=1)
+    # Correctness rode along (identical counts asserted inside); the
+    # perf acceptance is that sharding does not collapse throughput.
+    assert scaling["rows"]["shards_2"]["ops_per_sec"] > 0
+    assert stream["ops_per_sec"]["stream_merged"] > 0

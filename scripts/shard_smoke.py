@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""Multi-shard smoke: 3 ``benu serve`` shard processes + a router, over
+real localhost TCP.
+
+Launches three shard nodes (``--shard-index i --shard-count 3``), routes
+the Table-1 pattern suite through a :class:`~repro.shard.ShardRouter`,
+and checks every count against a single-node run of the same dataset.
+Writes the cluster's stitched event log (every shard's lifecycle events
+merged into one globally-ordered JSONL timeline) to the path given by
+``--event-log`` so CI can upload it as an artifact.
+
+Exit status is non-zero on any divergence — this is the deployment-level
+acceptance check that the in-process test matrix cannot cover (real
+sockets, real processes, real concurrent shards).
+"""
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = str(REPO / "src")
+sys.path.insert(0, SRC)
+
+from repro.service import BenuService  # noqa: E402
+from repro.graph.datasets import load_dataset  # noqa: E402
+from repro.shard import ShardRouter, TCPShardClient  # noqa: E402
+
+#: The Table-1 suite the smoke routes (small enough for CI wall clock).
+SUITE = ("triangle", "square", "chordal_square", "clique4", "q1", "q3")
+DATASET = "as_sim"
+NUM_SHARDS = 3
+EPOCH = 1
+
+
+def _launch_shard(index: int) -> tuple:
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", "--port", "0",
+            "--shard-index", str(index), "--shard-count", str(NUM_SHARDS),
+            "--epoch", str(EPOCH), "--graph", f"g={DATASET}",
+        ],
+        env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"},
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        line = process.stderr.readline()
+        if "serving on" in line:
+            port = int(re.search(r":(\d+) as", line).group(1))
+            return process, port
+        if process.poll() is not None:
+            break
+    raise RuntimeError(f"shard {index} failed to start")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--event-log", default=None,
+        help="write the stitched cluster event log here (JSON lines)",
+    )
+    parser.add_argument(
+        "--deadline-budget", type=float, default=120.0,
+        help="global wall budget per routed query (seconds)",
+    )
+    args = parser.parse_args()
+
+    print(f"single-node reference over {DATASET} ...", flush=True)
+    reference = {}
+    with BenuService() as service:
+        service.register_graph("g", load_dataset(DATASET), relabel=False)
+        for name in SUITE:
+            handle = service.submit(name, "g", stream=False)
+            handle.wait(timeout=600)
+            reference[name] = handle.result().count
+
+    shards = []
+    try:
+        for index in range(NUM_SHARDS):
+            shards.append(_launch_shard(index))
+        ports = [port for _, port in shards]
+        print(f"shards up on ports {ports}", flush=True)
+
+        router = ShardRouter(
+            [TCPShardClient("127.0.0.1", port) for port in ports],
+            expected_epoch=EPOCH,
+        )
+        failures = 0
+        for name in SUITE:
+            result = router.submit(
+                name, "g", stream=False, deadline=args.deadline_budget
+            ).result()
+            per_shard = [entry["count"] for entry in result["per_shard"]]
+            ok = result["count"] == reference[name]
+            print(
+                f"{'OK  ' if ok else 'FAIL'} {name}: router "
+                f"{result['count']} = {' + '.join(map(str, per_shard))}"
+                f" (single-node {reference[name]})",
+                flush=True,
+            )
+            failures += 0 if ok else 1
+
+        if args.event_log:
+            rows = router.events()
+            path = Path(args.event_log)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with path.open("w", encoding="utf-8") as fh:
+                for row in rows:
+                    fh.write(json.dumps(row, sort_keys=True) + "\n")
+            stamps = [row["ts"] for row in rows]
+            assert stamps == sorted(stamps), "stitched log must be ordered"
+            print(
+                f"stitched event log: {len(rows)} events from "
+                f"{len({row['shard'] for row in rows})} shards -> {path}",
+                flush=True,
+            )
+
+        router.shutdown()
+        router.close()
+        if failures:
+            print(f"{failures} pattern(s) diverged", file=sys.stderr)
+            return 1
+        print(f"all {len(SUITE)} routed patterns match single-node counts")
+        return 0
+    finally:
+        for process, _ in shards:
+            process.terminate()
+        for process, _ in shards:
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

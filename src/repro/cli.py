@@ -306,7 +306,19 @@ def _parse_graph_spec(spec: str) -> tuple:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     from .service import BenuService, serve_socket, serve_stdio
+    from .service.protocol import ShardIdentity
 
+    identity = None
+    if args.shard_index is not None or args.shard_count is not None:
+        if args.shard_index is None or args.shard_count is None:
+            raise SystemExit(
+                "--shard-index and --shard-count must be given together"
+            )
+        identity = ShardIdentity(
+            shard_index=args.shard_index,
+            shard_count=args.shard_count,
+            epoch=args.epoch,
+        )
     config = BenuConfig(
         num_workers=args.workers,
         threads_per_worker=args.threads,
@@ -326,21 +338,31 @@ def cmd_serve(args: argparse.Namespace) -> int:
         event_log_path=args.event_log,
         slow_query_seconds=args.slow_query_seconds,
     )
+    partition = identity.partition_info() if identity is not None else None
     try:
         for spec in args.graph or []:
             name, dataset = _parse_graph_spec(spec)
             info = service.register_graph(
-                name, load_dataset(dataset), relabel=False
+                name, load_dataset(dataset), relabel=False,
+                partition=partition,
             )
             print(f"registered {name}: {info}", file=sys.stderr)
         for spec in args.edges_graph or []:
             name, path = _parse_graph_spec(spec)
-            info = service.register_graph(name, read_edge_list(path))
+            info = service.register_graph(
+                name, read_edge_list(path), partition=partition
+            )
             print(f"registered {name}: {info}", file=sys.stderr)
         if args.port is not None:
-            server = serve_socket(service, host=args.host, port=args.port)
+            server = serve_socket(
+                service, host=args.host, port=args.port, identity=identity
+            )
             host, port = server.server_address[:2]
-            print(f"serving on {host}:{port}", file=sys.stderr)
+            role = (
+                f"shard {identity.shard_index}/{identity.shard_count}"
+                if identity is not None else "node"
+            )
+            print(f"serving on {host}:{port} as {role}", file=sys.stderr)
             try:
                 server.serve_forever(poll_interval=0.2)
             except KeyboardInterrupt:
@@ -348,9 +370,73 @@ def cmd_serve(args: argparse.Namespace) -> int:
             finally:
                 server.server_close()
             return 0
-        return serve_stdio(service)
+        return serve_stdio(service, identity=identity)
     finally:
         service.close()
+
+
+def cmd_route(args: argparse.Namespace) -> int:
+    from .shard import RouterProtocol, ShardRouter, TCPShardClient, route_stdio
+
+    clients = []
+    for spec in args.shard:
+        host, sep, port = spec.rpartition(":")
+        if not sep:
+            raise SystemExit(f"bad shard address {spec!r}; expected HOST:PORT")
+        clients.append(TCPShardClient(host, int(port)))
+    router = ShardRouter(clients, expected_epoch=args.epoch)
+    print(
+        f"routing over {router.shard_count} partitions "
+        f"({len(clients)} nodes, epoch {router.epoch})",
+        file=sys.stderr,
+    )
+    try:
+        for spec in args.graph or []:
+            name, dataset = _parse_graph_spec(spec)
+            responses = router.register(name, dataset=dataset)
+            print(
+                f"registered {name} on {len(responses)} nodes",
+                file=sys.stderr,
+            )
+        if args.port is not None:
+            import socketserver
+            import threading
+
+            protocol_holder = router
+
+            class _RouteHandler(socketserver.StreamRequestHandler):
+                def handle(self) -> None:
+                    protocol = RouterProtocol(protocol_holder)
+                    for raw in self.rfile:
+                        line = raw.decode("utf-8", "replace").strip()
+                        if not line:
+                            continue
+                        self.wfile.write(
+                            (protocol.handle_line_json(line) + "\n").encode()
+                        )
+                        if protocol.shutdown_requested:
+                            threading.Thread(
+                                target=self.server.shutdown, daemon=True
+                            ).start()
+                            return
+
+            class _RouteServer(socketserver.ThreadingTCPServer):
+                allow_reuse_address = True
+                daemon_threads = True
+
+            server = _RouteServer((args.host, args.port), _RouteHandler)
+            host, port = server.server_address[:2]
+            print(f"router listening on {host}:{port}", file=sys.stderr)
+            try:
+                server.serve_forever(poll_interval=0.2)
+            except KeyboardInterrupt:
+                pass
+            finally:
+                server.server_close()
+            return 0
+        return route_stdio(router)
+    finally:
+        router.close()
 
 
 def cmd_patterns(args: argparse.Namespace) -> int:
@@ -479,7 +565,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--slow-query-seconds", type=float, default=None,
                    help="log queries slower than this (stats.slow_queries "
                         "and a slow_query event with a trace summary)")
+    p.add_argument("--shard-index", type=int, default=None,
+                   help="serve as shard I of a sharded deployment "
+                        "(registrations keep only the owned task slice)")
+    p.add_argument("--shard-count", type=int, default=None,
+                   help="total shards N in the deployment")
+    p.add_argument("--epoch", type=int, default=0,
+                   help="deployment generation; a router refuses to mix epochs")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "route",
+        help="fan-out/merge router over `serve --shard-index` nodes",
+    )
+    p.add_argument("--shard", action="append", metavar="HOST:PORT",
+                   required=True,
+                   help="a shard node to route over (repeatable; nodes "
+                        "sharing a shard index are replicas)")
+    p.add_argument("--graph", action="append", metavar="NAME=DATASET",
+                   help="register a bundled dataset on every shard at startup")
+    p.add_argument("--epoch", type=int, default=None,
+                   help="required deployment epoch (default: first node's)")
+    p.add_argument("--port", type=int, default=None,
+                   help="serve the merged protocol on TCP instead of stdio")
+    p.add_argument("--host", default="127.0.0.1")
+    p.set_defaults(func=cmd_route)
 
     p = sub.add_parser("patterns", help="list built-in patterns")
     p.set_defaults(func=cmd_patterns)

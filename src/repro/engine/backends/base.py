@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from ...graph.graph import Graph
 from ...plan.codegen import TaskCounters
@@ -81,6 +81,10 @@ class ExecutionRequest:
     #: (``BenuResult.mean_task_wall_seconds``); the process backend sizes
     #: its queue chunks from it.  None = cold start.
     task_cost_hint: Optional[float] = None
+    #: Restrict task generation to these start vertices (a shard's owned
+    #: slice of the task space); None runs the whole graph.  Ignored when
+    #: an explicit ``tasks`` list is given.
+    start_vertices: Optional[Sequence] = None
 
     def __post_init__(self) -> None:
         if self.telemetry is None:
@@ -128,10 +132,15 @@ def resolve_tasks(request: ExecutionRequest, tracer) -> List[LocalSearchTask]:
     with tracer.span("task-generation") as span:
         tasks = list(
             generate_tasks(
-                request.plan, request.graph, request.config.split_threshold
+                request.plan,
+                request.graph,
+                request.config.split_threshold,
+                start_vertices=request.start_vertices,
             )
         )
         span.args["tasks"] = len(tasks)
+        if request.start_vertices is not None:
+            span.args["start_vertices"] = len(request.start_vertices)
     return tasks
 
 

@@ -174,6 +174,7 @@ def execute_plan(
     execution_backend: Optional[str] = None,
     progress=None,
     task_cost_hint: Optional[float] = None,
+    start_vertices: Optional[Sequence[Vertex]] = None,
 ) -> BenuResult:
     """Run ``plan`` over prepared data and translate results back.
 
@@ -192,7 +193,8 @@ def execute_plan(
     the same granularity, so a concurrent poller sees live completion;
     ``task_cost_hint`` (a previous run's ``mean_task_wall_seconds``) lets
     the process backend right-size its queue chunks instead of using the
-    cold-start heuristic.
+    cold-start heuristic; ``start_vertices`` restricts task generation to
+    a slice of the start-vertex space (a shard's owned vertices).
     """
     config = config or BenuConfig()
     backend_name = (
@@ -220,6 +222,7 @@ def execute_plan(
             sink=sink,
             control=control,
             task_cost_hint=task_cost_hint,
+            start_vertices=start_vertices,
         )
         if progress is not None:
             request.progress = progress
@@ -245,6 +248,7 @@ def execute_plan(
             control=control,
             worker_caches=worker_caches,
             progress=progress,
+            start_vertices=start_vertices,
         )
 
     if prepared.relabeled:

@@ -60,6 +60,7 @@ class SimulatedCluster:
         control: Optional[ExecutionControl] = None,
         worker_caches: Optional[List] = None,
         progress=None,
+        start_vertices=None,
     ) -> BenuResult:
         """Execute one plan over the whole data graph.
 
@@ -94,6 +95,7 @@ class SimulatedCluster:
             control=control,
             store=self.store,
             worker_caches=worker_caches,
+            start_vertices=start_vertices,
         )
         if progress is not None:
             request.progress = progress

@@ -48,6 +48,20 @@ class DeadlineExpired(ExecutionInterrupted):
 class ExecutionControl:
     """Cancellation token + optional deadline, checked at task boundaries.
 
+    Deadlines come in two forms that compose (the earlier one wins):
+
+    * ``deadline_seconds`` — a relative budget, armed against the local
+      monotonic clock when the control is created;
+    * ``deadline_at`` — an *absolute wall-clock* instant (epoch seconds,
+      ``time.time()``).  This is the form a deadline takes when it
+      crosses a process boundary: a router stamps one global deadline on
+      a query and forwards the same instant to every shard on every hop,
+      so queue time and network time anywhere debit the one shared
+      budget instead of restarting it.  An already-past ``deadline_at``
+      arms an *expired* control (the first check raises) rather than
+      erroring — a hop that receives an exhausted budget must report
+      ``deadline_expired``, not crash.
+
     >>> control = ExecutionControl()
     >>> control.check()  # no-op while live
     >>> control.cancel("client went away")
@@ -57,14 +71,26 @@ class ExecutionControl:
     repro.engine.control.QueryCancelled: client went away
     """
 
-    def __init__(self, deadline_seconds: Optional[float] = None) -> None:
+    def __init__(
+        self,
+        deadline_seconds: Optional[float] = None,
+        deadline_at: Optional[float] = None,
+    ) -> None:
         if deadline_seconds is not None and deadline_seconds <= 0:
             raise ValueError("deadline must be positive")
-        self.deadline_seconds = deadline_seconds
+        #: The absolute wall deadline (epoch seconds) to forward on the
+        #: next hop; derived from ``deadline_seconds`` when only the
+        #: relative form was given.
+        self.deadline_at = deadline_at
+        budget: Optional[float] = deadline_seconds
+        if deadline_at is not None:
+            remaining = deadline_at - time.time()
+            budget = remaining if budget is None else min(budget, remaining)
+        elif deadline_seconds is not None:
+            self.deadline_at = time.time() + deadline_seconds
+        self.deadline_seconds = budget
         self._deadline_at = (
-            time.monotonic() + deadline_seconds
-            if deadline_seconds is not None
-            else None
+            time.monotonic() + budget if budget is not None else None
         )
         self._cancelled = threading.Event()
         self._reason: str = "cancelled"

@@ -14,11 +14,12 @@ set:
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterator, List, Sequence
+from typing import FrozenSet, Iterator, List, Optional, Sequence
 
 from ..graph.graph import Graph, Vertex
 from ..plan.generation import ExecutionPlan
 from ..plan.instructions import InstructionType, fvar
+from ..storage.partition import partition_of
 from .local_task import LocalSearchTask
 
 
@@ -54,21 +55,48 @@ def split_slices(
     return [frozenset(ordered[i::num_slices]) for i in range(num_slices)]
 
 
+def partition_start_vertices(
+    data: Graph, shard_index: int, num_shards: int
+) -> Sequence[Vertex]:
+    """Shard ``shard_index``'s slice of the start-vertex task space.
+
+    BENU's task space is one local search task per data vertex
+    (Algorithm 2 line 4); the slices are assigned by the storage tier's
+    canonical hash rule (:func:`repro.storage.partition.partition_of`),
+    so they are disjoint, cover every vertex, and — crucially — every
+    node holding the same graph computes the same slice without
+    coordination.  Vertex order within a slice is preserved, keeping a
+    shard's enumeration order a subsequence of the single-node run's.
+    """
+    if not 0 <= shard_index < num_shards:
+        raise ValueError(
+            f"shard index {shard_index} out of range for {num_shards} shards"
+        )
+    return tuple(
+        v for v in data.vertices if partition_of(v, num_shards) == shard_index
+    )
+
+
 def generate_tasks(
     plan: ExecutionPlan,
     data: Graph,
     split_threshold: int = None,
+    start_vertices: Optional[Sequence[Vertex]] = None,
 ) -> Iterator[LocalSearchTask]:
     """All local search tasks of a BENU job, split where the threshold asks.
 
     With ``split_threshold=None`` every data vertex yields exactly one task
-    (Algorithm 2 line 4).
+    (Algorithm 2 line 4).  ``start_vertices`` restricts task generation to
+    a slice of the start-vertex space (a shard's owned vertices — see
+    :func:`partition_start_vertices`); splitting decisions depend only on
+    each start vertex's degree, so a sliced run yields exactly the tasks
+    the full run would for those vertices.
     """
     splittable = split_threshold is not None and plan_supports_splitting(plan)
     first, second = plan.order[0], plan.order[1] if len(plan.order) > 1 else None
     adjacent = second is not None and plan.pattern.graph.has_edge(first, second)
 
-    for v in data.vertices:
+    for v in (data.vertices if start_vertices is None else start_vertices):
         degree = data.degree(v)
         if not splittable or degree < split_threshold:
             yield LocalSearchTask(v)

@@ -21,7 +21,13 @@ from .errors import (
     UnknownQueryError,
 )
 from .plan_cache import PlanCache, PlanCacheKey
-from .protocol import ServiceProtocol, serve_socket, serve_stdio
+from .protocol import (
+    PROTOCOL_VERSION,
+    ServiceProtocol,
+    ShardIdentity,
+    serve_socket,
+    serve_stdio,
+)
 from .scheduler import QueryScheduler
 from .service import BenuService
 from .streaming import FetchResult, QueryHandle, QueryStatus, StreamBuffer
@@ -37,7 +43,9 @@ __all__ = [
     "QueryStatus",
     "StreamBuffer",
     "FetchResult",
+    "PROTOCOL_VERSION",
     "ServiceProtocol",
+    "ShardIdentity",
     "serve_stdio",
     "serve_socket",
     "AdmissionError",

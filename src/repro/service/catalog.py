@@ -27,6 +27,7 @@ from ..graph.graph import Graph
 from ..plan.cost import GraphStats
 from ..storage.cache import CachePool
 from ..storage.kvstore import DistributedKVStore
+from ..storage.partition import PartitionInfo
 from ..telemetry.events import EV_CATALOG_EVICTED, NULL_EVENTS
 from ..telemetry.snapshot import G_CATALOG_BYTES, M_CATALOG_EVICTIONS
 from .errors import InvalidQueryError, UnknownGraphError
@@ -53,10 +54,20 @@ def _pool_key(config: BenuConfig) -> PoolKey:
 class CatalogEntry:
     """One registered data graph and its shared, reusable state."""
 
-    def __init__(self, name: str, prepared: PreparedData) -> None:
+    def __init__(
+        self,
+        name: str,
+        prepared: PreparedData,
+        partition: Optional[PartitionInfo] = None,
+    ) -> None:
         self.name = name
         self.prepared = prepared
         self.stats = GraphStats.of(prepared.graph)
+        #: This node's slot in a sharded deployment (shard *i* of *N*);
+        #: None for an unpartitioned, single-node registration.  Queries
+        #: over a partitioned entry run only the owned start-vertex slice.
+        self.partition = partition
+        self._owned_starts = None
         self.pins = 0
         self.last_used = 0  # logical clock maintained by the catalog
         self._stores: Dict[StoreKey, DistributedKVStore] = {}
@@ -71,6 +82,22 @@ class CatalogEntry:
     @property
     def graph(self) -> Graph:
         return self.prepared.graph
+
+    def owned_start_vertices(self):
+        """This shard's start-vertex task slice, or None when unpartitioned.
+
+        Ownership is evaluated on *execution-space* ids (after any
+        relabeling), so every shard that registered the same full graph
+        under the same deterministic relabel computes the same disjoint
+        slices without coordination.
+        """
+        if self.partition is None:
+            return None
+        if self._owned_starts is None:
+            self._owned_starts = self.partition.owned_vertices(
+                self.prepared.graph
+            )
+        return self._owned_starts
 
     # ------------------------------------------------------------------
     def store_for(self, config: BenuConfig) -> DistributedKVStore:
@@ -160,19 +187,34 @@ class GraphCatalog:
         graph: Graph,
         relabel: bool = True,
         replace: bool = False,
+        partition: Optional[PartitionInfo] = None,
     ) -> CatalogEntry:
         """Load ``graph`` into the catalog under ``name``.
 
         The graph is degree-relabeled here, once, unless ``relabel`` is
         False (pre-relabeled sources like the bundled datasets).
+        ``partition`` marks the entry as one shard's slice of a
+        partitioned deployment — queries against it enumerate only the
+        owned start vertices.  Halo-bounded partitions must register
+        with ``relabel=False``: shards relabeling different subgraphs
+        would disagree on execution ids (and so on ownership).
         """
+        if (
+            partition is not None
+            and partition.halo_hops is not None
+            and relabel
+        ):
+            raise InvalidQueryError(
+                "halo-bounded partitions require relabel=False; shards "
+                "relabeling different subgraphs would disagree on ownership"
+            )
         prepared = prepare_data(graph, BenuConfig(relabel=relabel))
         with self._lock:
             if name in self._entries and not replace:
                 raise InvalidQueryError(
                     f"graph {name!r} is already registered (use replace)"
                 )
-            entry = CatalogEntry(name, prepared)
+            entry = CatalogEntry(name, prepared, partition=partition)
             self._clock += 1
             entry.last_used = self._clock
             self._entries[name] = entry

@@ -7,15 +7,18 @@ socket.
 
 Operations
 ----------
+``hello``    {"op":"hello","version":2?,"role":"client"|"router"?}
 ``submit``   {"op":"submit","pattern":"triangle"|[[u,v],...],"graph":"g",
-              "limit":N?, "deadline":sec?, "stream":bool?, "config":{}?}
+              "limit":N?, "deadline":sec?, "deadline_at":epoch?,
+              "stream":bool?, "config":{}?}
 ``poll``     {"op":"poll","query":"q-1","limit":100?,"wait":sec?}
 ``cancel``   {"op":"cancel","query":"q-1"}
 ``stats``    {"op":"stats"}
 ``metrics``  {"op":"metrics"}              → Prometheus text exposition
 ``events``   {"op":"events","type":t?,"query":"q-1"?,"limit":N?}
 ``graphs``   {"op":"graphs"}
-``register`` {"op":"register","name":"g","dataset":"as_sim"|"edges":[[u,v],...]}
+``register`` {"op":"register","name":"g","dataset":"as_sim"|"edges":[[u,v],...],
+              "partition":{"index":i,"of":n,"halo":k?}?}
 ``queries``  {"op":"queries"}
 ``shutdown`` {"op":"shutdown"}
 
@@ -25,6 +28,14 @@ error's code (``rejected``, ``unknown_graph``, ...).
 
 ``config`` accepts the common :class:`~repro.engine.config.BenuConfig`
 knobs: workers, threads, cache_bytes, tau, level, compressed.
+
+Versioning: ``hello`` is the optional protocol handshake introduced in
+version 2 alongside the sharding fields (``deadline_at``, ``partition``,
+shard identity).  Version-1 clients that never send ``hello`` keep
+working — every v1 request and response shape is unchanged; v2 fields
+only appear when the client asks for them.  A node started as one shard
+of a deployment answers ``hello`` with its shard id, count and epoch so
+a router can verify it is fanning out to the cluster it thinks it is.
 """
 
 from __future__ import annotations
@@ -33,16 +44,60 @@ import json
 import socketserver
 import sys
 import threading
-from dataclasses import replace
+from dataclasses import dataclass, replace
 from typing import Optional, TextIO
 
 from ..engine.config import BenuConfig
 from ..engine.control import ExecutionInterrupted
 from ..graph.datasets import load_dataset
 from ..graph.graph import Graph
+from ..storage.partition import PartitionInfo
 from ..telemetry.prometheus import render_prometheus
 from .errors import InvalidQueryError, ServiceError
 from .service import BenuService
+
+#: Wire protocol version this node speaks.  v2 added the ``hello``
+#: handshake and the sharding fields; v1 requests still work verbatim.
+PROTOCOL_VERSION = 2
+
+#: Optional v2 features this node advertises in the handshake.
+CAPABILITIES = ("deadline_at", "partition", "telemetry_counts")
+
+
+@dataclass(frozen=True)
+class ShardIdentity:
+    """Who a serving node is within a sharded deployment.
+
+    ``epoch`` is the deployment generation: a router refuses to merge
+    streams from shards that disagree on it (a stale node from a
+    previous rollout would silently double- or under-count).
+    """
+
+    shard_index: int
+    shard_count: int
+    epoch: int = 0
+
+    def __post_init__(self) -> None:
+        if self.shard_count < 1:
+            raise ValueError("shard_count must be >= 1")
+        if not 0 <= self.shard_index < self.shard_count:
+            raise ValueError(
+                f"shard_index {self.shard_index} out of range for "
+                f"{self.shard_count} shards"
+            )
+
+    def partition_info(self, halo_hops: Optional[int] = None) -> PartitionInfo:
+        return PartitionInfo(
+            index=self.shard_index, of=self.shard_count, halo_hops=halo_hops
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "shard_index": self.shard_index,
+            "shard_count": self.shard_count,
+            "epoch": self.epoch,
+        }
+
 
 #: JSON config field → BenuConfig field.
 _CONFIG_FIELDS = {
@@ -62,10 +117,21 @@ def _json_match(match) -> list:
 
 
 class ServiceProtocol:
-    """Stateless request handler: one JSON request in, one response out."""
+    """Stateless request handler: one JSON request in, one response out.
 
-    def __init__(self, service: BenuService) -> None:
+    ``identity`` binds the handler to a shard of a deployment: ``hello``
+    reports it, and ``register`` defaults to partitioning the graph by
+    it (so a router can broadcast one register request to every shard
+    and each keeps only its slice of the task space).
+    """
+
+    def __init__(
+        self,
+        service: BenuService,
+        identity: Optional[ShardIdentity] = None,
+    ) -> None:
         self.service = service
+        self.identity = identity
         self.shutdown_requested = False
 
     # ------------------------------------------------------------------
@@ -127,7 +193,27 @@ class ServiceProtocol:
         except (TypeError, ValueError) as exc:
             raise InvalidQueryError(f"bad config: {exc}") from exc
 
+    def _op_hello(self, request: dict) -> dict:
+        """Version/role handshake (v2).  Optional: v1 clients skip it."""
+        asked = request.get("version", 1)
+        try:
+            asked = int(asked)
+        except (TypeError, ValueError) as exc:
+            raise InvalidQueryError('"version" must be an integer') from exc
+        if asked < 1:
+            raise InvalidQueryError(f"bad protocol version {asked}")
+        response = {
+            "version": min(asked, PROTOCOL_VERSION),
+            "server_version": PROTOCOL_VERSION,
+            "role": "shard" if self.identity is not None else "node",
+            "capabilities": list(CAPABILITIES),
+        }
+        if self.identity is not None:
+            response.update(self.identity.to_dict())
+        return response
+
     def _op_submit(self, request: dict) -> dict:
+        deadline_at = request.get("deadline_at")
         handle = self.service.submit(
             self._parse_pattern(request),
             request.get("graph", ""),
@@ -135,6 +221,7 @@ class ServiceProtocol:
             stream=bool(request.get("stream", True)),
             limit=request.get("limit"),
             deadline_seconds=request.get("deadline"),
+            deadline_at=float(deadline_at) if deadline_at is not None else None,
         )
         return {"query": handle.query_id, "status": handle.status.value}
 
@@ -158,6 +245,18 @@ class ServiceProtocol:
                 result = handle.result()
                 if result is not None:
                     response["count"] = result.count
+                    if result.telemetry is not None:
+                        # Per-shard execution counters a router sums;
+                        # instruction counts are per-task deterministic,
+                        # so shard slices add up to the single-node run.
+                        response["telemetry"] = {
+                            "instruction_counts": dict(
+                                result.telemetry.instruction_counts
+                            ),
+                            "kernel_counts": dict(
+                                result.telemetry.kernel_counts
+                            ),
+                        }
         return response
 
     def _op_cancel(self, request: dict) -> dict:
@@ -168,7 +267,13 @@ class ServiceProtocol:
         return {"stats": self.service.stats()}
 
     def _op_metrics(self, request: dict) -> dict:
-        """Prometheus text exposition of the service registry."""
+        """Metrics export: Prometheus text, or the registry dict (v2).
+
+        ``{"format": "json"}`` returns :meth:`MetricsRegistry.as_dict` —
+        the structured form a router merges across shards.
+        """
+        if request.get("format") == "json":
+            return {"metrics": self.service.registry.as_dict()}
         return {"metrics": render_prometheus(self.service.registry)}
 
     def _op_events(self, request: dict) -> dict:
@@ -208,9 +313,31 @@ class ServiceProtocol:
             relabel = bool(request.get("relabel", True))
         else:
             raise InvalidQueryError('register needs "dataset" or "edges"')
+        partition = self._parse_partition(request)
         return self.service.register_graph(
-            name, graph, relabel=relabel, replace=bool(request.get("replace"))
+            name,
+            graph,
+            relabel=relabel,
+            replace=bool(request.get("replace")),
+            partition=partition,
         )
+
+    def _parse_partition(self, request: dict) -> Optional[PartitionInfo]:
+        raw = request.get("partition")
+        if raw is None:
+            # A shard node partitions every registration by its identity
+            # unless the client explicitly asked for a full copy.
+            if self.identity is None or request.get("unpartitioned"):
+                return None
+            return self.identity.partition_info()
+        if not isinstance(raw, dict):
+            raise InvalidQueryError(
+                '"partition" must be {"index": i, "of": n, "halo": k?}'
+            )
+        try:
+            return PartitionInfo.from_dict(raw)
+        except (TypeError, ValueError) as exc:
+            raise InvalidQueryError(f"bad partition: {exc}") from exc
 
     def _op_queries(self, request: dict) -> dict:
         return {
@@ -229,11 +356,12 @@ def serve_stdio(
     service: BenuService,
     in_stream: Optional[TextIO] = None,
     out_stream: Optional[TextIO] = None,
+    identity: Optional[ShardIdentity] = None,
 ) -> int:
     """Serve the protocol over stdio until EOF or a shutdown op."""
     in_stream = in_stream if in_stream is not None else sys.stdin
     out_stream = out_stream if out_stream is not None else sys.stdout
-    protocol = ServiceProtocol(service)
+    protocol = ServiceProtocol(service, identity=identity)
     for line in in_stream:
         line = line.strip()
         if not line:
@@ -247,7 +375,10 @@ def serve_stdio(
 
 class _ProtocolTCPHandler(socketserver.StreamRequestHandler):
     def handle(self) -> None:
-        protocol = ServiceProtocol(self.server.service)  # type: ignore[attr-defined]
+        protocol = ServiceProtocol(
+            self.server.service,  # type: ignore[attr-defined]
+            identity=self.server.identity,  # type: ignore[attr-defined]
+        )
         for raw in self.rfile:
             line = raw.decode("utf-8", "replace").strip()
             if not line:
@@ -271,12 +402,23 @@ class ServiceTCPServer(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     daemon_threads = True
 
-    def __init__(self, address, service: BenuService) -> None:
+    def __init__(
+        self,
+        address,
+        service: BenuService,
+        identity: Optional[ShardIdentity] = None,
+    ) -> None:
         super().__init__(address, _ProtocolTCPHandler)
         self.service = service
+        self.identity = identity
         self.shutdown_requested = False
 
 
-def serve_socket(service: BenuService, host: str = "127.0.0.1", port: int = 0):
+def serve_socket(
+    service: BenuService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    identity: Optional[ShardIdentity] = None,
+):
     """A bound (not yet serving) TCP server; caller runs serve_forever."""
-    return ServiceTCPServer((host, port), service)
+    return ServiceTCPServer((host, port), service, identity=identity)

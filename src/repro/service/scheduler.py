@@ -10,15 +10,22 @@ does the same for reserved result-buffer bytes.
 
 Deadlines compose with queueing: a query whose deadline expires while
 parked is failed without ever running (its first control check fires
-before any work).
+before any work).  Deadline accounting is *absolute*, not local: submit
+takes the caller's wall-clock deadline (``deadline_at``, epoch seconds)
+rather than starting a fresh budget at enqueue, so on a remote shard the
+time a query already spent at the router — and will spend parked in this
+queue — counts against the one global budget.  A query arriving with an
+exhausted budget is fast-rejected synchronously, before taking a slot.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable, Optional
 
+from ..engine.control import DeadlineExpired
 from ..telemetry.snapshot import (
     G_SERVICE_QUEUED,
     G_SERVICE_RUNNING,
@@ -140,12 +147,25 @@ class QueryScheduler:
         self,
         fn: Callable[[], object],
         estimated_bytes: int = 0,
+        deadline_at: Optional[float] = None,
     ) -> Future:
         """Admit and eventually run ``fn``; raise typed errors otherwise.
 
         ``estimated_bytes`` is the query's reserved buffer memory,
         checked against the memory budget while the query is in flight.
+        ``deadline_at`` is the caller's absolute wall deadline (epoch
+        seconds): already exhausted at enqueue means a synchronous
+        :class:`~repro.engine.control.DeadlineExpired` — no slot, no
+        queue entry, no work.
         """
+        if deadline_at is not None and time.time() >= deadline_at:
+            if self._registry is not None:
+                self._registry.counter(
+                    M_SERVICE_REJECTED,
+                    "queries fast-rejected at admission",
+                    ("kind",),
+                ).inc(kind="deadline")
+            raise DeadlineExpired(0.0)
         with self._lock:
             if self._closed:
                 raise ServiceClosedError("service is shut down")

@@ -140,15 +140,31 @@ class BenuService:
         graph: Graph,
         relabel: bool = True,
         replace: bool = False,
+        partition=None,
     ) -> dict:
-        """Register a data graph; relabeling and store builds happen once."""
-        entry = self.catalog.register(name, graph, relabel=relabel, replace=replace)
-        return {
+        """Register a data graph; relabeling and store builds happen once.
+
+        ``partition`` (a :class:`~repro.storage.partition.PartitionInfo`)
+        registers the graph as one shard's slice of a sharded deployment:
+        queries enumerate only the owned start vertices, so N shards
+        holding the same graph under complementary partitions cover the
+        single-node match set exactly, disjointly.
+        """
+        entry = self.catalog.register(
+            name, graph, relabel=relabel, replace=replace, partition=partition
+        )
+        out = {
             "graph": name,
             "vertices": entry.graph.num_vertices,
             "edges": entry.graph.num_edges,
             "relabeled": entry.prepared.relabeled,
         }
+        if entry.partition is not None:
+            out["partition"] = {
+                **entry.partition.to_dict(),
+                "owned_vertices": len(entry.owned_start_vertices()),
+            }
+        return out
 
     # ------------------------------------------------------------- queries
     def _resolve_pattern(self, pattern: PatternLike) -> PatternGraph:
@@ -170,6 +186,7 @@ class BenuService:
         stream: bool = True,
         limit: Optional[int] = None,
         deadline_seconds: Optional[float] = None,
+        deadline_at: Optional[float] = None,
     ) -> QueryHandle:
         """Admit a query; returns its handle or raises a typed error.
 
@@ -178,6 +195,12 @@ class BenuService:
         whose ``handle.result()`` carries the totals.  ``limit`` caps
         delivered matches and stops the run early; ``deadline_seconds``
         arms a wall-clock deadline covering queue time and execution.
+        ``deadline_at`` is the absolute form (epoch seconds) a deadline
+        takes across hops: a router stamps one global deadline and every
+        shard debits the same budget — time already spent upstream, and
+        time this query will spend parked in the local queue, all count.
+        An exhausted budget fast-rejects synchronously.  Both given, the
+        earlier wins.
         """
         if self._closed:
             from .errors import ServiceClosedError
@@ -195,7 +218,9 @@ class BenuService:
         # Fail fast on unknown graphs — before taking a scheduler slot.
         self.catalog.get(graph)
 
-        control = ExecutionControl(deadline_seconds=deadline_seconds)
+        control = ExecutionControl(
+            deadline_seconds=deadline_seconds, deadline_at=deadline_at
+        )
         buffer: Optional[StreamBuffer] = None
         estimated_bytes = 0
         if stream:
@@ -237,6 +262,7 @@ class BenuService:
             future = self.scheduler.submit(
                 lambda: self._run_query(handle, pattern_graph, query_config),
                 estimated_bytes=estimated_bytes,
+                deadline_at=control.deadline_at,
             )
         except Exception as exc:
             self.events.emit(
@@ -302,6 +328,9 @@ class BenuService:
                         if handle.limit is not None
                         else buffer
                     )
+                # A partitioned entry runs only this shard's slice of the
+                # start-vertex task space; None means the whole graph.
+                start_vertices = entry.owned_start_vertices()
                 if config.execution_backend == "process":
                     # The cap is on *total* worker processes across all
                     # in-flight queries: block until slots free up, and
@@ -327,6 +356,7 @@ class BenuService:
                         control=control,
                         progress=handle.progress,
                         task_cost_hint=entry.task_costs.hint(cost_key),
+                        start_vertices=start_vertices,
                     )
                     entry.task_costs.record(
                         cost_key, result.mean_task_wall_seconds
@@ -349,6 +379,7 @@ class BenuService:
                         control=control,
                         worker_caches=pool.caches,
                         progress=handle.progress,
+                        start_vertices=start_vertices,
                     )
             handle._result = result
             status = QueryStatus.SUCCEEDED

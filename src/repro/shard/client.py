@@ -1,0 +1,108 @@
+"""Clients a router uses to talk to shard nodes.
+
+Every client speaks the line protocol of :mod:`repro.service.protocol`
+as *dicts*: ``request(obj) -> obj``.  Two transports:
+
+* :class:`LocalShardClient` — an in-process :class:`~repro.shard.node.ShardNode`
+  behind a real JSON round-trip (requests and responses are serialized
+  and parsed, so tests exercise exact wire fidelity without sockets).
+  Its :meth:`LocalShardClient.kill` hook makes the node unreachable,
+  which is how the failure-injection tests take a shard down mid-query.
+* :class:`TCPShardClient` — a line-per-message TCP connection to a
+  ``benu serve`` process.
+
+Transport failures raise :class:`ShardUnavailable` — the typed signal
+the router's retry path keys on.  A *protocol-level* error response
+(``{"ok": false, ...}``) is not a transport failure and is returned to
+the caller untouched.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Optional
+
+from ..service.errors import ServiceError
+
+
+class ShardUnavailable(ServiceError):
+    """The shard node cannot be reached (dead, killed, or disconnected)."""
+
+    code = "shard_unavailable"
+
+
+class ShardClient:
+    """Abstract request/response channel to one shard node."""
+
+    #: Human-readable endpoint for error messages and telemetry keys.
+    endpoint: str = "?"
+
+    def request(self, obj: dict) -> dict:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+    def hello(self, version: int = 2, role: str = "router") -> dict:
+        """Run the v2 handshake; raises ShardUnavailable on dead nodes."""
+        return self.request({"op": "hello", "version": version, "role": role})
+
+
+class LocalShardClient(ShardClient):
+    """An in-process shard node behind a faithful JSON round-trip."""
+
+    def __init__(self, node, endpoint: Optional[str] = None) -> None:
+        self.node = node
+        self.endpoint = endpoint or f"local:{node.identity.shard_index}"
+        self._protocol = node.protocol()
+        self._killed = False
+
+    def kill(self) -> None:
+        """Make the node unreachable (failure injection for tests)."""
+        self._killed = True
+
+    def revive(self) -> None:
+        self._killed = False
+
+    def request(self, obj: dict) -> dict:
+        if self._killed:
+            raise ShardUnavailable(f"shard {self.endpoint} is down")
+        # Serialize both ways: a dict that would not survive the wire
+        # must fail here too, not only over TCP.
+        line = json.dumps(obj)
+        return json.loads(self._protocol.handle_line_json(line))
+
+
+class TCPShardClient(ShardClient):
+    """A line-delimited JSON connection to a ``benu serve`` TCP node."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.endpoint = f"{host}:{port}"
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise ShardUnavailable(
+                f"cannot connect to shard {self.endpoint}: {exc}"
+            ) from exc
+        self._file = self._sock.makefile("rw", encoding="utf-8", newline="\n")
+
+    def request(self, obj: dict) -> dict:
+        try:
+            self._file.write(json.dumps(obj) + "\n")
+            self._file.flush()
+            line = self._file.readline()
+        except OSError as exc:
+            raise ShardUnavailable(
+                f"shard {self.endpoint} connection failed: {exc}"
+            ) from exc
+        if not line:
+            raise ShardUnavailable(f"shard {self.endpoint} closed the connection")
+        return json.loads(line)
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+            self._sock.close()
+        except OSError:  # pragma: no cover - best effort teardown
+            pass

@@ -1,0 +1,503 @@
+"""The fan-out/merge router in front of a sharded BENU deployment.
+
+One :class:`ShardRouter` owns a set of shard clients.  At construction
+it runs the v2 handshake against every node and checks the deployment's
+shape: every node reports the same shard count and epoch, every
+partition index ``0..N-1`` is covered, and nodes sharing an index are
+*replicas* holding identical task slices.
+
+A query fans out once — the router stamps a single absolute deadline
+(``deadline_at``, epoch seconds) and submits each partition's slice to
+one replica — and merges back into one client-facing stream:
+
+* **Order** — shards are drained sequentially in partition-index order.
+  Each shard's slice is enumerated deterministically, so the merged
+  stream is a deterministic concatenation: byte-identical across runs
+  and (as a set, and per-shard as a sequence) identical to a
+  single-node run over the same graph.  Shards *execute* concurrently
+  the whole time; a shard that fills its bounded stream buffer simply
+  blocks on backpressure until the router drains it.
+* **Deadline budget** — every hop forwards the same ``deadline_at``;
+  shard queue time, router wait and network time all debit the one
+  global budget.  Expiry anywhere surfaces as ``deadline_expired``.
+* **Failover** — a shard that dies mid-stream is retried *once* on a
+  live replica of the same partition: the slice is resubmitted with the
+  unchanged deadline, the already-delivered prefix is skipped (exact
+  because slice enumeration is deterministic), and the merge resumes
+  where it stopped.
+* **Telemetry** — per-shard counters merge with shard provenance
+  labels; instruction/kernel counts are per-task deterministic, so the
+  shard sums equal the single-node totals exactly.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..engine.control import DeadlineExpired, QueryCancelled
+from ..service.errors import InvalidQueryError, ServiceError
+from ..telemetry.events import stitch_event_dicts
+from ..telemetry.registry import merge_registry_dicts
+from .client import ShardClient, ShardUnavailable
+
+#: How long one poll hop may wait for a count-mode query to finish.
+_COUNT_POLL_WAIT = 0.25
+#: Pause between empty polls of a still-running stream.
+_STREAM_POLL_PAUSE = 0.005
+
+
+class RouterError(ServiceError):
+    """The deployment is malformed (bad shape, epoch mismatch, ...)."""
+
+    code = "router"
+
+
+class _RemoteError(ServiceError):
+    """A shard returned a protocol-level error the router forwards."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+def _raise_remote(response: dict, endpoint: str) -> None:
+    """Map a shard's error response onto the matching typed exception."""
+    code = response.get("error", "error")
+    message = f"shard {endpoint}: {response.get('message', code)}"
+    if code == "deadline_expired":
+        raise DeadlineExpired(0.0)
+    if code == "cancelled":
+        raise QueryCancelled(message)
+    raise _RemoteError(code, message)
+
+
+class _Slice:
+    """One partition's routed slice: which replica runs it, and progress."""
+
+    def __init__(self, index: int, replicas: List[ShardClient]) -> None:
+        self.index = index
+        self.replicas = replicas
+        self.client: Optional[ShardClient] = None
+        self.query_id: Optional[str] = None
+        self.delivered = 0  # matches already handed to the router's client
+        self.done = False
+        self.retried = False
+        self.count: Optional[int] = None
+        self.telemetry: Optional[dict] = None
+
+
+class RouterFetchResult:
+    """One merged page (mirrors the single-node ``FetchResult``)."""
+
+    def __init__(self, matches: List[tuple], cursor: int, done: bool) -> None:
+        self.matches = matches
+        self.cursor = cursor
+        self.done = done
+
+    def __iter__(self):
+        return iter(self.matches)
+
+
+class RouterQuery:
+    """Client-side handle to one fanned-out query."""
+
+    def __init__(
+        self,
+        request: dict,
+        slices: List[_Slice],
+        deadline_at: Optional[float],
+        stream: bool,
+        limit: Optional[int],
+    ) -> None:
+        self._request = request  # resubmitted verbatim on failover
+        self._slices = slices
+        self.deadline_at = deadline_at
+        self.stream = stream
+        self.limit = limit
+        self._current = 0  # partition index being drained
+        self._cursor = 0  # total matches delivered across shards
+        self._truncated = False
+
+    # ------------------------------------------------------------------
+    @property
+    def query_ids(self) -> Dict[int, str]:
+        return {s.index: s.query_id for s in self._slices}
+
+    @property
+    def done(self) -> bool:
+        return self._truncated or all(s.done for s in self._slices)
+
+    def _check_budget(self) -> None:
+        if self.deadline_at is not None and time.time() >= self.deadline_at:
+            raise DeadlineExpired(0.0)
+
+    def _poll(self, s: _Slice, body: dict) -> dict:
+        """One poll hop against a slice's replica, with one-shot failover."""
+        self._check_budget()
+        try:
+            response = s.client.request({**body, "query": s.query_id})
+        except ShardUnavailable:
+            self._failover(s)
+            response = s.client.request({**body, "query": s.query_id})
+        if not response.get("ok"):
+            _raise_remote(response, s.client.endpoint)
+        return response
+
+    def _failover(self, s: _Slice) -> None:
+        """Move a dead slice to a live replica and skip the delivered prefix.
+
+        Exact-once delivery relies on the slice being re-enumerated in
+        the same deterministic order by the replica — true for the
+        simulated and inline backends (and documented as the failover
+        contract); the process backend's unordered task completion only
+        guarantees set-identical replay, so routers over it should not
+        rely on mid-stream failover.
+        """
+        if s.retried:
+            raise ShardUnavailable(
+                f"partition {s.index}: replica {s.client.endpoint} died "
+                "after a failover was already used"
+            )
+        s.retried = True
+        dead = s.client
+        for replica in s.replicas:
+            if replica is dead:
+                continue
+            try:
+                response = replica.request(self._request)
+            except ShardUnavailable:
+                continue
+            if not response.get("ok"):
+                _raise_remote(response, replica.endpoint)
+            s.client = replica
+            s.query_id = response["query"]
+            self._skip_delivered(s)
+            return
+        raise ShardUnavailable(
+            f"partition {s.index} has no live replica left"
+        )
+
+    def _skip_delivered(self, s: _Slice) -> None:
+        """Drain and discard the prefix the dead replica already delivered."""
+        if not self.stream or s.delivered == 0:
+            return
+        to_skip = s.delivered
+        while to_skip > 0:
+            self._check_budget()
+            response = s.client.request(
+                {"op": "poll", "query": s.query_id, "limit": min(to_skip, 1024)}
+            )
+            if not response.get("ok"):
+                _raise_remote(response, s.client.endpoint)
+            got = response.get("matches", [])
+            to_skip -= len(got)
+            if response.get("done") and to_skip > 0:
+                raise ShardUnavailable(
+                    f"partition {s.index}: replica replayed fewer matches "
+                    "than were already delivered"
+                )
+            if not got:
+                time.sleep(_STREAM_POLL_PAUSE)
+
+    # ------------------------------------------------------------- streaming
+    def fetch(
+        self, limit: int = 256, cursor: Optional[int] = None
+    ) -> RouterFetchResult:
+        """Up to ``limit`` merged matches; same contract as a QueryHandle.
+
+        The merged stream cannot rewind: ``cursor``, when given, must be
+        the position the previous fetch returned.
+        """
+        if not self.stream:
+            raise InvalidQueryError("count queries have no match stream")
+        if limit < 1:
+            raise InvalidQueryError("fetch limit must be positive")
+        if cursor is not None and cursor != self._cursor:
+            raise InvalidQueryError(
+                f"cursor {cursor} is not the stream position ({self._cursor});"
+                " merged streams cannot rewind"
+            )
+        out: List[tuple] = []
+        while len(out) < limit and self._current < len(self._slices):
+            if self._truncated:
+                break
+            s = self._slices[self._current]
+            response = self._poll(
+                s, {"op": "poll", "limit": limit - len(out)}
+            )
+            got = [tuple(m) for m in response.get("matches", [])]
+            s.delivered += len(got)
+            out.extend(got)
+            if (
+                self.limit is not None
+                and self._cursor + len(out) >= self.limit
+            ):
+                overshoot = self._cursor + len(out) - self.limit
+                if overshoot:
+                    del out[-overshoot:]
+                self._truncated = True
+                self._cancel_rest()
+                break
+            if response.get("done"):
+                s.done = True
+                self._current += 1
+            elif not got:
+                time.sleep(_STREAM_POLL_PAUSE)
+        self._cursor += len(out)
+        return RouterFetchResult(out, self._cursor, self.done)
+
+    def matches(self):
+        """Yield merged matches until the stream ends (blocking)."""
+        while True:
+            page = self.fetch(limit=256)
+            yield from page.matches
+            if page.done:
+                return
+
+    def _cancel_rest(self) -> None:
+        """Best-effort cancel of slices whose results are no longer needed."""
+        for s in self._slices:
+            if s.done or s.query_id is None:
+                continue
+            try:
+                s.client.request({"op": "cancel", "query": s.query_id})
+            except (ShardUnavailable, OSError):
+                pass
+            s.done = True
+
+    def cancel(self) -> None:
+        self._cancel_rest()
+
+    # ----------------------------------------------------------------- count
+    def result(self) -> dict:
+        """Block until every shard finishes; the exact global totals.
+
+        Returns ``{"count", "instruction_counts", "kernel_counts",
+        "per_shard"}`` where the counts are sums over shards — equal to
+        the single-node run's, because instruction execution per task is
+        deterministic and the task space partitions exactly.
+        """
+        if self.stream:
+            raise InvalidQueryError(
+                "streamed queries deliver through fetch(); result() is "
+                "for count mode"
+            )
+        per_shard: List[dict] = []
+        total = 0
+        instruction_counts: Dict[str, int] = {}
+        kernel_counts: Dict[str, int] = {}
+        for s in self._slices:
+            while not s.done:
+                response = self._poll(
+                    s, {"op": "poll", "wait": _COUNT_POLL_WAIT}
+                )
+                if response.get("done"):
+                    s.done = True
+                    s.count = int(response.get("count", 0))
+                    s.telemetry = response.get("telemetry") or {}
+            total += s.count or 0
+            for kind, sums in (
+                ("instruction_counts", instruction_counts),
+                ("kernel_counts", kernel_counts),
+            ):
+                for key, value in (s.telemetry or {}).get(kind, {}).items():
+                    sums[key] = sums.get(key, 0) + int(value)
+            per_shard.append(
+                {
+                    "shard": s.index,
+                    "endpoint": s.client.endpoint,
+                    "query": s.query_id,
+                    "count": s.count,
+                    "retried": s.retried,
+                }
+            )
+        return {
+            "count": total,
+            "instruction_counts": instruction_counts,
+            "kernel_counts": kernel_counts,
+            "per_shard": per_shard,
+        }
+
+
+class ShardRouter:
+    """Fan-out/merge front-end over a fixed set of shard clients."""
+
+    def __init__(
+        self,
+        clients: Sequence[ShardClient],
+        expected_epoch: Optional[int] = None,
+    ) -> None:
+        if not clients:
+            raise RouterError("a router needs at least one shard client")
+        self.clients = list(clients)
+        self.shard_count: Optional[int] = None
+        self.epoch: Optional[int] = None
+        self.replicas: Dict[int, List[ShardClient]] = {}
+        self._handshake(expected_epoch)
+
+    def _handshake(self, expected_epoch: Optional[int]) -> None:
+        for client in self.clients:
+            hello = client.hello()
+            if not hello.get("ok"):
+                raise RouterError(
+                    f"shard {client.endpoint} rejected the handshake: "
+                    f"{hello.get('message')}"
+                )
+            if hello.get("role") != "shard":
+                raise RouterError(
+                    f"node {client.endpoint} has no shard identity; start "
+                    "it with --shard-index/--shard-count"
+                )
+            index = hello["shard_index"]
+            count = hello["shard_count"]
+            epoch = hello.get("epoch", 0)
+            if self.shard_count is None:
+                self.shard_count = count
+                self.epoch = epoch if expected_epoch is None else expected_epoch
+            if count != self.shard_count:
+                raise RouterError(
+                    f"shard {client.endpoint} thinks the deployment has "
+                    f"{count} shards, not {self.shard_count}"
+                )
+            if epoch != self.epoch:
+                raise RouterError(
+                    f"shard {client.endpoint} is at epoch {epoch}, "
+                    f"expected {self.epoch} — stale node from a previous "
+                    "rollout?"
+                )
+            self.replicas.setdefault(index, []).append(client)
+        missing = [
+            i for i in range(self.shard_count) if i not in self.replicas
+        ]
+        if missing:
+            raise RouterError(
+                f"deployment of {self.shard_count} shards is missing "
+                f"partitions {missing}"
+            )
+
+    # ------------------------------------------------------------------
+    def register(self, name: str, **fields) -> List[dict]:
+        """Register a graph on *every* node (each keeps its own slice).
+
+        ``fields`` are the register op's wire fields (``dataset`` or
+        ``edges``, plus ``relabel``/``replace``).  Every replica must
+        hold the graph for failover to work, so registration is a
+        broadcast, and any node failing fails the whole registration.
+        """
+        request = {"op": "register", "name": name, **fields}
+        out = []
+        for client in self.clients:
+            response = client.request(request)
+            if not response.get("ok"):
+                _raise_remote(response, client.endpoint)
+            out.append(response)
+        return out
+
+    def submit(
+        self,
+        pattern,
+        graph: str,
+        stream: bool = True,
+        limit: Optional[int] = None,
+        deadline: Optional[float] = None,
+        config: Optional[dict] = None,
+    ) -> RouterQuery:
+        """Fan one query out to every partition; returns the merged handle.
+
+        ``deadline`` (seconds) is the query's *global* budget: converted
+        once to an absolute instant and forwarded verbatim on every hop
+        — including failover resubmissions — so no hop restarts it.
+        """
+        deadline_at = time.time() + deadline if deadline is not None else None
+        request: dict = {
+            "op": "submit",
+            "pattern": pattern,
+            "graph": graph,
+            "stream": stream,
+        }
+        if limit is not None:
+            # Per-shard upper bound; the router enforces the global cap.
+            request["limit"] = limit
+        if deadline_at is not None:
+            request["deadline_at"] = deadline_at
+        if config is not None:
+            request["config"] = config
+        slices = []
+        for index in range(self.shard_count):
+            s = _Slice(index, self.replicas[index])
+            submitted = False
+            for replica in s.replicas:
+                try:
+                    response = replica.request(request)
+                except ShardUnavailable:
+                    continue
+                if not response.get("ok"):
+                    _raise_remote(response, replica.endpoint)
+                s.client = replica
+                s.query_id = response["query"]
+                submitted = True
+                break
+            if not submitted:
+                raise ShardUnavailable(
+                    f"partition {index} has no live replica to submit to"
+                )
+            slices.append(s)
+        return RouterQuery(
+            request, slices, deadline_at, stream=stream, limit=limit
+        )
+
+    # ------------------------------------------------------- observability
+    def _fanout(self, request: dict) -> Dict[str, dict]:
+        """Send one request to every live node, keyed by endpoint."""
+        out: Dict[str, dict] = {}
+        for client in self.clients:
+            try:
+                out[client.endpoint] = client.request(request)
+            except ShardUnavailable:
+                out[client.endpoint] = {"ok": False, "error": "shard_unavailable"}
+        return out
+
+    def stats(self) -> dict:
+        """Per-node service stats plus the deployment's shape."""
+        return {
+            "shard_count": self.shard_count,
+            "epoch": self.epoch,
+            "nodes": {
+                endpoint: response.get("stats", response)
+                for endpoint, response in self._fanout({"op": "stats"}).items()
+            },
+        }
+
+    def metrics(self) -> dict:
+        """All shards' registries merged with shard provenance labels."""
+        by_shard = {}
+        for client in self.clients:
+            try:
+                response = client.request({"op": "metrics", "format": "json"})
+            except ShardUnavailable:
+                continue
+            if response.get("ok"):
+                by_shard[client.endpoint] = response["metrics"]
+        return merge_registry_dicts(by_shard, label="shard")
+
+    def events(self, **filters) -> List[dict]:
+        """Every shard's event log stitched into one global timeline."""
+        by_shard = {}
+        for client in self.clients:
+            try:
+                response = client.request({"op": "events", **filters})
+            except ShardUnavailable:
+                continue
+            if response.get("ok"):
+                by_shard[client.endpoint] = response["events"]
+        return stitch_event_dicts(by_shard, label="shard")
+
+    # ------------------------------------------------------------------
+    def shutdown(self) -> Dict[str, dict]:
+        """Ask every node to shut down (best effort)."""
+        return self._fanout({"op": "shutdown"})
+
+    def close(self) -> None:
+        for client in self.clients:
+            client.close()

@@ -11,6 +11,12 @@ from .policies import (
     make_policy,
 )
 from .kvstore import DistributedKVStore, LatencyModel, QueryStats
+from .partition import (
+    GraphPartition,
+    GraphPartitioner,
+    PartitionInfo,
+    partition_of,
+)
 from .serialization import (
     adjacency_size_bytes,
     decode_adjacency,
@@ -36,6 +42,10 @@ __all__ = [
     "DistributedKVStore",
     "LatencyModel",
     "QueryStats",
+    "GraphPartition",
+    "GraphPartitioner",
+    "PartitionInfo",
+    "partition_of",
     "adjacency_size_bytes",
     "decode_adjacency",
     "decode_varint",

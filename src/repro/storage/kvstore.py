@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Optional
 
 from ..graph.graph import Graph, Vertex
+from .partition import partition_of
 from .serialization import adjacency_size_bytes
 
 
@@ -139,7 +140,9 @@ class DistributedKVStore:
         return store
 
     def partition_of(self, key: Vertex) -> int:
-        return hash(key) % self.num_partitions
+        # The canonical hash rule shared with shard ownership (see
+        # repro.storage.partition) — regions and shards can never drift.
+        return partition_of(key, self.num_partitions)
 
     def put(self, key: Vertex, neighbors: FrozenSet[Vertex]) -> None:
         if self.backend == "csr":

@@ -38,6 +38,7 @@ from .events import (
     FileEventSink,
     NullEventLog,
     parse_event,
+    stitch_event_dicts,
 )
 from .profiler import INSTRUCTION_SECONDS_METRIC, SamplingProfiler
 from .progress import NULL_PROGRESS, NullProgress, QueryProgress
@@ -49,6 +50,7 @@ from .registry import (
     HistogramValue,
     MetricError,
     MetricsRegistry,
+    merge_registry_dicts,
 )
 from .runtime import Telemetry, TelemetryConfig
 from .snapshot import TelemetrySnapshot
@@ -86,7 +88,9 @@ __all__ = [
     "TelemetryConfig",
     "TelemetrySnapshot",
     "Tracer",
+    "merge_registry_dicts",
     "parse_event",
     "render_prometheus",
+    "stitch_event_dicts",
     "validate_chrome_trace",
 ]

@@ -322,3 +322,42 @@ class MetricsRegistry:
 
     def __contains__(self, name: str) -> bool:
         return name in self._metrics
+
+
+def merge_registry_dicts(by_source: dict, label: str = "shard") -> dict:
+    """Merge several :meth:`MetricsRegistry.as_dict` exports into one.
+
+    ``by_source`` maps a source key (e.g. shard index) to one export.
+    Every sample keeps its provenance: its label set gains
+    ``{label: str(key)}``, Prometheus-style, so counters *sum* across
+    sources by totalling label sets — nothing is conflated — while
+    gauges and histograms stay attributed to the node they describe.
+
+    >>> a = {"m": {"kind": "counter", "help": "h", "labels": [],
+    ...            "samples": [{"labels": {}, "value": 2}]}}
+    >>> b = {"m": {"kind": "counter", "help": "h", "labels": [],
+    ...            "samples": [{"labels": {}, "value": 3}]}}
+    >>> merged = merge_registry_dicts({0: a, 1: b})
+    >>> sum(s["value"] for s in merged["m"]["samples"])
+    5
+    """
+    merged: dict = {}
+    for key, export in by_source.items():
+        tag = str(key)
+        for name, metric in export.items():
+            slot = merged.get(name)
+            if slot is None:
+                slot = {
+                    "kind": metric.get("kind"),
+                    "help": metric.get("help"),
+                    "labels": list(metric.get("labels", ())) + [label],
+                    "samples": [],
+                }
+                merged[name] = slot
+            for sample in metric.get("samples", ()):
+                labels = dict(sample.get("labels", {}))
+                labels[label] = tag
+                slot["samples"].append(
+                    {"labels": labels, "value": sample.get("value")}
+                )
+    return merged
