@@ -123,6 +123,43 @@ class TestTelemetryOffIsFree:
         traced = [r for r in seen if r is not None]
         assert traced and all(len(r) == 6 for r in traced)
 
+    def test_faults_off_is_free(self, monkeypatch):
+        """No schedule configured → the null injector, no fault metrics,
+        and the same bare 5-tuple IPC records as ever."""
+        from repro.engine.backends import process as proc
+        from repro.faults import FAULTS_ENV, NULL_INJECTOR, get_injector
+        from repro.telemetry.snapshot import (
+            M_FAULTS_INJECTED,
+            M_TASK_RETRIES,
+            M_WORKER_CRASHES,
+        )
+
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        assert get_injector(None) is NULL_INJECTOR
+
+        seen = []
+        original = proc._run_task
+
+        def spy(task):
+            record = original(task)
+            seen.append(record)
+            return record
+
+        monkeypatch.setattr(proc, "_run_task", spy)
+        result = run_benu(
+            get_pattern("triangle"),
+            erdos_renyi(30, 0.2, seed=5),
+            BenuConfig(num_workers=1, execution_backend="process"),
+        )
+        records = [r for r in seen if r is not None]
+        assert records and all(
+            pickle.dumps(r) == pickle.dumps(tuple(r[:5])) for r in records
+        )
+        registry = result.telemetry.registry
+        for metric in (M_WORKER_CRASHES, M_TASK_RETRIES, M_FAULTS_INJECTED):
+            assert registry.get(metric) is None
+        assert result.worker_crashes == 0 and result.tasks_retried == 0
+
     def test_predictions_leave_compiled_source_byte_identical(self):
         from repro.engine.benu import build_plan
         from repro.plan.codegen import generate_source

@@ -37,6 +37,7 @@ from .engine import (
     enumerate_subgraphs,
     run_benu,
 )
+from .faults import FaultConfig, InjectedFault
 from .telemetry import (
     MetricsRegistry,
     TelemetryConfig,
@@ -45,7 +46,7 @@ from .telemetry import (
     validate_chrome_trace,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "CSRAdjacency",
@@ -67,6 +68,8 @@ __all__ = [
     "count_subgraphs",
     "enumerate_subgraphs",
     "run_benu",
+    "FaultConfig",
+    "InjectedFault",
     "MetricsRegistry",
     "TelemetryConfig",
     "TelemetrySnapshot",

@@ -72,6 +72,8 @@ def _config_from(
         collect=collect,
         relabel=not args.dataset,  # bundled datasets are pre-relabeled
         telemetry=telemetry,
+        task_retries=getattr(args, "task_retries", 2),
+        faults=getattr(args, "faults", None),
     )
 
 
@@ -94,6 +96,13 @@ def _add_run_options(
     parser.add_argument("--adjacency-backend", choices=ADJACENCY_BACKENDS,
                         default="frozenset",
                         help="adjacency layout: frozenset (default) or csr")
+    parser.add_argument("--task-retries", type=int, default=2,
+                        help="process backend: re-run lost task slices this "
+                             "many times after a worker crash before failing")
+    parser.add_argument("--faults", default=None, metavar="SCHEDULE",
+                        help="deterministic fault-injection schedule, e.g. "
+                             "'seed=7,worker.task:crash@3' (also honours the "
+                             "BENU_FAULTS env var)")
 
 
 def cmd_count(args: argparse.Namespace) -> int:
@@ -205,6 +214,14 @@ def _print_service_stats(stats: dict) -> None:
         f"queries: running={sched.get('running')} queued={sched.get('queued')}"
         f"  events: emitted={events.get('emitted')} dropped={events.get('dropped')}"
     )
+    faults = stats.get("faults", {})
+    if faults.get("enabled"):
+        print(f"faults: injected={faults.get('injected')} (chaos schedule armed)")
+    replicas = stats.get("replicas")
+    if replicas:
+        dead = sorted(ep for ep, state in replicas.items() if state != "alive")
+        if dead:
+            print(f"replicas marked dead: {', '.join(dead)}")
     progress = stats.get("progress", {})
     if progress:
         rows = []
@@ -327,6 +344,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         execution_backend=args.execution_backend,
         split_threshold=args.tau,
         optimization_level=args.level,
+        task_retries=args.task_retries,
+        faults=args.faults,
     )
     service = BenuService(
         config=config,
@@ -383,7 +402,14 @@ def cmd_route(args: argparse.Namespace) -> int:
         host, sep, port = spec.rpartition(":")
         if not sep:
             raise SystemExit(f"bad shard address {spec!r}; expected HOST:PORT")
-        clients.append(TCPShardClient(host, int(port)))
+        clients.append(
+            TCPShardClient(
+                host,
+                int(port),
+                connect_timeout=args.connect_timeout,
+                read_timeout=args.read_timeout,
+            )
+        )
     router = ShardRouter(clients, expected_epoch=args.epoch)
     print(
         f"routing over {router.shard_count} partitions "
@@ -565,6 +591,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--slow-query-seconds", type=float, default=None,
                    help="log queries slower than this (stats.slow_queries "
                         "and a slow_query event with a trace summary)")
+    p.add_argument("--task-retries", type=int, default=2,
+                   help="process backend: re-run lost task slices this many "
+                        "times after a worker crash before failing")
+    p.add_argument("--faults", default=None, metavar="SCHEDULE",
+                   help="deterministic fault-injection schedule for chaos "
+                        "testing (also honours the BENU_FAULTS env var)")
     p.add_argument("--shard-index", type=int, default=None,
                    help="serve as shard I of a sharded deployment "
                         "(registrations keep only the owned task slice)")
@@ -586,6 +618,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="register a bundled dataset on every shard at startup")
     p.add_argument("--epoch", type=int, default=None,
                    help="required deployment epoch (default: first node's)")
+    p.add_argument("--connect-timeout", type=float, default=None,
+                   help="per-hop TCP connect timeout in seconds (default 5)")
+    p.add_argument("--read-timeout", type=float, default=None,
+                   help="per-request shard read timeout in seconds "
+                        "(default 30)")
     p.add_argument("--port", type=int, default=None,
                    help="serve the merged protocol on TCP instead of stdio")
     p.add_argument("--host", default="127.0.0.1")

@@ -56,13 +56,27 @@ import time as _time
 from array import array
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
+from ...faults import (
+    InjectedFault,
+    NULL_INJECTOR,
+    SITE_WORKER_IPC,
+    SITE_WORKER_TASK,
+    get_injector,
+    resolve_faults,
+)
 from ...graph.csr import ATTACH_STATS, CSRAdjacency, ShmAttachStats
 from ...kernels import vectorized as _vec
 from ...kernels.intersect import STATS as KERNEL_STATS, KernelStats
 from ...plan.codegen import COUNTER_FIELDS, TaskCounters, compile_plan
 from ...storage.cache import CacheStats
-from ...telemetry.events import EV_TASK_DISPATCHED, EV_TASK_FINISHED
+from ...telemetry.events import (
+    EV_TASK_DISPATCHED,
+    EV_TASK_FINISHED,
+    EV_TASK_RETRIED,
+    EV_WORKER_CRASHED,
+)
 from ...telemetry.registry import MetricsRegistry
+from ...telemetry.snapshot import M_TASK_RETRIES, M_WORKER_CRASHES
 from ..control import ExecutionInterrupted
 from ..granularity import fallback_chunksize, measured_chunksize
 from ..local_task import LocalSearchTask
@@ -95,10 +109,39 @@ _TaskChunk = Tuple[int, Union[List[LocalSearchTask], array]]
 # Globals populated inside each worker process by the pool initializer.
 _worker_state: dict = {}
 
+#: Exit code an injected ``crash`` uses inside a pool worker — distinct
+#: from 0 (normal / maxtasksperchild recycle) and negative signal codes,
+#: so the parent's dead-worker scan attributes it unambiguously.
+_CRASH_EXIT_CODE = 70
+
+
+class WorkerCrashed(RuntimeError):
+    """A pool worker died and the retry budget could not recover the query.
+
+    Raised by the process backend after ``config.task_retries`` fresh-pool
+    re-executions still left task slices unacknowledged.  Carries the
+    dead workers seen (pid → exit code) and the ids of the lost tasks.
+    """
+
+    code = "worker_crashed"
+
+    def __init__(self, dead: dict, lost_tasks: list, attempts: int) -> None:
+        names = ", ".join(
+            f"pid {pid} (exit {code})" for pid, code in sorted(dead.items())
+        ) or "worker"
+        super().__init__(
+            f"{len(lost_tasks)} task(s) lost to crashed {names}; "
+            f"gave up after {attempts} attempt(s)"
+        )
+        self.dead = dict(dead)
+        self.lost_tasks = list(lost_tasks)
+        self.attempts = attempts
+
 
 def _init_worker(
     plan, adjacency_backend: str, payload, mode: str, cancel_event,
     trace: bool = False, pack: bool = False, vector_crossover=None,
+    faults=None, fault_attempt: int = 0,
 ) -> None:
     """Build per-process state: compiled plan + adjacency access + control.
 
@@ -136,6 +179,15 @@ def _init_worker(
     _worker_state["pack"] = pack
     _worker_state["cancel"] = cancel_event
     _worker_state["trace"] = trace
+    # Deterministic fault injection: each worker replays the schedule
+    # against its own per-site hit counters; ``fault_attempt`` scopes
+    # rules to recovery attempts (a retry pool runs attempt-0 rules
+    # clean).  A ``crash`` rule hard-kills the process in a pool worker
+    # (the recovery path under test); inline it degrades to raising.
+    _worker_state["injector"] = get_injector(faults, attempt=fault_attempt)
+    _worker_state["crash"] = (
+        (lambda: os._exit(_CRASH_EXIT_CODE)) if cancel_event is not None else None
+    )
     if trace:
         _worker_state["pending_spans"] = [
             {
@@ -161,6 +213,9 @@ def _run_task(task: LocalSearchTask) -> Optional[_TaskRecord]:
     cancel = state["cancel"]
     if cancel is not None and cancel.is_set():
         return None
+    injector = state.get("injector", NULL_INJECTOR)
+    if injector.enabled:
+        injector.hit(SITE_WORKER_TASK, crash=state.get("crash"))
     matches = None
     emit_cb = None
     if state["collect"]:
@@ -235,12 +290,24 @@ def _run_chunk(chunk: _TaskChunk) -> Tuple[int, List[Optional[_TaskRecord]]]:
     point lookups (the memoized views make the in-task lookups free).
     """
     base, tasks = chunk
-    if isinstance(tasks, array):
-        tasks = [LocalSearchTask(start) for start in tasks]
-        get_adj = _worker_state["get_adj"]
-        for task in tasks:
-            get_adj(task.start)
-    return base, [_run_task(task) for task in tasks]
+    injector = _worker_state.get("injector", NULL_INJECTOR)
+    try:
+        if isinstance(tasks, array):
+            tasks = [LocalSearchTask(start) for start in tasks]
+            get_adj = _worker_state["get_adj"]
+            for task in tasks:
+                get_adj(task.start)
+        out = [_run_task(task) for task in tasks]
+        if injector.enabled:
+            # The IPC-send site: an injected error here simulates a result
+            # message lost between a finished worker and the parent.
+            injector.hit(SITE_WORKER_IPC, crash=_worker_state.get("crash"))
+    except InjectedFault as exc:
+        # The chunk's work is lost.  Ship a lost-chunk marker (a plain
+        # string — healthy chunks keep their exact historical wire shape)
+        # so the parent leaves the chunk pending for the retry pass.
+        return base, str(exc)
+    return base, out
 
 
 class ProcessBackend(ExecutionBackend):
@@ -331,22 +398,29 @@ class ProcessBackend(ExecutionBackend):
         else:
             payload = request.graph
 
+        # One resolved fault schedule for the run: an explicit config wins,
+        # the BENU_FAULTS env var covers chaos runs; None stays None and
+        # every site below holds the free NULL_INJECTOR.
+        faults = resolve_faults(config.faults)
+
         records: List[_TaskRecord] = []
         attaches = 0
+        recovery: Optional[dict] = None
         try:
             with tracer.span("execution") as exec_span:
                 if num_workers == 1:
                     attaches = self._run_inline(
                         plan, adjacency_backend, payload, mode, tasks,
                         control, emit, records, trace, events, progress,
-                        pack, match_width,
+                        pack, match_width, faults,
                     )
                 else:
-                    self._run_pool(
+                    recovery = self._run_pool(
                         plan, adjacency_backend, payload, mode, tasks,
                         control, emit, records, num_workers, trace, events,
                         progress, pack, match_width,
                         request.task_cost_hint, config.chunk_target_seconds,
+                        faults, config.task_retries,
                     )
                     # Each worker attaches exactly once, in its initializer.
                     if adjacency_backend == "csr":
@@ -368,19 +442,19 @@ class ProcessBackend(ExecutionBackend):
 
         return self._finalize(
             request, registry, tasks, records, attaches, shm_bytes,
-            collected, num_workers, wall0, tracer,
+            collected, num_workers, wall0, tracer, recovery,
         )
 
     # ------------------------------------------------------------------
     def _run_inline(
         self, plan, adjacency_backend, payload, mode, tasks, control, emit,
-        records, trace, events, progress, pack, match_width,
+        records, trace, events, progress, pack, match_width, faults=None,
     ) -> int:
         """Degenerate one-worker run in this very process (no fork)."""
         attach_base = ATTACH_STATS.attaches
         _init_worker(
             plan, adjacency_backend, payload, mode, None, trace, pack,
-            _vec.CROSSOVER,
+            _vec.CROSSOVER, faults,
         )
         for i, task in enumerate(tasks):
             if control is not None:
@@ -397,44 +471,155 @@ class ProcessBackend(ExecutionBackend):
         self, plan, adjacency_backend, payload, mode, tasks, control, emit,
         records, num_workers, trace, events, progress, pack, match_width,
         task_cost_hint=None, chunk_target_seconds=0.02,
-    ) -> None:
-        """Drive a worker pool, polling control while draining results."""
+        faults=None, task_retries: int = 0,
+    ) -> dict:
+        """Drive worker pools, recovering lost task slices across crashes.
+
+        Exactly-once accounting across failures:
+
+        * The unit of acknowledgment is the *chunk*, keyed by its base
+          task id.  A chunk's records ship atomically (one pool result),
+          so a chunk is either fully accounted or not at all — counters
+          can never half-count a slice.
+        * ``pending`` holds every unacknowledged chunk; a chunk is
+          deleted exactly when its result is consumed.  Late duplicates
+          (a resubmitted chunk whose original eventually surfaced) are
+          dropped by the ``base not in pending`` guard, so no task is
+          ever delivered or counted twice.
+        * When a pool is abandoned (worker death, lost results), its
+          result iterator is never consumed again — whatever it might
+          still hold is discarded wholesale and the surviving ``pending``
+          set is resubmitted to a *fresh* pool, bounded by
+          ``task_retries`` attempts.  Retry pools run with the next
+          attempt number, so attempt-scoped fault rules (the default)
+          don't re-fire.
+
+        The instruction/kernel sums therefore match the single-node run
+        exactly no matter how many workers died on the way.  Returns the
+        recovery ledger: ``{"worker_crashes", "tasks_retried", "attempts"}``.
+        """
         ctx = mp.get_context("fork") if hasattr(os, "fork") else mp.get_context()
         cancel_event = ctx.Event()
         size = self._chunksize(
             len(tasks), num_workers, task_cost_hint, chunk_target_seconds
         )
-        chunks = [
-            (i, self._pack_tasks(tasks[i : i + size]))
+        pending: Dict[int, object] = {
+            i: self._pack_tasks(tasks[i : i + size])
             for i in range(0, len(tasks), size)
-        ]
+        }
         if events.enabled:
             # The whole queue is handed to the pool up front; dispatch is
             # the enqueue instant, finish events arrive per record below.
             for i in range(len(tasks)):
                 events.emit(EV_TASK_DISPATCHED, task_id=i)
+        attempt = 0
+        crashes: Dict[int, int] = {}
+        tasks_retried = 0
+        while True:
+            dead = self._drive_pool(
+                ctx,
+                (
+                    plan, adjacency_backend, payload, mode, cancel_event,
+                    trace, pack, _vec.CROSSOVER, faults, attempt,
+                ),
+                cancel_event, pending, control, emit, records, events,
+                progress, match_width, num_workers,
+            )
+            if not pending:
+                break
+            # Chunks survived the pool: their workers died or their
+            # results were lost.  Either retry them on a fresh pool or
+            # give up with the typed error.
+            lost = [
+                base + offset
+                for base in sorted(pending)
+                for offset in range(self._chunk_task_count(pending[base]))
+            ]
+            for pid, code in dead.items():
+                if pid not in crashes and events.enabled:
+                    events.emit(
+                        EV_WORKER_CRASHED,
+                        worker_pid=pid, exit_code=code, attempt=attempt,
+                    )
+                crashes[pid] = code
+            if attempt >= task_retries:
+                raise WorkerCrashed(crashes, lost, attempt + 1)
+            attempt += 1
+            tasks_retried += len(lost)
+            if events.enabled:
+                for task_id in lost:
+                    events.emit(EV_TASK_RETRIED, task_id=task_id, attempt=attempt)
+        return {
+            "worker_crashes": len(crashes),
+            "tasks_retried": tasks_retried,
+            "attempts": attempt,
+        }
+
+    #: Seconds without any result arrival — with a dead worker on the
+    #: books — before the current pool is declared lost and its surviving
+    #: chunks are resubmitted.  Class attribute so tests can tighten it.
+    worker_grace_seconds = 0.5
+
+    def _drive_pool(
+        self, ctx, initargs, cancel_event, pending, control, emit, records,
+        events, progress, match_width, num_workers,
+    ) -> Dict[int, int]:
+        """One pool lifecycle over the pending chunks; ack what arrives.
+
+        Returns pid → exit code for every worker process observed dead
+        with a non-zero code (a ``maxtasksperchild`` recycle exits 0 and
+        is not a crash).  The pool's own maintenance thread silently
+        replaces dead workers but never resubmits the chunk that died
+        with one — so after a death, once no result has arrived for
+        ``worker_grace_seconds``, the pool is abandoned: the context exit
+        terminates it and the caller resubmits the unacknowledged chunks.
+        """
+        chunks = [(base, pending[base]) for base in sorted(pending)]
+        tracked: Dict[int, object] = {}
+        dead: Dict[int, int] = {}
+        last_arrival = _time.monotonic()
         with ctx.Pool(
             processes=num_workers,
             initializer=_init_worker,
-            initargs=(
-                plan, adjacency_backend, payload, mode, cancel_event, trace,
-                pack, _vec.CROSSOVER,
-            ),
+            initargs=initargs,
             maxtasksperchild=self.maxtasksperchild,
         ) as pool:
+            # Track the original workers *before* any can die: the pool's
+            # maintenance thread joins and replaces dead workers within
+            # milliseconds, so a lazy first scan would only ever see the
+            # healthy replacements.
+            self._scan_workers(pool, tracked, dead)
             results = pool.imap_unordered(_run_chunk, chunks, chunksize=1)
-            pending = len(chunks)
             try:
                 while pending:
                     try:
                         base, chunk_records = results.next(timeout=0.1)
+                    except StopIteration:
+                        # Every submitted chunk reported in, but some may
+                        # have reported lost-chunk markers.
+                        break
                     except mp.TimeoutError:
                         # Nothing arrived: the deadline can still expire and
                         # a cancel can still land — keep the control live.
                         if control is not None:
                             control.check()
+                        self._scan_workers(pool, tracked, dead)
+                        if dead and (
+                            _time.monotonic() - last_arrival
+                            > self.worker_grace_seconds
+                        ):
+                            break
                         continue
-                    pending -= 1
+                    last_arrival = _time.monotonic()
+                    if base not in pending:
+                        # Exactly-once: a stale duplicate of a chunk already
+                        # acknowledged on an earlier attempt.
+                        continue
+                    if isinstance(chunk_records, str):
+                        # Injected lost-result marker: the chunk's work is
+                        # gone; leave it pending for the retry pass.
+                        continue
+                    del pending[base]
                     for offset, record in enumerate(chunk_records):
                         records.append(record)
                         self._deliver(record, emit, match_width)
@@ -447,6 +632,29 @@ class ProcessBackend(ExecutionBackend):
                 # terminates whatever is left.
                 cancel_event.set()
                 raise
+            self._scan_workers(pool, tracked, dead)
+        return dead
+
+    @staticmethod
+    def _scan_workers(pool, tracked: Dict[int, object], dead: Dict[int, int]) -> None:
+        """Track the pool's worker processes and note non-zero exits.
+
+        References are kept across scans because the pool's maintenance
+        thread drops dead workers from ``pool._pool`` when it replaces
+        them — holding our own reference keeps ``exitcode`` readable.
+        """
+        for proc in list(getattr(pool, "_pool", None) or []):
+            if proc.pid is not None:
+                tracked[proc.pid] = proc
+        for pid, proc in tracked.items():
+            code = proc.exitcode
+            if code is not None and code != 0 and pid not in dead:
+                dead[pid] = code
+
+    @staticmethod
+    def _chunk_task_count(packed) -> int:
+        """How many tasks a packed chunk carries (array or task list)."""
+        return len(packed)
 
     @staticmethod
     def _pack_tasks(tasks: List[LocalSearchTask]):
@@ -506,10 +714,23 @@ class ProcessBackend(ExecutionBackend):
     # ------------------------------------------------------------------
     def _finalize(
         self, request, registry, tasks, records, attaches, shm_bytes,
-        collected, num_workers, wall0, tracer,
+        collected, num_workers, wall0, tracer, recovery=None,
     ) -> BenuResult:
         config = request.config
         cost_model = config.cost_model
+
+        # Fault-tolerance ledger: registered only when something actually
+        # happened, so a fault-free run's registry stays byte-identical.
+        worker_crashes = recovery["worker_crashes"] if recovery else 0
+        tasks_retried = recovery["tasks_retried"] if recovery else 0
+        if worker_crashes:
+            registry.counter(
+                M_WORKER_CRASHES, help="worker processes crashed mid-query"
+            ).inc(worker_crashes)
+        if tasks_retried:
+            registry.counter(
+                M_TASK_RETRIES, help="task slices re-executed after a crash"
+            ).inc(tasks_retried)
 
         # Group self-contained task records into per-process ledgers;
         # worker ids are dense, in order of first result arrival.
@@ -599,5 +820,7 @@ class ProcessBackend(ExecutionBackend):
             adjacency_backend=config.adjacency_backend,
             shm_attaches=attaches if config.adjacency_backend == "csr" else 0,
             shm_bytes=shm_bytes,
+            worker_crashes=worker_crashes,
+            tasks_retried=tasks_retried,
             telemetry=request.telemetry.snapshot(registry),
         )

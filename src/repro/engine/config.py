@@ -13,6 +13,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..faults import FaultConfig
 from ..storage.kvstore import LatencyModel
 from ..telemetry.runtime import TelemetryConfig
 
@@ -94,6 +95,14 @@ class BenuConfig:
     latency: LatencyModel = field(default_factory=LatencyModel)
     #: Per-operation simulated costs.
     cost_model: SimulationCostModel = field(default_factory=SimulationCostModel)
+    #: Process backend: how many times a query's lost task slices may be
+    #: re-executed on a fresh pool after worker crashes before the run
+    #: fails with ``WorkerCrashed``.  0 disables recovery.
+    task_retries: int = 2
+    #: Deterministic fault-injection schedule; None — the default — means
+    #: no injection (the ``BENU_FAULTS`` env var, resolved at execution
+    #: time, can still supply one for chaos runs).
+    faults: Optional[FaultConfig] = None
     #: Telemetry (tracing + hot-loop profiling); None — the default —
     #: disables every hook.  A metrics snapshot is still attached to each
     #: result, built once at end-of-run from the aggregated stats.
@@ -108,6 +117,11 @@ class BenuConfig:
             raise ValueError("split threshold must be positive")
         if self.chunk_target_seconds <= 0:
             raise ValueError("chunk target seconds must be positive")
+        if self.task_retries < 0:
+            raise ValueError("task retries must be non-negative")
+        if isinstance(self.faults, str):
+            # Accept the BENU_FAULTS string grammar directly.
+            self.faults = FaultConfig.parse(self.faults)
         if not 0 <= self.optimization_level <= 3:
             raise ValueError("optimization level must be 0..3")
         if self.adjacency_backend not in ADJACENCY_BACKENDS:

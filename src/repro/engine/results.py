@@ -47,6 +47,11 @@ class BenuResult:
     #: Shared-memory accounting (process backend with csr adjacency only).
     shm_attaches: int = 0
     shm_bytes: int = 0
+    #: Fault-tolerance accounting (process backend only): worker processes
+    #: that died mid-query and task slices re-executed to recover.  Both 0
+    #: on a fault-free run.
+    worker_crashes: int = 0
+    tasks_retried: int = 0
     #: relabeled-id → original-id translation; None when no relabeling ran.
     #: Collected ``matches`` are already translated; ``codes`` stay in the
     #: relabeled space (expansion constraints compare under ≺) and are

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Tuple
 from ..engine.benu import PreparedData, prepare_data
 from ..engine.config import BenuConfig
 from ..engine.granularity import TaskCostProfile
+from ..faults import NULL_INJECTOR, SITE_CATALOG_EVICT
 from ..graph.graph import Graph
 from ..plan.cost import GraphStats
 from ..storage.cache import CachePool
@@ -169,13 +170,14 @@ class GraphCatalog:
 
     def __init__(
         self, capacity_bytes: Optional[int] = None, registry=None,
-        events=NULL_EVENTS,
+        events=NULL_EVENTS, injector=NULL_INJECTOR,
     ) -> None:
         if capacity_bytes is not None and capacity_bytes < 0:
             raise ValueError("capacity must be non-negative or None")
         self.capacity_bytes = capacity_bytes
         self._registry = registry
         self._events = events
+        self._injector = injector
         self._entries: Dict[str, CatalogEntry] = {}
         self._clock = 0
         self._lock = threading.Lock()
@@ -296,6 +298,8 @@ class GraphCatalog:
             self._update_gauge()
             return evicted
         while self.memory_bytes() > self.capacity_bytes:
+            if self._injector.enabled:
+                self._injector.hit(SITE_CATALOG_EVICT)
             with self._lock:
                 victims = [
                     e

@@ -10,6 +10,7 @@ convenience — they are the typed statuses a finished query reports.
 
 from __future__ import annotations
 
+from ..engine.backends.process import WorkerCrashed  # noqa: F401  (re-exported)
 from ..engine.control import (  # noqa: F401  (re-exported)
     DeadlineExpired,
     ExecutionInterrupted,

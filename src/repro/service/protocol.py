@@ -49,6 +49,7 @@ from typing import Optional, TextIO
 
 from ..engine.config import BenuConfig
 from ..engine.control import ExecutionInterrupted
+from ..faults import InjectedFault
 from ..graph.datasets import load_dataset
 from ..graph.graph import Graph
 from ..storage.partition import PartitionInfo
@@ -61,7 +62,7 @@ from .service import BenuService
 PROTOCOL_VERSION = 2
 
 #: Optional v2 features this node advertises in the handshake.
-CAPABILITIES = ("deadline_at", "partition", "telemetry_counts")
+CAPABILITIES = ("deadline_at", "partition", "telemetry_counts", "health")
 
 
 @dataclass(frozen=True)
@@ -155,11 +156,31 @@ class ServiceProtocol:
         except ExecutionInterrupted as exc:
             # Polling a cancelled/expired stream surfaces its typed status.
             return {"ok": False, "error": exc.status, "message": str(exc)}
+        except InjectedFault as exc:
+            # A deterministic chaos schedule fired inside this node; name
+            # it honestly instead of reporting a generic internal error.
+            return {"ok": False, "error": exc.code, "message": str(exc)}
         except Exception as exc:  # noqa: BLE001 — protocol boundary
             return {"ok": False, "error": "internal", "message": str(exc)}
 
     def handle_line_json(self, line: str) -> str:
         return json.dumps(self.handle_line(line))
+
+    def health(self) -> dict:
+        """The ``health`` op's body: cheap liveness, no catalog access.
+
+        Deliberately minimal — the router's circuit breaker probes this
+        on possibly-sick nodes, so it must not touch any lock or state a
+        wedged query could be holding.
+        """
+        body = {
+            "status": "serving",
+            "role": "shard" if self.identity is not None else "node",
+            "running": self.service.scheduler.running,
+        }
+        if self.identity is not None:
+            body.update(self.identity.to_dict())
+        return body
 
     # ------------------------------------------------------------------ ops
     def _parse_pattern(self, request: dict):
@@ -232,7 +253,11 @@ class ServiceProtocol:
             handle.wait(timeout=float(wait))
         response = handle.describe()
         if handle.streaming:
-            page = handle.fetch(limit=int(request.get("limit", 256)))
+            cursor = request.get("cursor")
+            page = handle.fetch(
+                limit=int(request.get("limit", 256)),
+                cursor=int(cursor) if cursor is not None else None,
+            )
             response.update(
                 matches=[_json_match(m) for m in page.matches],
                 cursor=page.cursor,
@@ -262,6 +287,9 @@ class ServiceProtocol:
     def _op_cancel(self, request: dict) -> dict:
         handle = self.service.cancel(str(request.get("query")))
         return {"query": handle.query_id, "status": handle.status.value}
+
+    def _op_health(self, request: dict) -> dict:
+        return self.health()
 
     def _op_stats(self, request: dict) -> dict:
         return {"stats": self.service.stats()}

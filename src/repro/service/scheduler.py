@@ -26,6 +26,7 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable, Optional
 
 from ..engine.control import DeadlineExpired
+from ..faults import NULL_INJECTOR, SITE_SCHEDULER_ADMIT
 from ..telemetry.snapshot import (
     G_SERVICE_QUEUED,
     G_SERVICE_RUNNING,
@@ -89,6 +90,7 @@ class QueryScheduler:
         max_queued: int = 16,
         memory_budget_bytes: Optional[int] = None,
         registry=None,
+        injector=NULL_INJECTOR,
     ) -> None:
         if max_concurrent < 1:
             raise ValueError("need at least one concurrent slot")
@@ -98,6 +100,7 @@ class QueryScheduler:
         self.max_queued = max_queued
         self.memory_budget_bytes = memory_budget_bytes
         self._registry = registry
+        self._injector = injector
         self._executor = ThreadPoolExecutor(
             max_workers=max_concurrent, thread_name_prefix="benu-query"
         )
@@ -158,6 +161,8 @@ class QueryScheduler:
         :class:`~repro.engine.control.DeadlineExpired` — no slot, no
         queue entry, no work.
         """
+        if self._injector.enabled:
+            self._injector.hit(SITE_SCHEDULER_ADMIT)
         if deadline_at is not None and time.time() >= deadline_at:
             if self._registry is not None:
                 self._registry.counter(

@@ -37,10 +37,12 @@ from ..engine.control import (
 )
 from ..engine.granularity import task_cost_key
 from ..engine.sinks import LimitSink
+from ..faults import get_injector, resolve_faults
 from ..graph.graph import Graph
 from ..graph.patterns import get_pattern
 from ..pattern.pattern_graph import PatternGraph
 from ..telemetry.events import (
+    EV_FAULT_INJECTED,
     EV_PLAN_RESOLVED,
     EV_QUERY_CANCELLED,
     EV_QUERY_FINISHED,
@@ -58,6 +60,7 @@ from ..telemetry.runtime import Telemetry, TelemetryConfig
 from ..telemetry.snapshot import (
     H_QUERY_QERROR,
     H_QUERY_WALL_SECONDS,
+    M_FAULTS_INJECTED,
     M_SERVICE_QUERIES,
     QERROR_BUCKETS,
 )
@@ -109,10 +112,19 @@ class BenuService:
         #: log (None = disabled).
         self.slow_query_seconds = slow_query_seconds
         self._slow_queries: "deque" = deque(maxlen=32)
+        #: One deterministic fault injector for the whole service, built
+        #: from the default config (or the BENU_FAULTS env var).  When no
+        #: schedule is configured this is the no-op NULL_INJECTOR and
+        #: every site's guard is a single attribute check.
+        self.injector = get_injector(
+            resolve_faults(self.default_config.faults),
+            on_fire=self._on_fault_fired,
+        )
         self.catalog = GraphCatalog(
             capacity_bytes=catalog_capacity_bytes,
             registry=self.registry,
             events=self.events,
+            injector=self.injector,
         )
         self.plan_cache = PlanCache(registry=self.registry)
         self.scheduler = QueryScheduler(
@@ -120,6 +132,7 @@ class BenuService:
             max_queued=max_queued,
             memory_budget_bytes=memory_budget_bytes,
             registry=self.registry,
+            injector=self.injector,
         )
         # Machine-wide cap on OS worker processes, shared by every
         # process-backend query in flight (not a per-query allowance).
@@ -132,6 +145,15 @@ class BenuService:
         self._seq = 0
         self._lock = threading.Lock()
         self._closed = False
+
+    def _on_fault_fired(self, site: str, action: str, hit: int) -> None:
+        """Every injected fault is a first-class lifecycle event."""
+        self.events.emit(
+            EV_FAULT_INJECTED, site=site, action=action, hit=hit
+        )
+        self.registry.counter(
+            M_FAULTS_INJECTED, "deterministic faults injected", ("site",)
+        ).inc(site=site)
 
     # ------------------------------------------------------------- catalog
     def register_graph(
@@ -559,6 +581,10 @@ class BenuService:
                 "dropped": self.events.dropped,
             },
             "slow_queries": list(self._slow_queries),
+            "faults": {
+                "enabled": self.injector.enabled,
+                "injected": self.injector.fired_count,
+            },
             "metrics": self.registry.as_dict(),
         }
 

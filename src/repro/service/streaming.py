@@ -190,6 +190,12 @@ class QueryHandle:
         self._pending: List[Tuple] = []
         self._delivered = 0
         self._exhausted = False
+        # One-page replay window: (cursor before the page, the page,
+        # its done flag).  A client whose previous poll response was
+        # lost in transit retries with the old cursor and gets the same
+        # page back — at-least-once delivery over an unreliable hop
+        # without ever re-running work.
+        self._replay: Optional[Tuple[int, List[Tuple], bool]] = None
 
     # ------------------------------------------------------------ lifecycle
     def _mark(self, status: QueryStatus) -> None:
@@ -252,9 +258,12 @@ class QueryHandle:
     ) -> FetchResult:
         """Up to ``limit`` matches from the current cursor (non-blocking).
 
-        Streams cannot rewind: ``cursor``, when given, must equal the
-        position the previous fetch returned.  ``done`` goes True once
-        the stream is exhausted *and* every match was delivered.
+        Streams cannot rewind — with one exception: ``cursor`` equal to
+        the position *before* the most recent page re-serves that page
+        verbatim (the replay window), so a client that lost the previous
+        response in transit can retry the poll without losing matches.
+        ``done`` goes True once the stream is exhausted *and* every
+        match was delivered.
         """
         if self.buffer is None:
             raise InvalidQueryError(
@@ -264,6 +273,14 @@ class QueryHandle:
             raise InvalidQueryError("fetch limit must be positive")
         with self._lock:
             if cursor is not None and cursor != self._delivered:
+                replay = self._replay
+                if replay is not None and cursor == replay[0]:
+                    page, done = list(replay[1]), replay[2]
+                    if done:
+                        self._raise_if_abnormal()
+                    return FetchResult(
+                        matches=page, cursor=self._delivered, done=done
+                    )
                 raise InvalidQueryError(
                     f"cursor {cursor} is not the stream position "
                     f"({self._delivered}); streamed results cannot rewind"
@@ -299,6 +316,7 @@ class QueryHandle:
                 self._pending.extend(batch)
             self._delivered += len(out)
             done = self._exhausted and not self._pending
+            self._replay = (self._delivered - len(out), list(out), done)
         if done:
             self._raise_if_abnormal()
         return FetchResult(matches=out, cursor=self._delivered, done=done)

@@ -25,7 +25,9 @@ single-node totals (per-task instruction execution is deterministic).
 
 from .client import (
     LocalShardClient,
+    RetryPolicy,
     ShardClient,
+    ShardError,
     ShardUnavailable,
     TCPShardClient,
 )
@@ -40,11 +42,13 @@ from .router import (
 
 __all__ = [
     "LocalShardClient",
+    "RetryPolicy",
     "RouterError",
     "RouterFetchResult",
     "RouterProtocol",
     "RouterQuery",
     "ShardClient",
+    "ShardError",
     "ShardNode",
     "ShardRouter",
     "ShardUnavailable",

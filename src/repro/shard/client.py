@@ -9,27 +9,105 @@ as *dicts*: ``request(obj) -> obj``.  Two transports:
   Its :meth:`LocalShardClient.kill` hook makes the node unreachable,
   which is how the failure-injection tests take a shard down mid-query.
 * :class:`TCPShardClient` — a line-per-message TCP connection to a
-  ``benu serve`` process.
+  ``benu serve`` process, hardened for production: a *connect* timeout
+  (a SYN-dropped or accept-stalled shard fails fast instead of blocking
+  the router until the global deadline), a separate *read* timeout for
+  in-flight requests, and lazy reconnection — after any transport
+  failure the socket is torn down and the next request dials fresh, so
+  a router retry actually lands on a new connection.
 
 Transport failures raise :class:`ShardUnavailable` — the typed signal
 the router's retry path keys on.  A *protocol-level* error response
 (``{"ok": false, ...}``) is not a transport failure and is returned to
-the caller untouched.
+the caller untouched; the router maps unknown remote codes onto the
+typed :class:`ShardError` fallback.
+
+Both transports thread the deterministic fault injector through the
+``shard.connect`` / ``shard.write`` / ``shard.read`` sites, so chaos
+tests can drop exact connections ("the 5th read on shard 2") without
+real network misbehavior.
 """
 
 from __future__ import annotations
 
 import json
 import socket
-from typing import Optional
+from dataclasses import dataclass
+from typing import Iterator, Optional
 
+from ..faults import (
+    FaultConfig,
+    InjectedFault,
+    NULL_INJECTOR,
+    SITE_SHARD_CONNECT,
+    SITE_SHARD_READ,
+    SITE_SHARD_WRITE,
+    get_injector,
+)
 from ..service.errors import ServiceError
+
+#: Fail a TCP dial that makes no progress this long (seconds).  Distinct
+#: from the read timeout because a healthy dial is milliseconds while a
+#: legitimate request (a big poll against a busy shard) can take much
+#: longer — one knob cannot serve both.
+DEFAULT_CONNECT_TIMEOUT = 5.0
+#: Fail an in-flight request with no response this long (seconds).
+DEFAULT_READ_TIMEOUT = 30.0
 
 
 class ShardUnavailable(ServiceError):
     """The shard node cannot be reached (dead, killed, or disconnected)."""
 
     code = "shard_unavailable"
+
+
+class ShardError(ServiceError):
+    """A shard returned an error code the router has no typed mapping for.
+
+    The raw remote code and message ride along (and ``code`` *is* the
+    remote code, so re-serializing the error onto another protocol hop
+    preserves what the shard actually said instead of collapsing every
+    unknown failure into one bucket).
+    """
+
+    def __init__(self, remote_code: str, message: str, endpoint: str = "?") -> None:
+        super().__init__(f"shard {endpoint}: [{remote_code}] {message}")
+        self.code = remote_code
+        self.remote_code = remote_code
+        self.endpoint = endpoint
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deterministic exponential backoff for transient shard errors.
+
+    ``delays()`` yields the ``max_attempts - 1`` waits between attempts:
+    ``base_delay * multiplier^i``, capped at ``max_delay``, each scaled
+    by a jitter factor in [0.5, 1.0) drawn from a :class:`random.Random`
+    seeded with ``seed`` — the same policy instance always produces the
+    same delays, so retry timing is replayable in tests.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.02
+    multiplier: float = 2.0
+    max_delay: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("need at least one attempt")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1:
+            raise ValueError("multiplier must be >= 1")
+
+    def delays(self, stream: str = "") -> Iterator[float]:
+        """The waits between attempts, deterministically jittered."""
+        rng = FaultConfig(seed=self.seed).rng(f"retry:{stream}")
+        for i in range(self.max_attempts - 1):
+            delay = min(self.base_delay * self.multiplier**i, self.max_delay)
+            yield delay * (0.5 + 0.5 * rng.random())
 
 
 class ShardClient:
@@ -48,15 +126,24 @@ class ShardClient:
         """Run the v2 handshake; raises ShardUnavailable on dead nodes."""
         return self.request({"op": "hello", "version": version, "role": role})
 
+    def health(self) -> dict:
+        """The cheap liveness probe (the circuit breaker's half-open check)."""
+        return self.request({"op": "health"})
+
 
 class LocalShardClient(ShardClient):
     """An in-process shard node behind a faithful JSON round-trip."""
 
-    def __init__(self, node, endpoint: Optional[str] = None) -> None:
+    # Class-level default so lightweight test doubles that skip
+    # __init__ still get a (disabled) injector.
+    _injector = NULL_INJECTOR
+
+    def __init__(self, node, endpoint: Optional[str] = None, faults=None) -> None:
         self.node = node
         self.endpoint = endpoint or f"local:{node.identity.shard_index}"
         self._protocol = node.protocol()
         self._killed = False
+        self._injector = get_injector(faults) if faults is not None else NULL_INJECTOR
 
     def kill(self) -> None:
         """Make the node unreachable (failure injection for tests)."""
@@ -68,41 +155,117 @@ class LocalShardClient(ShardClient):
     def request(self, obj: dict) -> dict:
         if self._killed:
             raise ShardUnavailable(f"shard {self.endpoint} is down")
-        # Serialize both ways: a dict that would not survive the wire
-        # must fail here too, not only over TCP.
-        line = json.dumps(obj)
-        return json.loads(self._protocol.handle_line_json(line))
+        try:
+            if self._injector.enabled:
+                self._injector.hit(SITE_SHARD_WRITE)
+            # Serialize both ways: a dict that would not survive the wire
+            # must fail here too, not only over TCP.
+            line = json.dumps(obj)
+            response = json.loads(self._protocol.handle_line_json(line))
+            if self._injector.enabled:
+                self._injector.hit(SITE_SHARD_READ)
+        except InjectedFault as exc:
+            raise ShardUnavailable(
+                f"shard {self.endpoint} connection failed: {exc}"
+            ) from exc
+        return response
 
 
 class TCPShardClient(ShardClient):
-    """A line-delimited JSON connection to a ``benu serve`` TCP node."""
+    """A line-delimited JSON connection to a ``benu serve`` TCP node.
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+    The constructor dials eagerly (an unreachable endpoint fails at
+    construction, as it always has) but the connection is *re-established
+    lazily*: any transport failure tears the socket down and the next
+    :meth:`request` dials again — which is what makes a router-level
+    retry against the same endpoint meaningful.
+
+    ``timeout`` is the legacy single knob (sets both hop timeouts);
+    ``connect_timeout`` / ``read_timeout`` override per hop.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: Optional[float] = None,
+        connect_timeout: Optional[float] = None,
+        read_timeout: Optional[float] = None,
+        faults=None,
+    ) -> None:
         self.endpoint = f"{host}:{port}"
+        self._host = host
+        self._port = port
+        self.connect_timeout = (
+            connect_timeout
+            if connect_timeout is not None
+            else (timeout if timeout is not None else DEFAULT_CONNECT_TIMEOUT)
+        )
+        self.read_timeout = (
+            read_timeout
+            if read_timeout is not None
+            else (timeout if timeout is not None else DEFAULT_READ_TIMEOUT)
+        )
+        self._injector = get_injector(faults) if faults is not None else NULL_INJECTOR
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        self._connect()
+
+    # ------------------------------------------------------------------
+    def _connect(self) -> None:
+        if self._injector.enabled:
+            self._injector.hit(SITE_SHARD_CONNECT)
         try:
-            self._sock = socket.create_connection((host, port), timeout=timeout)
+            self._sock = socket.create_connection(
+                (self._host, self._port), timeout=self.connect_timeout
+            )
         except OSError as exc:
+            self._sock = None
             raise ShardUnavailable(
                 f"cannot connect to shard {self.endpoint}: {exc}"
             ) from exc
+        # Past the dial, the socket clock governs reads of responses.
+        self._sock.settimeout(self.read_timeout)
         self._file = self._sock.makefile("rw", encoding="utf-8", newline="\n")
 
+    def _teardown(self) -> None:
+        """Drop the broken connection so the next request dials fresh."""
+        for closer in (self._file, self._sock):
+            if closer is not None:
+                try:
+                    closer.close()
+                except OSError:  # pragma: no cover - best effort teardown
+                    pass
+        self._file = None
+        self._sock = None
+
+    @property
+    def connected(self) -> bool:
+        return self._sock is not None
+
+    # ------------------------------------------------------------------
     def request(self, obj: dict) -> dict:
+        if self._sock is None:
+            self._connect()
         try:
+            if self._injector.enabled:
+                self._injector.hit(SITE_SHARD_WRITE)
             self._file.write(json.dumps(obj) + "\n")
             self._file.flush()
+            if self._injector.enabled:
+                self._injector.hit(SITE_SHARD_READ)
             line = self._file.readline()
         except OSError as exc:
+            # InjectedFault is a ConnectionError, so deterministic drops
+            # take exactly the real failure path through here.
+            self._teardown()
             raise ShardUnavailable(
                 f"shard {self.endpoint} connection failed: {exc}"
             ) from exc
         if not line:
+            self._teardown()
             raise ShardUnavailable(f"shard {self.endpoint} closed the connection")
         return json.loads(line)
 
     def close(self) -> None:
-        try:
-            self._file.close()
-            self._sock.close()
-        except OSError:  # pragma: no cover - best effort teardown
-            pass
+        self._teardown()

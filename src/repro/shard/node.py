@@ -65,6 +65,10 @@ class ShardNode:
             partition=self.identity.partition_info(),
         )
 
+    def health(self) -> dict:
+        """The cheap liveness summary the ``health`` op answers with."""
+        return self.protocol().health()
+
     def serve_socket(self, host: str = "127.0.0.1", port: int = 0):
         """A bound TCP server for this shard; caller runs serve_forever."""
         return serve_socket(

@@ -126,6 +126,13 @@ class RouterProtocol:
         query.cancel()
         return {"query": str(request.get("query")), "status": "cancelled"}
 
+    def _op_health(self, request: dict) -> dict:
+        return {
+            "status": "serving",
+            "role": "router",
+            "shard_count": self.router.shard_count,
+        }
+
     def _op_stats(self, request: dict) -> dict:
         return {"stats": self.router.stats()}
 

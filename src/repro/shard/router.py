@@ -20,6 +20,14 @@ one replica — and merges back into one client-facing stream:
 * **Deadline budget** — every hop forwards the same ``deadline_at``;
   shard queue time, router wait and network time all debit the one
   global budget.  Expiry anywhere surfaces as ``deadline_expired``.
+* **Retries and circuit breaking** — a transient transport failure is
+  retried in place with deterministic exponential backoff
+  (:class:`~repro.shard.client.RetryPolicy`), every backoff debited
+  against the query's global ``deadline_at``.  A replica that exhausts
+  its retries is *marked dead* (``replica_marked_dead`` in the router's
+  event log) and skipped by later submits and failovers until a cheap
+  ``health`` probe brings it back (``replica_marked_alive``) — a simple
+  circuit breaker with half-open probing.
 * **Failover** — a shard that dies mid-stream is retried *once* on a
   live replica of the same partition: the slice is resubmitted with the
   unchanged deadline, the already-delivered prefix is skipped (exact
@@ -37,9 +45,14 @@ from typing import Dict, List, Optional, Sequence
 
 from ..engine.control import DeadlineExpired, QueryCancelled
 from ..service.errors import InvalidQueryError, ServiceError
-from ..telemetry.events import stitch_event_dicts
+from ..telemetry.events import (
+    EV_REPLICA_MARKED_ALIVE,
+    EV_REPLICA_MARKED_DEAD,
+    EventLog,
+    stitch_event_dicts,
+)
 from ..telemetry.registry import merge_registry_dicts
-from .client import ShardClient, ShardUnavailable
+from .client import RetryPolicy, ShardClient, ShardError, ShardUnavailable
 
 #: How long one poll hop may wait for a count-mode query to finish.
 _COUNT_POLL_WAIT = 0.25
@@ -53,23 +66,21 @@ class RouterError(ServiceError):
     code = "router"
 
 
-class _RemoteError(ServiceError):
-    """A shard returned a protocol-level error the router forwards."""
-
-    def __init__(self, code: str, message: str) -> None:
-        super().__init__(message)
-        self.code = code
-
-
 def _raise_remote(response: dict, endpoint: str) -> None:
-    """Map a shard's error response onto the matching typed exception."""
+    """Map a shard's error response onto the matching typed exception.
+
+    Known codes get their native types; everything else raises the typed
+    :class:`ShardError` fallback carrying the raw remote code and
+    message — an unknown code must never fall through silently or
+    collapse into an untyped bucket.
+    """
     code = response.get("error", "error")
-    message = f"shard {endpoint}: {response.get('message', code)}"
+    message = str(response.get("message", code))
     if code == "deadline_expired":
         raise DeadlineExpired(0.0)
     if code == "cancelled":
-        raise QueryCancelled(message)
-    raise _RemoteError(code, message)
+        raise QueryCancelled(f"shard {endpoint}: {message}")
+    raise ShardError(code, message, endpoint=endpoint)
 
 
 class _Slice:
@@ -104,12 +115,14 @@ class RouterQuery:
 
     def __init__(
         self,
+        router: "ShardRouter",
         request: dict,
         slices: List[_Slice],
         deadline_at: Optional[float],
         stream: bool,
         limit: Optional[int],
     ) -> None:
+        self._router = router
         self._request = request  # resubmitted verbatim on failover
         self._slices = slices
         self.deadline_at = deadline_at
@@ -133,13 +146,26 @@ class RouterQuery:
             raise DeadlineExpired(0.0)
 
     def _poll(self, s: _Slice, body: dict) -> dict:
-        """One poll hop against a slice's replica, with one-shot failover."""
+        """One poll hop against a slice's replica, with one-shot failover.
+
+        The hop itself goes through the router's backoff retry (budgeted
+        against ``deadline_at``); only after the replica exhausts its
+        retries — and is marked dead — does the slice fail over.
+        """
         self._check_budget()
         try:
-            response = s.client.request({**body, "query": s.query_id})
+            response = self._router.request_with_retry(
+                s.client,
+                {**body, "query": s.query_id},
+                deadline_at=self.deadline_at,
+            )
         except ShardUnavailable:
             self._failover(s)
-            response = s.client.request({**body, "query": s.query_id})
+            response = self._router.request_with_retry(
+                s.client,
+                {**body, "query": s.query_id},
+                deadline_at=self.deadline_at,
+            )
         if not response.get("ok"):
             _raise_remote(response, s.client.endpoint)
         return response
@@ -161,12 +187,18 @@ class RouterQuery:
             )
         s.retried = True
         dead = s.client
-        for replica in s.replicas:
+        self._router.mark_dead(dead, reason="failed mid-query")
+        for replica in self._router.live_first(s.replicas):
             if replica is dead:
+                continue
+            if not self._router.is_alive(replica) and not self._router.probe(
+                replica
+            ):
                 continue
             try:
                 response = replica.request(self._request)
-            except ShardUnavailable:
+            except ShardUnavailable as exc:
+                self._router.mark_dead(replica, reason=str(exc))
                 continue
             if not response.get("ok"):
                 _raise_remote(response, replica.endpoint)
@@ -223,8 +255,18 @@ class RouterQuery:
             if self._truncated:
                 break
             s = self._slices[self._current]
+            # The cursor is the router's acknowledged position.  If the
+            # previous poll's *response* was lost in transit, the retried
+            # request carries the stale cursor and the shard re-serves
+            # the lost page from its replay window — no match is ever
+            # dropped by a transport failure between poll and response.
             response = self._poll(
-                s, {"op": "poll", "limit": limit - len(out)}
+                s,
+                {
+                    "op": "poll",
+                    "limit": limit - len(out),
+                    "cursor": s.delivered,
+                },
             )
             got = [tuple(m) for m in response.get("matches", [])]
             s.delivered += len(got)
@@ -327,6 +369,8 @@ class ShardRouter:
         self,
         clients: Sequence[ShardClient],
         expected_epoch: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
+        events: Optional[EventLog] = None,
     ) -> None:
         if not clients:
             raise RouterError("a router needs at least one shard client")
@@ -334,7 +378,95 @@ class ShardRouter:
         self.shard_count: Optional[int] = None
         self.epoch: Optional[int] = None
         self.replicas: Dict[int, List[ShardClient]] = {}
+        #: Per-hop retry policy for transient transport errors.
+        self.retry = retry if retry is not None else RetryPolicy()
+        #: The router's own lifecycle log (replica health transitions).
+        self.event_log = events if events is not None else EventLog(capacity=1024)
+        # Circuit-breaker state, keyed by client identity.  Absent =
+        # alive; a replica only enters the map once marked dead.
+        self._alive: Dict[int, bool] = {}
         self._handshake(expected_epoch)
+
+    # --------------------------------------------------- replica health
+    def is_alive(self, client: ShardClient) -> bool:
+        return self._alive.get(id(client), True)
+
+    def mark_dead(self, client: ShardClient, reason: str = "") -> None:
+        """Open the circuit: skip this replica until a probe heals it."""
+        if self.is_alive(client):
+            self._alive[id(client)] = False
+            self.event_log.emit(
+                EV_REPLICA_MARKED_DEAD, endpoint=client.endpoint, reason=reason
+            )
+
+    def mark_alive(self, client: ShardClient) -> None:
+        if not self.is_alive(client):
+            self._alive[id(client)] = True
+            self.event_log.emit(EV_REPLICA_MARKED_ALIVE, endpoint=client.endpoint)
+
+    def probe(self, client: ShardClient) -> bool:
+        """The half-open check: one cheap ``health`` op heals or confirms."""
+        try:
+            response = client.health()
+        except (ShardUnavailable, OSError):
+            self.mark_dead(client, reason="health probe failed")
+            return False
+        if response.get("ok"):
+            self.mark_alive(client)
+            return True
+        return False
+
+    def live_first(
+        self, replicas: Sequence[ShardClient]
+    ) -> List[ShardClient]:
+        """Replicas reordered alive-first (dead ones last, as probes)."""
+        ordered = sorted(
+            replicas, key=lambda c: 0 if self.is_alive(c) else 1
+        )
+        return ordered
+
+    def request_with_retry(
+        self,
+        client: ShardClient,
+        body: dict,
+        deadline_at: Optional[float] = None,
+    ) -> dict:
+        """One request with deterministic backoff on transport failures.
+
+        Every backoff debits the query's global ``deadline_at`` budget
+        (an exhausted budget raises ``DeadlineExpired``, never sleeps
+        past it).  A replica that exhausts its retries is marked dead
+        before the failure propagates; a success on a previously-dead
+        replica heals it.
+        """
+        delays = list(self.retry.delays(client.endpoint))
+        attempt = 0
+        while True:
+            try:
+                response = client.request(body)
+            except ShardUnavailable as exc:
+                if attempt >= len(delays):
+                    self.mark_dead(client, reason=str(exc))
+                    raise
+                self._sleep_with_budget(delays[attempt], deadline_at)
+                attempt += 1
+                continue
+            self.mark_alive(client)
+            return response
+
+    @staticmethod
+    def _sleep_with_budget(
+        delay: float, deadline_at: Optional[float]
+    ) -> None:
+        """Back off without ever outliving the global deadline."""
+        if deadline_at is not None:
+            remaining = deadline_at - time.time()
+            if remaining <= 0:
+                raise DeadlineExpired(0.0)
+            delay = min(delay, remaining)
+        time.sleep(delay)
+        if deadline_at is not None and time.time() >= deadline_at:
+            raise DeadlineExpired(0.0)
 
     def _handshake(self, expected_epoch: Optional[int]) -> None:
         for client in self.clients:
@@ -427,9 +559,13 @@ class ShardRouter:
         for index in range(self.shard_count):
             s = _Slice(index, self.replicas[index])
             submitted = False
-            for replica in s.replicas:
+            for replica in self.live_first(s.replicas):
+                if not self.is_alive(replica) and not self.probe(replica):
+                    continue
                 try:
-                    response = replica.request(request)
+                    response = self.request_with_retry(
+                        replica, request, deadline_at=deadline_at
+                    )
                 except ShardUnavailable:
                     continue
                 if not response.get("ok"):
@@ -444,7 +580,7 @@ class ShardRouter:
                 )
             slices.append(s)
         return RouterQuery(
-            request, slices, deadline_at, stream=stream, limit=limit
+            self, request, slices, deadline_at, stream=stream, limit=limit
         )
 
     # ------------------------------------------------------- observability
@@ -459,10 +595,14 @@ class ShardRouter:
         return out
 
     def stats(self) -> dict:
-        """Per-node service stats plus the deployment's shape."""
+        """Per-node service stats plus the deployment's shape and health."""
         return {
             "shard_count": self.shard_count,
             "epoch": self.epoch,
+            "replicas": {
+                client.endpoint: ("alive" if self.is_alive(client) else "dead")
+                for client in self.clients
+            },
             "nodes": {
                 endpoint: response.get("stats", response)
                 for endpoint, response in self._fanout({"op": "stats"}).items()
@@ -482,8 +622,12 @@ class ShardRouter:
         return merge_registry_dicts(by_shard, label="shard")
 
     def events(self, **filters) -> List[dict]:
-        """Every shard's event log stitched into one global timeline."""
-        by_shard = {}
+        """Every shard's event log stitched into one global timeline.
+
+        The router's own events (replica health transitions) join the
+        stitched timeline under the source key ``"router"``.
+        """
+        by_shard: Dict[object, list] = {}
         for client in self.clients:
             try:
                 response = client.request({"op": "events", **filters})
@@ -491,7 +635,18 @@ class ShardRouter:
                 continue
             if response.get("ok"):
                 by_shard[client.endpoint] = response["events"]
+        router_rows = self.events_local(**filters)
+        if router_rows:
+            by_shard["router"] = router_rows
         return stitch_event_dicts(by_shard, label="shard")
+
+    def events_local(self, **filters) -> List[dict]:
+        """The router's own event rows (same filters as the events op)."""
+        return self.event_log.as_dicts(
+            type=filters.get("type"),
+            query_id=filters.get("query"),
+            limit=filters.get("limit"),
+        )
 
     # ------------------------------------------------------------------
     def shutdown(self) -> Dict[str, dict]:

@@ -53,6 +53,11 @@ __all__ = [
     "EV_CATALOG_EVICTED",
     "EV_SLOW_QUERY",
     "EV_QUERY_QERROR",
+    "EV_FAULT_INJECTED",
+    "EV_WORKER_CRASHED",
+    "EV_TASK_RETRIED",
+    "EV_REPLICA_MARKED_DEAD",
+    "EV_REPLICA_MARKED_ALIVE",
 ]
 
 # -- event type vocabulary --------------------------------------------------
@@ -67,6 +72,13 @@ EV_QUERY_FINISHED = "query_finished"
 EV_CATALOG_EVICTED = "catalog_evicted"
 EV_SLOW_QUERY = "slow_query"
 EV_QUERY_QERROR = "query_qerror"
+# -- fault-tolerance vocabulary (PR 10): injected faults and what the
+#    stack did to survive them.
+EV_FAULT_INJECTED = "fault_injected"
+EV_WORKER_CRASHED = "worker_crashed"
+EV_TASK_RETRIED = "task_retried"
+EV_REPLICA_MARKED_DEAD = "replica_marked_dead"
+EV_REPLICA_MARKED_ALIVE = "replica_marked_alive"
 
 #: Every event type the service can emit — the schema tests iterate this.
 EVENT_TYPES = (
@@ -81,6 +93,11 @@ EVENT_TYPES = (
     EV_CATALOG_EVICTED,
     EV_SLOW_QUERY,
     EV_QUERY_QERROR,
+    EV_FAULT_INJECTED,
+    EV_WORKER_CRASHED,
+    EV_TASK_RETRIED,
+    EV_REPLICA_MARKED_DEAD,
+    EV_REPLICA_MARKED_ALIVE,
 )
 
 #: Registry counter incremented per emitted event, labeled by type.

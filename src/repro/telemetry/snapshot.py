@@ -67,6 +67,9 @@ __all__ = [
     "QERROR_BUCKETS",
     "G_PLAN_PREDICTED",
     "G_PLAN_QERROR",
+    "M_WORKER_CRASHES",
+    "M_TASK_RETRIES",
+    "M_FAULTS_INJECTED",
 ]
 
 # Canonical metric names (``benu_`` prefix, Prometheus-style suffixes).
@@ -110,6 +113,11 @@ QERROR_BUCKETS = (1.0, 1.5, 2.0, 5.0, 10.0, 100.0, 1000.0)
 # re-planning).
 G_PLAN_PREDICTED = "benu_plan_predicted_executions"
 G_PLAN_QERROR = "benu_plan_q_error"
+
+# Fault tolerance: crashes survived, work re-executed, faults injected.
+M_WORKER_CRASHES = "benu_worker_crashes_total"
+M_TASK_RETRIES = "benu_task_retries_total"
+M_FAULTS_INJECTED = "benu_faults_injected_total"
 
 
 @dataclass

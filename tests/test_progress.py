@@ -10,6 +10,7 @@ it.
 """
 
 import threading
+import time
 
 import pytest
 
@@ -112,11 +113,15 @@ class TestServiceProgress:
             # visible in stats() while it is in flight.
             handle = service.submit("clique4", "g", stream=True)
             try:
+                # Time-based wait (a bare spin can starve the query
+                # thread of the GIL on a loaded machine).
                 snapshot = {}
-                for _ in range(2000):
+                deadline = time.monotonic() + 30
+                while time.monotonic() < deadline:
                     snapshot = service.stats()["progress"]
                     if handle.query_id in snapshot:
                         break
+                    time.sleep(0.005)
                 assert handle.query_id in snapshot
                 view = snapshot[handle.query_id]
                 assert set(view) >= {

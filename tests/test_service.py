@@ -434,6 +434,15 @@ class TestStreamingAndPagination:
         assert handle.wait(timeout=30)
         first = handle.fetch(limit=5)
         assert first.cursor == 5
+        # Exactly one page of rewind is allowed: retrying the previous
+        # poll re-serves the same page (lost-response recovery) without
+        # advancing the stream.
+        replay = handle.fetch(limit=5, cursor=0)
+        assert replay.matches == first.matches
+        assert replay.cursor == 5
+        second = handle.fetch(limit=5, cursor=5)
+        assert second.cursor == 10
+        # Anything older than the replay window still rejects.
         with pytest.raises(InvalidQueryError, match="rewind"):
             handle.fetch(limit=5, cursor=0)
 

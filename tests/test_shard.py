@@ -517,3 +517,58 @@ def test_stitch_event_dicts_orders_globally():
     })
     assert [r["type"] for r in rows] == ["early", "mid", "late"]
     assert [r["shard"] for r in rows] == ["b", "a", "b"]
+
+
+# ------------------------------------------------------- hardened shard RPC
+def test_unknown_remote_error_code_raises_typed_shard_error():
+    """An error code the router has no mapping for must surface as the
+    typed ShardError fallback carrying the raw remote code — never as a
+    bare untyped exception or a silently swallowed response."""
+    from repro.shard import ShardError
+    from repro.shard.router import _raise_remote
+
+    with pytest.raises(ShardError) as info:
+        _raise_remote(
+            {"ok": False, "error": "quota_exceeded", "message": "too big"},
+            endpoint="node-3",
+        )
+    exc = info.value
+    assert exc.remote_code == "quota_exceeded"
+    assert exc.code == "quota_exceeded"  # re-serializes faithfully
+    assert exc.endpoint == "node-3"
+    assert "too big" in str(exc)
+    # Known codes keep their native types.
+    with pytest.raises(DeadlineExpired):
+        _raise_remote({"ok": False, "error": "deadline_expired"}, "n")
+
+
+def test_health_op_and_capability():
+    from repro.service.protocol import CAPABILITIES
+
+    assert "health" in CAPABILITIES
+    node = ShardNode(1, 4, epoch=7)
+    try:
+        body = node.health()
+        assert body["status"] == "serving"
+        assert body["role"] == "shard"
+        assert body["shard_index"] == 1 and body["shard_count"] == 4
+        # And over the wire, through a client:
+        client = LocalShardClient(node)
+        response = client.health()
+        assert response["ok"] and response["status"] == "serving"
+    finally:
+        node.close()
+
+
+def test_router_health_op_reports_shape(edges):
+    nodes = [ShardNode(i, 2) for i in range(2)]
+    try:
+        protocol = RouterProtocol(
+            ShardRouter([LocalShardClient(node) for node in nodes])
+        )
+        body = protocol.handle_line(json.dumps({"op": "health"}))
+        assert body["ok"] and body["role"] == "router"
+        assert body["shard_count"] == 2
+    finally:
+        for node in nodes:
+            node.close()
