@@ -4,6 +4,7 @@ Commands
 --------
 ``count``      count subgraph instances of a pattern in a data graph
 ``enumerate``  stream matches as they are found (optionally capped)
+``query``      run a declarative BENU-QL query (locally or via --connect)
 ``serve``      run the resident query service (JSON lines over stdio/TCP)
 ``run``        run with full telemetry: metrics, tracing, profiling
 ``stats``      run and print the telemetry metric table
@@ -465,6 +466,164 @@ def cmd_route(args: argparse.Namespace) -> int:
         router.close()
 
 
+def _load_query_graph(args: argparse.Namespace):
+    """The query command's data graph: plain, or labeled via --labels."""
+    data = _load_data_graph(args)
+    if not args.labels:
+        return data
+    from .graph.io import read_label_list
+    from .labeled.graphs import LabeledGraph
+
+    label_map = read_label_list(args.labels)
+    # Vertices absent from the file carry label None (unconstrained) —
+    # the same convention the query front-end uses for unlabeled
+    # pattern vertices.
+    return LabeledGraph(
+        data.edges(),
+        {v: label_map.get(v) for v in data.vertices},
+        vertices=data.vertices,
+    )
+
+
+def _explain_query(args: argparse.Namespace) -> int:
+    from .lang import lower_query, pretty_tree
+    from .labeled.graphs import LabeledGraph
+
+    lowered = lower_query(args.text)
+    print("logical tree:")
+    print(pretty_tree(lowered.tree))
+    fired = ", ".join(lowered.rules_fired) if lowered.rules_fired else "(none)"
+    print(f"\nrules fired: {fired}")
+    if lowered.unsatisfiable:
+        print(
+            "\nquery is unsatisfiable (conflicting label predicates); "
+            "it returns an empty result without executing"
+        )
+        return 0
+    data = _load_query_graph(args)
+    config = _config_from(args)
+    if lowered.is_labeled:
+        from .labeled.enumerate import prepare_labeled_data
+        from .labeled.plans import labelize_plan
+
+        if not isinstance(data, LabeledGraph):
+            raise SystemExit(
+                "query uses label predicates; give --labels FILE"
+            )
+        prepared, labeled = prepare_labeled_data(data, config)
+        plan = prepare_plan(lowered.pattern, prepared, config)
+        plan = labelize_plan(plan, lowered.pattern, labeled)
+    else:
+        plain = data.graph if isinstance(data, LabeledGraph) else data
+        prepared = prepare_data(plain, config)
+        plan = prepare_plan(lowered.pattern, prepared, config)
+    print("\nphysical plan:")
+    print(plan)
+    return 0
+
+
+def _remote_query(args: argparse.Namespace) -> int:
+    """Run one BENU-QL query against a live ``serve``/``route`` endpoint.
+
+    A single persistent connection carries submit and every poll —
+    required because both protocols scope query ids to the serving
+    process, and the stdio/TCP servers may build per-connection state.
+    """
+    import socket
+
+    if not args.graph:
+        raise SystemExit("--connect needs --graph NAME (a registered graph)")
+    host, _, port = args.connect.rpartition(":")
+    if not port.isdigit():
+        raise SystemExit(
+            f"bad --connect address {args.connect!r}; expected HOST:PORT"
+        )
+    request: dict = {"op": "query", "text": args.text, "graph": args.graph}
+    if args.limit is not None:
+        request["limit"] = args.limit
+    with socket.create_connection(
+        (host or "127.0.0.1", int(port)), timeout=120
+    ) as sock:
+        fh = sock.makefile("rw", encoding="utf-8", newline="\n")
+
+        def ask(payload: dict) -> dict:
+            fh.write(json.dumps(payload) + "\n")
+            fh.flush()
+            line = fh.readline()
+            if not line:
+                raise SystemExit("service closed the connection")
+            response = json.loads(line)
+            if not response.get("ok"):
+                print(
+                    f"query error: {response.get('message')}", file=sys.stderr
+                )
+                if response.get("snippet"):
+                    print(response["snippet"], file=sys.stderr)
+                raise SystemExit(1)
+            return response
+
+        submitted = ask(request)
+        query_id = submitted["query"]
+        kind = submitted.get("kind")
+        if kind == "stream":
+            cursor = 0
+            while True:
+                page = ask(
+                    {
+                        "op": "poll",
+                        "query": query_id,
+                        "limit": 256,
+                        "cursor": cursor,
+                    }
+                )
+                for match in page.get("matches", []):
+                    print("\t".join(map(str, match)))
+                cursor = page.get("cursor", cursor)
+                if page.get("done"):
+                    return 0
+                time.sleep(0.01)
+        while True:
+            response = ask({"op": "poll", "query": query_id, "wait": 10.0})
+            if response.get("done"):
+                break
+        if kind == "groups":
+            for key, value in sorted(
+                (response.get("groups") or {}).items(),
+                key=lambda kv: str(kv[0]),
+            ):
+                print(f"{key}\t{value}")
+            return 0
+        print(response.get("count", 0))
+        return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    from .lang import QueryError, run_query
+
+    try:
+        if args.connect:
+            return _remote_query(args)
+        if args.explain:
+            return _explain_query(args)
+        data = _load_query_graph(args)
+        result = run_query(args.text, data, _config_from(args))
+    except QueryError as exc:
+        print(f"query error: {exc}", file=sys.stderr)
+        snippet = exc.snippet()
+        if snippet:
+            print(snippet, file=sys.stderr)
+        return 1
+    if result.kind == "count":
+        print(result.count)
+        return 0
+    rows = result.rows()
+    if args.limit is not None and result.kind == "stream":
+        rows = rows[: args.limit]
+    for row in rows:
+        print("\t".join(map(str, row)))
+    return 0
+
+
 def cmd_patterns(args: argparse.Namespace) -> int:
     rows = [
         [name, p.num_vertices, p.num_edges]
@@ -627,6 +786,40 @@ def build_parser() -> argparse.ArgumentParser:
                    help="serve the merged protocol on TCP instead of stdio")
     p.add_argument("--host", default="127.0.0.1")
     p.set_defaults(func=cmd_route)
+
+    p = sub.add_parser(
+        "query", help="run a declarative BENU-QL query"
+    )
+    p.add_argument("text", metavar="QUERY",
+                   help='e.g. "MATCH (a)-(b), (b)-(c), (a)-(c) '
+                        'RETURN COUNT(*)"')
+    p.add_argument("--dataset", help="bundled dataset name (see `datasets`)")
+    p.add_argument("--edges", help="path to a SNAP-style edge list")
+    p.add_argument("--labels", metavar="FILE",
+                   help="vertex label file ('vertex label' per line); "
+                        "required for queries with label predicates")
+    p.add_argument("--limit", type=int, default=None,
+                   help="cap the number of returned matches")
+    p.add_argument("--explain", action="store_true",
+                   help="print the logical tree, fired optimizer rules and "
+                        "the physical plan instead of executing")
+    p.add_argument("--connect", metavar="HOST:PORT",
+                   help="run against a live `serve --port` node or "
+                        "`route --port` router instead of locally")
+    p.add_argument("--graph", default=None,
+                   help="with --connect: name of the registered graph")
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--cache-bytes", type=int, default=None)
+    p.add_argument("--tau", type=int, default=64)
+    p.add_argument("--level", type=int, default=3)
+    p.add_argument("--execution-backend", choices=EXECUTION_BACKENDS,
+                   default="simulated")
+    p.add_argument("--adjacency-backend", choices=ADJACENCY_BACKENDS,
+                   default="frozenset")
+    p.add_argument("--task-retries", type=int, default=2)
+    p.add_argument("--faults", default=None, metavar="SCHEDULE")
+    p.set_defaults(func=cmd_query)
 
     p = sub.add_parser("patterns", help="list built-in patterns")
     p.set_defaults(func=cmd_patterns)

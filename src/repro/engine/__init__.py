@@ -29,20 +29,32 @@ from .control import (
 )
 from .interpreter import interpret_all, interpret_plan
 from .local_task import LocalSearchTask
-from .parallel import ParallelRunner, parallel_count
 from .results import BenuResult
 from .sinks import (
     CallbackSink,
     CollectSink,
     CountSink,
     FileSink,
+    GroupCountSink,
     JsonlSink,
     LimitSink,
+    ProjectingSink,
     ReservoirSink,
     TranslatingSink,
 )
 from .task_split import generate_tasks, plan_supports_splitting, split_slices
 from .worker import TaskReport, Worker
+
+
+def __getattr__(name: str):
+    # Deprecated pre-ExecutionBackend shims; imported lazily so merely
+    # importing repro.engine doesn't pull them in (and so nothing under
+    # src/repro/ depends on them anymore).
+    if name in ("ParallelRunner", "parallel_count"):
+        from . import parallel
+
+        return getattr(parallel, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "PreparedData",
@@ -77,8 +89,10 @@ __all__ = [
     "CollectSink",
     "CountSink",
     "FileSink",
+    "GroupCountSink",
     "JsonlSink",
     "LimitSink",
+    "ProjectingSink",
     "ReservoirSink",
     "TranslatingSink",
     "generate_tasks",

@@ -13,6 +13,7 @@ every field it carried lives on the result object now).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Optional
 
@@ -41,6 +42,16 @@ class ParallelRunner:
     queue_chunksize: Optional[int] = None
 
     def run(self) -> BenuResult:
+        warnings.warn(
+            "ParallelRunner is deprecated; use run_benu/execute_plan with "
+            "BenuConfig(execution_backend='process') (the ExecutionBackend "
+            "API) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._run()
+
+    def _run(self) -> BenuResult:
         config = BenuConfig(
             num_workers=self.num_workers or _default_process_workers(),
             split_threshold=self.split_threshold,
@@ -61,9 +72,16 @@ def parallel_count(
     backend: str = "frozenset",
 ) -> BenuResult:
     """Count matches of ``plan`` over ``data`` with real OS parallelism."""
+    warnings.warn(
+        "parallel_count is deprecated; use run_benu/execute_plan with "
+        "BenuConfig(execution_backend='process') (the ExecutionBackend "
+        "API) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     runner = ParallelRunner(
         plan, data, split_threshold=split_threshold, backend=backend
     )
     if num_workers is not None:
         runner.num_workers = num_workers
-    return runner.run()
+    return runner._run()

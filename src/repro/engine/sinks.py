@@ -15,7 +15,9 @@ Provided sinks:
 * :class:`CallbackSink` — adapt any callable;
 * :class:`JsonlSink` — stream matches as JSON lines to any writable;
 * :class:`LimitSink` — stop the run after N results via a control;
-* :class:`TranslatingSink` — translate vertex ids before forwarding.
+* :class:`TranslatingSink` — translate vertex ids before forwarding;
+* :class:`ProjectingSink` — narrow match tuples to selected columns;
+* :class:`GroupCountSink` — per-group-key match counts (GROUP BY).
 """
 
 from __future__ import annotations
@@ -203,4 +205,40 @@ class TranslatingSink:
 
     def emit(self, result: Tuple) -> None:
         self.inner.emit(tuple(self._translate(s) for s in result))
+        self.count += 1
+
+
+class ProjectingSink:
+    """Projects match tuples to a fixed set of column indices.
+
+    The BENU-QL ``RETURN a, c`` path: the engine always emits full match
+    tuples (indexed by sorted pattern vertex); this sink narrows them to
+    the requested columns before forwarding.
+    """
+
+    def __init__(self, inner, indices: Sequence[int]) -> None:
+        self.inner = inner
+        self.indices = tuple(indices)
+        self.count = 0
+
+    def emit(self, result: Tuple) -> None:
+        self.inner.emit(tuple(result[i] for i in self.indices))
+        self.count += 1
+
+
+class GroupCountSink:
+    """Counts matches per value of one match-tuple slot.
+
+    The BENU-QL ``COUNT(*) GROUP BY v`` path: nothing is materialized;
+    ``counts`` maps each group key (a vertex id) to its match count.
+    """
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.counts: dict = {}
+        self.count = 0
+
+    def emit(self, result: Tuple) -> None:
+        key = result[self.index]
+        self.counts[key] = self.counts.get(key, 0) + 1
         self.count += 1

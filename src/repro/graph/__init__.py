@@ -21,7 +21,12 @@ from .generators import (
     sample_pattern_graphs,
 )
 from .csr import AdjacencyView, CSRAdjacency
-from .io import parse_edge_list, read_edge_list, write_edge_list
+from .io import (
+    parse_edge_list,
+    read_edge_list,
+    read_label_list,
+    write_edge_list,
+)
 from .order import (
     degree_order_key,
     degree_order_relabeling,
@@ -53,6 +58,7 @@ __all__ = [
     "sample_pattern_graphs",
     "parse_edge_list",
     "read_edge_list",
+    "read_label_list",
     "write_edge_list",
     "degree_order_key",
     "degree_order_relabeling",

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import io
 from pathlib import Path
-from typing import Iterable, Iterator, TextIO, Tuple, Union
+from typing import Dict, Iterable, Iterator, TextIO, Tuple, Union
 
 from .graph import Edge, Graph
 
@@ -58,3 +58,28 @@ def write_edge_list(graph: Graph, path: PathLike, header: str = "") -> None:
 def format_edge_list(edges: Iterable[Edge]) -> str:
     """Render edges as edge-list text."""
     return "".join(f"{u}\t{v}\n" for u, v in edges)
+
+
+def iter_label_list(stream: TextIO) -> Iterator[Tuple[int, str]]:
+    """Yield ``(vertex, label)`` pairs from a label-list stream.
+
+    Same conventions as the edge lists: whitespace-separated columns,
+    ``#``/``%`` comments, blank lines skipped.  The label is the second
+    column, kept verbatim as a string.
+    """
+    for lineno, line in enumerate(stream, start=1):
+        line = line.strip()
+        if not line or line.startswith(("#", "%")):
+            continue
+        parts = line.split()
+        if len(parts) < 2:
+            raise ValueError(
+                f"line {lineno}: expected 'vertex label', got {line!r}"
+            )
+        yield int(parts[0]), parts[1]
+
+
+def read_label_list(path: PathLike) -> Dict[int, str]:
+    """Load a ``vertex label`` file into a vertex→label mapping."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return dict(iter_label_list(fh))

@@ -1,29 +1,59 @@
 """The labeled BENU runner — property-graph subgraph enumeration.
 
-Pipeline mirrors :func:`repro.engine.benu.run_benu`: relabel the data
-graph under ≺ (labels follow their vertices), build the best plan with
-label-aware symmetry breaking, labelize it, and execute on the simulated
-cluster — creating tasks only for start vertices of the right label.
+There is no labeled execution loop: a labeled run is the ordinary
+pipeline — :func:`~repro.engine.benu.prepare_plan` →
+:func:`labelize_plan` (per-label candidate pools as plan constants) →
+:func:`~repro.engine.benu.execute_plan` with ``start_vertices``
+restricted to the start vertex's label pool.  Everything the shared
+path provides — the three execution backends, streaming sinks,
+cooperative control, result translation — therefore works for labeled
+patterns unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
-from ..engine.benu import PatternLike
-from ..engine.cluster import SimulatedCluster
+from ..engine.benu import PreparedData, execute_plan, prepare_plan
 from ..engine.config import BenuConfig
 from ..engine.results import BenuResult
-from ..engine.task_split import generate_tasks
 from ..graph.graph import Vertex
 from ..graph.order import degree_order_relabeling, invert_mapping
-from ..plan.compression import compress_plan
-from ..plan.cost import GraphStats
-from ..plan.search import generate_best_plan
 from ..plan.validate import validate_plan
 from .graphs import LabeledGraph
 from .pattern import LabeledPatternGraph
 from .plans import labelize_plan, start_label_pool
+
+
+def prepare_labeled_data(
+    data: LabeledGraph, config: Optional[BenuConfig] = None
+) -> Tuple[PreparedData, LabeledGraph]:
+    """Relabel a labeled data graph per ``config.relabel``.
+
+    Returns the engine's :class:`PreparedData` (execution-space graph +
+    id translation) alongside the matching execution-space
+    :class:`LabeledGraph` (labels follow their vertices) that
+    :func:`labelize_plan` builds its pools from.
+    """
+    config = config or BenuConfig()
+    if not config.relabel:
+        return PreparedData(data.graph), data
+    mapping = degree_order_relabeling(data.graph)
+    relabeled = data.relabel_vertices(mapping)
+    return (
+        PreparedData(relabeled.graph, mapping, invert_mapping(mapping)),
+        relabeled,
+    )
+
+
+def labeled_start_vertices(
+    plan, pattern: LabeledPatternGraph, prepared: PreparedData, data: LabeledGraph
+) -> Optional[List[Vertex]]:
+    """Start vertices eligible for ``plan`` (graph order), or None = all."""
+    pool = start_label_pool(plan, pattern, data)
+    if pool is None:
+        return None
+    return [v for v in prepared.graph.vertices if v in pool]
 
 
 def run_labeled_benu(
@@ -37,41 +67,18 @@ def run_labeled_benu(
     (counts are matches or VCBC codes depending on ``config.compressed``).
     """
     config = config or BenuConfig()
+    prepared, data = prepare_labeled_data(data, config)
 
-    mapping: Optional[Dict[Vertex, Vertex]] = None
-    if config.relabel:
-        mapping = degree_order_relabeling(data.graph)
-        data = data.relabel_vertices(mapping)
-
-    stats = GraphStats.of(data.graph)
-    plan = generate_best_plan(
-        pattern,
-        stats,
-        optimization_level=config.optimization_level,
-    ).plan
-    if config.compressed:
-        plan = compress_plan(plan)
+    plan = prepare_plan(pattern, prepared, config)
+    predicted = plan.predicted_counts
     plan = labelize_plan(plan, pattern, data)
+    plan.predicted_counts = predicted
     validate_plan(plan)
 
-    eligible = start_label_pool(plan, pattern, data)
-    tasks = [
-        task
-        for task in generate_tasks(plan, data.graph, config.split_threshold)
-        if task.start in eligible
-    ]
-
-    cluster = SimulatedCluster(data.graph, config)
-    result = cluster.run_plan(plan, tasks=tasks)
-
-    if mapping is not None:
-        inverse = invert_mapping(mapping)
-        result.id_mapping = inverse
-        if result.matches is not None:
-            result.matches = [
-                tuple(inverse[v] for v in match) for match in result.matches
-            ]
-    return result
+    start_vertices = labeled_start_vertices(plan, pattern, prepared, data)
+    return execute_plan(
+        plan, prepared, config, start_vertices=start_vertices
+    )
 
 
 def count_labeled_subgraphs(

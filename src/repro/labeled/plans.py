@@ -13,11 +13,11 @@ wrong label (the cheaper place to enforce it).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..plan.generation import ExecutionPlan
 from ..plan.instructions import Instruction, InstructionType, fvar, intersect, tvar
-from ..plan.optimizer import _fresh_temp_index
+from ..plan.optimizer import fresh_temp_index
 from .graphs import Label, LabeledGraph
 from .pattern import LabeledPatternGraph
 
@@ -36,37 +36,53 @@ def labelize_plan(
 
     For every ENU ``f_j := Foreach(S)`` an intersection with u_j's label
     pool is inserted; for compressed plans the reported image sets are
-    filtered the same way before RES.
+    filtered the same way before RES.  A ``None`` label (the declarative
+    front-end's "unconstrained" marker) gets no pool and no intersection.
     """
-    labels = sorted({pattern.label_of(u) for u in pattern.vertices}, key=repr)
+    labels = sorted(
+        {
+            pattern.label_of(u)
+            for u in pattern.vertices
+            if pattern.label_of(u) is not None
+        },
+        key=repr,
+    )
     label_id = {lbl: i for i, lbl in enumerate(labels)}
     constants: Dict[str, frozenset] = {
         label_constant_name(i): data.vertices_with_label(lbl)
         for lbl, i in label_id.items()
     }
 
-    def pool_var(u) -> str:
-        return label_constant_name(label_id[pattern.label_of(u)])
+    def pool_var(u) -> Optional[str]:
+        label = pattern.label_of(u)
+        if label is None:
+            return None
+        return label_constant_name(label_id[label])
 
-    next_temp = _fresh_temp_index(plan)
+    next_temp = fresh_temp_index(plan)
     out: List[Instruction] = []
     first = plan.order[0]
     for inst in plan.instructions:
         if inst.type is InstructionType.ENU:
             u = int(inst.target[1:])
+            pool = pool_var(u)
+            if pool is None:
+                out.append(inst)
+                continue
             filtered = tvar(next_temp)
             next_temp += 1
-            out.append(intersect(filtered, (inst.operands[0], pool_var(u))))
+            out.append(intersect(filtered, (inst.operands[0], pool)))
             out.append(inst.with_operands((filtered,)))
             continue
         if inst.type is InstructionType.RES:
             # Compressed image sets are label-filtered before reporting.
             operands: List[str] = []
             for u, op in zip(pattern.vertices, inst.operands):
-                if u in plan.compressed_vertices:
+                pool = pool_var(u)
+                if u in plan.compressed_vertices and pool is not None:
                     filtered = tvar(next_temp)
                     next_temp += 1
-                    out.append(intersect(filtered, (op, pool_var(u))))
+                    out.append(intersect(filtered, (op, pool)))
                     operands.append(filtered)
                 else:
                     operands.append(op)
@@ -88,6 +104,13 @@ def labelize_plan(
 
 def start_label_pool(
     plan: ExecutionPlan, pattern: LabeledPatternGraph, data: LabeledGraph
-) -> frozenset:
-    """Data vertices eligible as the start vertex (u_{k1}'s label pool)."""
-    return data.vertices_with_label(pattern.label_of(plan.order[0]))
+) -> Optional[frozenset]:
+    """Data vertices eligible as the start vertex (u_{k1}'s label pool).
+
+    ``None`` means the start vertex is unconstrained (its pattern label
+    is ``None``): every data vertex is eligible.
+    """
+    label = pattern.label_of(plan.order[0])
+    if label is None:
+        return None
+    return data.vertices_with_label(label)

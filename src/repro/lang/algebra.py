@@ -1,0 +1,224 @@
+"""The BENU-QL logical algebra.
+
+A parsed query is a small tree of relational-style operators over one
+pattern-matching leaf:
+
+* :class:`MatchPattern` — the leaf: pattern edges, the variable
+  universe, and (after optimization) per-variable label constraints
+  pushed down from WHERE;
+* :class:`Filter` — WHERE predicates not yet absorbed by a rewrite;
+* :class:`Project` — RETURN a, b (column selection/reordering);
+* :class:`Aggregate` — COUNT(*) with an optional GROUP BY variable.
+
+Nodes are frozen dataclasses, so structural equality is free — the
+optimizer's fixpoint loop and the parser round-trip tests both rely on
+``parse(pretty(parse(q))) == parse(q)`` being plain ``==``.
+
+Two pretty-printers live here: :func:`pretty_tree` renders the stable
+indented form the golden tests pin, and :func:`pretty_query` renders a
+tree back to canonical BENU-QL text (parseable, used for round-trips).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Optional, Tuple, Union
+
+Constant = Union[int, str]
+
+
+# ---------------------------------------------------------------- predicates
+@dataclass(frozen=True)
+class LabelPredicate:
+    """``var.label = 'X'`` — a vertex-label equality constraint."""
+
+    var: str
+    label: str
+
+    def render(self) -> str:
+        return f"{self.var}.label = {_render_constant(self.label)}"
+
+
+@dataclass(frozen=True)
+class ConstPredicate:
+    """``c1 = c2`` / ``c1 != c2`` between two constants (foldable)."""
+
+    left: Constant
+    op: str  # "=" or "!="
+    right: Constant
+
+    def evaluate(self) -> bool:
+        return self.left == self.right if self.op == "=" else self.left != self.right
+
+    def render(self) -> str:
+        return (
+            f"{_render_constant(self.left)} {self.op} "
+            f"{_render_constant(self.right)}"
+        )
+
+
+Predicate = Union[LabelPredicate, ConstPredicate]
+
+
+def _render_constant(value: Constant) -> str:
+    if isinstance(value, str):
+        return "'" + value + "'"
+    return str(value)
+
+
+# --------------------------------------------------------------------- nodes
+class Node:
+    """Base class: a logical operator with zero or one child."""
+
+    def children(self) -> Tuple["Node", ...]:
+        child = getattr(self, "child", None)
+        return (child,) if child is not None else ()
+
+    def map_children(self, fn: Callable[["Node"], "Node"]) -> "Node":
+        child = getattr(self, "child", None)
+        if child is None:
+            return self
+        new_child = fn(child)
+        if new_child is child:
+            return self
+        return replace(self, child=new_child)
+
+    def size(self) -> int:
+        """Number of operator nodes in the tree (telemetry)."""
+        return 1 + sum(c.size() for c in self.children())
+
+
+@dataclass(frozen=True)
+class MatchPattern(Node):
+    """The pattern leaf: edges over variables, plus pushed-down labels.
+
+    ``variables`` is the sorted variable universe (lowering maps the
+    i-th variable to pattern vertex ``i+1``, so match tuples index by
+    sorted variable name).  ``labels`` holds ``(var, label)`` pairs
+    sorted by variable — the result of label-predicate pushdown.
+    ``unsatisfiable`` marks a query proven empty by folding (conflicting
+    labels, a false constant predicate): execution is skipped entirely.
+    """
+
+    edges: Tuple[Tuple[str, str], ...]
+    variables: Tuple[str, ...]
+    labels: Tuple[Tuple[str, str], ...] = ()
+    unsatisfiable: bool = False
+
+    def label_of(self, var: str) -> Optional[str]:
+        for v, label in self.labels:
+            if v == var:
+                return label
+        return None
+
+
+@dataclass(frozen=True)
+class Filter(Node):
+    child: Node
+    predicates: Tuple[Predicate, ...]
+
+
+@dataclass(frozen=True)
+class Project(Node):
+    child: Node
+    columns: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Aggregate(Node):
+    """``COUNT(*)`` (optionally ``GROUP BY var``).
+
+    ``count_only`` is set by the optimizer when the aggregate can be
+    answered without materializing matches (no grouping, nothing between
+    the aggregate and the pattern leaf) — the lowering selects the
+    engine's count mode instead of collect mode when it is set.
+    """
+
+    child: Node
+    function: str = "count"
+    group_by: Optional[str] = None
+    count_only: bool = False
+
+
+# ----------------------------------------------------------------- printers
+def pretty_tree(node: Node, indent: int = 0) -> str:
+    """Stable indented rendering of a logical tree (golden-test form)."""
+    pad = "  " * indent
+    if isinstance(node, MatchPattern):
+        edges = ", ".join(f"({a})-({b})" for a, b in node.edges)
+        line = f"{pad}MatchPattern[{edges}]"
+        if node.labels:
+            rendered = ", ".join(
+                f"{v}: {_render_constant(label)}" for v, label in node.labels
+            )
+            line += f" labels={{{rendered}}}"
+        if node.unsatisfiable:
+            line += " UNSATISFIABLE"
+        return line
+    if isinstance(node, Filter):
+        preds = ", ".join(p.render() for p in node.predicates)
+        head = f"{pad}Filter[{preds}]"
+    elif isinstance(node, Project):
+        head = f"{pad}Project[{', '.join(node.columns)}]"
+    elif isinstance(node, Aggregate):
+        head = f"{pad}Aggregate[{node.function}]"
+        if node.group_by is not None:
+            head += f" group_by={node.group_by}"
+        if node.count_only:
+            head += " count_only"
+    else:  # pragma: no cover - new node types must extend the printer
+        raise TypeError(f"cannot pretty-print {type(node).__name__}")
+    lines = [head]
+    for child in node.children():
+        lines.append(pretty_tree(child, indent + 1))
+    return "\n".join(lines)
+
+
+def _collect_parts(node: Node):
+    """Decompose any tree into (pattern, predicates, projection, aggregate)."""
+    aggregate: Optional[Aggregate] = None
+    projection: Optional[Project] = None
+    predicates = []
+    current = node
+    if isinstance(current, Aggregate):
+        aggregate = current
+        current = current.child
+    if isinstance(current, Project):
+        projection = current
+        current = current.child
+    while isinstance(current, Filter):
+        predicates.extend(current.predicates)
+        current = current.child
+    if not isinstance(current, MatchPattern):
+        raise TypeError(
+            f"malformed logical tree: expected MatchPattern leaf, found "
+            f"{type(current).__name__}"
+        )
+    # Pushed-down labels re-surface as WHERE predicates so the rendered
+    # text parses back to an equivalent query; an unsatisfiable pattern
+    # re-surfaces as a provably-false predicate, so the proof survives a
+    # render → parse → optimize round-trip.
+    label_preds = [LabelPredicate(v, label) for v, label in current.labels]
+    if current.unsatisfiable:
+        label_preds.append(ConstPredicate(0, "=", 1))
+    return current, label_preds + predicates, projection, aggregate
+
+
+def pretty_query(node: Node) -> str:
+    """Render a logical tree back to canonical BENU-QL text."""
+    pattern, predicates, projection, aggregate = _collect_parts(node)
+    parts = [
+        "MATCH " + ", ".join(f"({a})-({b})" for a, b in pattern.edges)
+    ]
+    if predicates:
+        parts.append("WHERE " + " AND ".join(p.render() for p in predicates))
+    if aggregate is not None:
+        ret = "RETURN COUNT(*)"
+        if aggregate.group_by is not None:
+            ret += f" GROUP BY {aggregate.group_by}"
+        parts.append(ret)
+    elif projection is not None:
+        parts.append("RETURN " + ", ".join(projection.columns))
+    else:
+        parts.append("RETURN *")
+    return " ".join(parts)

@@ -1,0 +1,68 @@
+"""Typed errors for BENU-QL parsing and analysis.
+
+Every error knows *where* in the query text it happened (1-based line
+and column) and can render a caret snippet pointing at the offending
+spot — the service protocol forwards ``code``/``line``/``column``/
+``snippet`` as structured fields, so clients never have to parse a
+message to find the position.
+
+This module must stay dependency-free within the repo (the tokenizer,
+parser and the service protocol all import it; it imports nothing).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class QueryError(Exception):
+    """Base class for BENU-QL front-end failures.
+
+    ``code`` is the machine-readable error code the wire protocol
+    reports; ``line``/``column`` are 1-based positions into the query
+    text (None when the error has no specific location).
+    """
+
+    code = "query_error"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        line: Optional[int] = None,
+        column: Optional[int] = None,
+        source: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.message = message
+        self.line = line
+        self.column = column
+        self.source = source
+
+    def snippet(self) -> Optional[str]:
+        """The offending source line with a caret under the position."""
+        if self.source is None or self.line is None or self.column is None:
+            return None
+        lines = self.source.splitlines()
+        if not 1 <= self.line <= len(lines):
+            return None
+        text = lines[self.line - 1]
+        caret = " " * (self.column - 1) + "^"
+        return f"{text}\n{caret}"
+
+    def __str__(self) -> str:
+        if self.line is not None and self.column is not None:
+            return f"line {self.line}:{self.column}: {self.message}"
+        return self.message
+
+
+class QuerySyntaxError(QueryError):
+    """The query text does not tokenize or parse."""
+
+    code = "query_syntax"
+
+
+class QuerySemanticError(QueryError):
+    """The query parsed but does not make sense (unknown variable, ...)."""
+
+    code = "query_semantic"

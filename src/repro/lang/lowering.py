@@ -1,0 +1,208 @@
+"""Lowering: BENU-QL logical trees → the engine's pattern objects.
+
+This is the bridge between the declarative front-end and the existing
+plan pipeline.  :func:`lower_query` runs parse → rule optimizer →
+pattern construction and packages everything execution needs in a
+:class:`LoweredQuery`:
+
+* variables are assigned pattern vertices **in sorted name order**
+  (variable i in sorted order ↦ vertex ``i + 1``), so the same query
+  text always produces the identical :class:`~repro.pattern.PatternGraph`
+  — plan generation, the plan cache, and the byte-identical equivalence
+  sweep all key off that determinism;
+* a query with any label predicate lowers to a
+  :class:`~repro.labeled.LabeledPatternGraph` (unlabeled variables get
+  an explicit ``None`` label = unconstrained);
+* projection / GROUP BY columns become match-tuple indices (matches are
+  tuples ordered by pattern vertex = sorted variable).
+
+:func:`pattern_to_query` is the inverse: render an existing pattern
+object as canonical BENU-QL whose lowering reproduces the pattern's
+vertex numbering exactly — the equivalence tests lean on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple, Union
+
+from ..graph.graph import Graph
+from ..labeled.pattern import LabeledPatternGraph
+from ..pattern.pattern_graph import PatternGraph
+from .algebra import (
+    Aggregate,
+    MatchPattern,
+    Node,
+    Project,
+    pretty_query,
+)
+from .errors import QuerySemanticError
+from .parser import parse_query
+from .rules import RULES, Rule, fire_rules
+
+AnyPattern = Union[PatternGraph, LabeledPatternGraph]
+
+
+@dataclass(frozen=True)
+class LoweredQuery:
+    """Everything the engine needs to execute one BENU-QL query.
+
+    ``kind`` selects the result shape: ``"stream"`` (match tuples,
+    possibly projected), ``"count"`` (a single number), or ``"groups"``
+    (per-group-key counts).  ``projection`` / ``group_by`` are indices
+    into the engine's match tuples (ordered by pattern vertex).
+    """
+
+    text: str
+    tree: Node
+    pattern: AnyPattern
+    variables: Tuple[str, ...]
+    kind: str
+    projection: Optional[Tuple[int, ...]] = None
+    group_by: Optional[int] = None
+    group_by_var: Optional[str] = None
+    unsatisfiable: bool = False
+    rules_fired: Tuple[str, ...] = ()
+    logical_size: int = 1
+    labels: Tuple[Tuple[str, str], ...] = field(default=())
+
+    @property
+    def is_labeled(self) -> bool:
+        """True when execution needs label pools (labeled pattern built)."""
+        return isinstance(self.pattern, LabeledPatternGraph)
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        """Human-readable output column names (wire protocol / CLI)."""
+        if self.kind == "count":
+            return ("count",)
+        if self.kind == "groups":
+            return (self.group_by_var or "group", "count")
+        if self.projection is not None:
+            return tuple(self.variables[i] for i in self.projection)
+        return self.variables
+
+
+def _pattern_leaf(tree: Node) -> MatchPattern:
+    node = tree
+    while not isinstance(node, MatchPattern):
+        children = node.children()
+        if not children:
+            raise TypeError(
+                f"logical tree has no MatchPattern leaf ({type(node).__name__})"
+            )
+        node = children[0]
+    return node
+
+
+def lower_query(
+    text: str, rules: Tuple[Rule, ...] = RULES
+) -> LoweredQuery:
+    """Parse, optimize, and lower BENU-QL text."""
+    parsed = parse_query(text)
+    tree, fired = fire_rules(parsed, rules)
+    pattern_node = _pattern_leaf(tree)
+    variables = pattern_node.variables
+    var_to_vertex: Dict[str, int] = {
+        var: i + 1 for i, var in enumerate(variables)
+    }
+    edges = [
+        (var_to_vertex[a], var_to_vertex[b]) for a, b in pattern_node.edges
+    ]
+    graph = Graph(edges)
+
+    labels = pattern_node.labels
+    if labels and not pattern_node.unsatisfiable:
+        label_map = dict(labels)
+        pattern: AnyPattern = LabeledPatternGraph(
+            graph,
+            {var_to_vertex[v]: label_map.get(v) for v in variables},
+            name="benu-ql",
+        )
+    else:
+        # Unsatisfiable trees may carry conflicting labels for one
+        # variable; the structural pattern is enough — execution is
+        # skipped anyway.
+        pattern = PatternGraph(graph, name="benu-ql")
+
+    kind = "stream"
+    projection: Optional[Tuple[int, ...]] = None
+    group_by: Optional[int] = None
+    group_by_var: Optional[str] = None
+    if isinstance(tree, Aggregate):
+        if tree.group_by is not None:
+            kind = "groups"
+            group_by_var = tree.group_by
+            group_by = var_to_vertex[tree.group_by] - 1
+        else:
+            kind = "count"
+    elif isinstance(tree, Project):
+        projection = tuple(var_to_vertex[c] - 1 for c in tree.columns)
+
+    return LoweredQuery(
+        text=text,
+        tree=tree,
+        pattern=pattern,
+        variables=variables,
+        kind=kind,
+        projection=projection,
+        group_by=group_by,
+        group_by_var=group_by_var,
+        unsatisfiable=pattern_node.unsatisfiable,
+        rules_fired=fired,
+        logical_size=tree.size(),
+        labels=labels,
+    )
+
+
+def variable_name(index: int) -> str:
+    """Name for sorted-vertex position ``index`` (0-based): a, b, ... z, v26, ..."""
+    if index < 26:
+        return chr(ord("a") + index)
+    return f"v{index}"
+
+
+def pattern_to_query(
+    pattern: AnyPattern, select: str = "*"
+) -> str:
+    """Render a pattern object as canonical BENU-QL text.
+
+    Vertex ``i`` (in sorted vertex order) becomes variable
+    :func:`variable_name` ``(i)``; since those names sort in the same
+    order for patterns up to 26 vertices, :func:`lower_query` on the
+    result reconstructs the pattern with **identical vertex numbering**
+    — plans, symmetry conditions, and match tuples all line up
+    byte-for-byte with the programmatic API.
+
+    ``select`` is ``"*"`` (stream matches) or ``"count"`` (COUNT(*)).
+    """
+    vertices = sorted(pattern.graph.vertices)
+    if len(vertices) > 26:
+        raise ValueError(
+            "pattern_to_query supports patterns up to 26 vertices"
+        )
+    names = {v: variable_name(i) for i, v in enumerate(vertices)}
+    edges = sorted(tuple(sorted(e)) for e in pattern.graph.edges())
+    parts = [
+        "MATCH " + ", ".join(f"({names[a]})-({names[b]})" for a, b in edges)
+    ]
+    if isinstance(pattern, LabeledPatternGraph):
+        predicates = [
+            f"{names[v]}.label = '{pattern.labels[v]}'"
+            for v in vertices
+            if pattern.labels[v] is not None
+        ]
+        if predicates:
+            parts.append("WHERE " + " AND ".join(predicates))
+    parts.append("RETURN COUNT(*)" if select == "count" else "RETURN *")
+    return " ".join(parts)
+
+
+__all__ = [
+    "AnyPattern",
+    "LoweredQuery",
+    "lower_query",
+    "pattern_to_query",
+    "pretty_query",
+    "variable_name",
+]

@@ -1,0 +1,395 @@
+"""Hand-written tokenizer and recursive-descent parser for BENU-QL.
+
+Grammar (keywords are case-insensitive; identifiers are not)::
+
+    query    := MATCH edge ("," edge)*
+                [WHERE pred (AND pred)*]
+                RETURN returns
+    edge     := "(" IDENT ")" "-" "(" IDENT ")"
+    pred     := operand ("=" | "!=") operand
+    operand  := IDENT "." IDENT        -- property access, e.g. a.label
+              | STRING | INT
+    returns  := "*"
+              | IDENT ("," IDENT)*
+              | COUNT "(" "*" ")" [GROUP BY IDENT]
+
+The parser produces the logical algebra from :mod:`.algebra`:
+``MatchPattern`` at the leaf, wrapped by ``Filter`` (if WHERE),
+``Project`` (explicit column list) or ``Aggregate`` (COUNT).  All
+semantic checks that need only the query text happen here — unknown
+variables, self-loops, disconnected patterns — so downstream code can
+assume a well-formed tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from .algebra import (
+    Aggregate,
+    ConstPredicate,
+    Filter,
+    LabelPredicate,
+    MatchPattern,
+    Node,
+    Project,
+)
+from .errors import QuerySemanticError, QuerySyntaxError
+
+_KEYWORDS = {"MATCH", "WHERE", "AND", "RETURN", "COUNT", "GROUP", "BY"}
+
+_PUNCT = {
+    "(": "LPAREN",
+    ")": "RPAREN",
+    "-": "DASH",
+    ",": "COMMA",
+    ".": "DOT",
+    "=": "EQ",
+    "*": "STAR",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # keyword name, punct name, IDENT, STRING, INT, EOF
+    value: str
+    line: int
+    column: int
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split query text into tokens, tracking 1-based line/column."""
+    tokens: List[Token] = []
+    line, column = 1, 1
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            i += 1
+            line += 1
+            column = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        start_line, start_column = line, column
+        if ch == "!":
+            if i + 1 < n and text[i + 1] == "=":
+                tokens.append(Token("NEQ", "!=", start_line, start_column))
+                i += 2
+                column += 2
+                continue
+            raise QuerySyntaxError(
+                "unexpected character '!' (did you mean '!='?)",
+                line=start_line, column=start_column, source=text,
+            )
+        if ch in _PUNCT:
+            tokens.append(Token(_PUNCT[ch], ch, start_line, start_column))
+            i += 1
+            column += 1
+            continue
+        if ch in "'\"":
+            quote = ch
+            j = i + 1
+            while j < n and text[j] != quote:
+                if text[j] == "\n":
+                    break
+                j += 1
+            if j >= n or text[j] != quote:
+                raise QuerySyntaxError(
+                    "unterminated string literal",
+                    line=start_line, column=start_column, source=text,
+                )
+            tokens.append(Token("STRING", text[i + 1:j], start_line, start_column))
+            column += j + 1 - i
+            i = j + 1
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and text[j].isdigit():
+                j += 1
+            tokens.append(Token("INT", text[i:j], start_line, start_column))
+            column += j - i
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            kind = upper if upper in _KEYWORDS else "IDENT"
+            tokens.append(Token(kind, word, start_line, start_column))
+            column += j - i
+            i = j
+            continue
+        raise QuerySyntaxError(
+            f"unexpected character {ch!r}",
+            line=start_line, column=start_column, source=text,
+        )
+    tokens.append(Token("EOF", "", line, column))
+    return tokens
+
+
+@dataclass(frozen=True)
+class _Property:
+    """An ``ident.prop`` operand inside a WHERE predicate."""
+
+    var: str
+    prop: str
+    token: Token
+
+
+_Operand = Union[_Property, str, int]
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    # ------------------------------------------------------------ plumbing
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "EOF":
+            self.pos += 1
+        return token
+
+    def expect(self, kind: str, what: str) -> Token:
+        token = self.current
+        if token.kind != kind:
+            found = repr(token.value) if token.kind != "EOF" else "end of query"
+            raise QuerySyntaxError(
+                f"expected {what}, found {found}",
+                line=token.line, column=token.column, source=self.text,
+            )
+        return self.advance()
+
+    def syntax_error(self, message: str, token: Optional[Token] = None):
+        token = token or self.current
+        raise QuerySyntaxError(
+            message, line=token.line, column=token.column, source=self.text
+        )
+
+    def semantic_error(self, message: str, token: Token):
+        raise QuerySemanticError(
+            message, line=token.line, column=token.column, source=self.text
+        )
+
+    # ------------------------------------------------------------- grammar
+    def parse(self) -> Node:
+        self.expect("MATCH", "MATCH")
+        edges: List[Tuple[str, str]] = []
+        edge_tokens: List[Token] = []
+        while True:
+            edge, token = self.parse_edge()
+            edges.append(edge)
+            edge_tokens.append(token)
+            if self.current.kind == "COMMA":
+                self.advance()
+                continue
+            break
+
+        predicates = []
+        if self.current.kind == "WHERE":
+            self.advance()
+            while True:
+                predicates.append(self.parse_predicate())
+                if self.current.kind == "AND":
+                    self.advance()
+                    continue
+                break
+
+        self.expect("RETURN", "RETURN")
+        variables = tuple(sorted({v for e in edges for v in e}))
+        pattern = MatchPattern(edges=tuple(edges), variables=variables)
+        self.check_pattern(edges, edge_tokens)
+        self.check_predicates(predicates, variables)
+
+        tree: Node = pattern
+        if predicates:
+            tree = Filter(child=tree, predicates=tuple(p for p, _ in predicates))
+        tree = self.parse_returns(tree, variables)
+        token = self.current
+        if token.kind != "EOF":
+            self.syntax_error(
+                f"unexpected trailing input {token.value!r}", token
+            )
+        return tree
+
+    def parse_edge(self) -> Tuple[Tuple[str, str], Token]:
+        open_token = self.expect("LPAREN", "'('")
+        a = self.expect("IDENT", "a variable name").value
+        self.expect("RPAREN", "')'")
+        self.expect("DASH", "'-'")
+        self.expect("LPAREN", "'('")
+        b = self.expect("IDENT", "a variable name").value
+        self.expect("RPAREN", "')'")
+        return (a, b), open_token
+
+    def parse_operand(self) -> Tuple[_Operand, Token]:
+        token = self.current
+        if token.kind == "IDENT":
+            self.advance()
+            self.expect("DOT", "'.' (variables may only appear as var.label)")
+            prop = self.expect("IDENT", "a property name after '.'")
+            return _Property(token.value, prop.value, token), token
+        if token.kind == "STRING":
+            self.advance()
+            return token.value, token
+        if token.kind == "INT":
+            self.advance()
+            return int(token.value), token
+        return self.syntax_error(
+            "expected a predicate operand (var.label, a string, or an integer)"
+        )
+
+    def parse_predicate(self):
+        left, left_token = self.parse_operand()
+        op_token = self.current
+        if op_token.kind == "EQ":
+            op = "="
+        elif op_token.kind == "NEQ":
+            op = "!="
+        else:
+            self.syntax_error("expected '=' or '!=' in predicate", op_token)
+        self.advance()
+        right, right_token = self.parse_operand()
+
+        for operand, token in ((left, left_token), (right, right_token)):
+            if isinstance(operand, _Property) and operand.prop != "label":
+                self.semantic_error(
+                    f"unsupported property '{operand.prop}' "
+                    "(only .label is supported)",
+                    token,
+                )
+        if isinstance(left, _Property) and isinstance(right, _Property):
+            self.semantic_error(
+                "label-to-label comparisons are not supported", op_token
+            )
+        if isinstance(left, _Property) or isinstance(right, _Property):
+            prop, prop_token = (
+                (left, left_token)
+                if isinstance(left, _Property)
+                else (right, right_token)
+            )
+            value = right if isinstance(left, _Property) else left
+            if op != "=":
+                self.semantic_error(
+                    "only equality label predicates are supported "
+                    "(var.label = 'X')",
+                    op_token,
+                )
+            if not isinstance(value, str):
+                value_token = right_token if isinstance(left, _Property) else left_token
+                self.semantic_error(
+                    "label predicates compare against a string literal",
+                    value_token,
+                )
+            return LabelPredicate(prop.var, value), prop_token
+        return ConstPredicate(left, op, right), left_token
+
+    def parse_returns(self, tree: Node, variables: Tuple[str, ...]) -> Node:
+        token = self.current
+        if token.kind == "STAR":
+            self.advance()
+            return tree
+        if token.kind == "COUNT":
+            self.advance()
+            self.expect("LPAREN", "'(' after COUNT")
+            self.expect("STAR", "'*' inside COUNT(...)")
+            self.expect("RPAREN", "')' after COUNT(*")
+            group_by: Optional[str] = None
+            if self.current.kind == "GROUP":
+                self.advance()
+                self.expect("BY", "BY after GROUP")
+                var_token = self.expect("IDENT", "a variable name after GROUP BY")
+                if var_token.value not in variables:
+                    self.semantic_error(
+                        f"unknown variable '{var_token.value}' in GROUP BY",
+                        var_token,
+                    )
+                group_by = var_token.value
+            return Aggregate(child=tree, function="count", group_by=group_by)
+        if token.kind == "IDENT":
+            columns: List[str] = []
+            while True:
+                var_token = self.expect("IDENT", "a variable name")
+                if var_token.value not in variables:
+                    self.semantic_error(
+                        f"unknown variable '{var_token.value}' in RETURN",
+                        var_token,
+                    )
+                columns.append(var_token.value)
+                if self.current.kind == "COMMA":
+                    self.advance()
+                    continue
+                break
+            return Project(child=tree, columns=tuple(columns))
+        return self.syntax_error(
+            "expected '*', COUNT(*), or a list of variables after RETURN"
+        )
+
+    # ----------------------------------------------------------- semantics
+    def check_pattern(self, edges, edge_tokens) -> None:
+        seen = set()
+        for (a, b), token in zip(edges, edge_tokens):
+            if a == b:
+                self.semantic_error(
+                    f"self-loop edge ({a})-({b}) is not allowed", token
+                )
+            key = (a, b) if a <= b else (b, a)
+            if key in seen:
+                self.semantic_error(
+                    f"duplicate pattern edge ({a})-({b})", token
+                )
+            seen.add(key)
+        # The engine requires a connected pattern graph; check here so
+        # the error points at the query text, not at PatternGraph().
+        adjacency = {}
+        for a, b in edges:
+            adjacency.setdefault(a, set()).add(b)
+            adjacency.setdefault(b, set()).add(a)
+        variables = sorted(adjacency)
+        frontier = [variables[0]]
+        reached = {variables[0]}
+        while frontier:
+            for neighbor in adjacency[frontier.pop()]:
+                if neighbor not in reached:
+                    reached.add(neighbor)
+                    frontier.append(neighbor)
+        if len(reached) != len(variables):
+            missing = sorted(set(variables) - reached)[0]
+            token = next(
+                t for (a, b), t in zip(edges, edge_tokens)
+                if missing in (a, b)
+            )
+            self.semantic_error(
+                "pattern is disconnected "
+                f"(variable '{missing}' is not reachable from "
+                f"'{variables[0]}')",
+                token,
+            )
+
+    def check_predicates(self, predicates, variables) -> None:
+        for predicate, token in predicates:
+            if isinstance(predicate, LabelPredicate):
+                if predicate.var not in variables:
+                    self.semantic_error(
+                        f"unknown variable '{predicate.var}' in WHERE",
+                        token,
+                    )
+
+
+def parse_query(text: str) -> Node:
+    """Parse BENU-QL text into a logical algebra tree."""
+    if not text or not text.strip():
+        raise QuerySyntaxError("empty query", line=1, column=1, source=text)
+    return _Parser(text).parse()

@@ -1,0 +1,177 @@
+"""The rule-based logical optimizer.
+
+Rules are plain functions ``Node -> Node`` (identity when they don't
+apply), wrapped in :class:`Rule` for a stable name, and fired to
+fixpoint by :func:`fire_rules` — the raco ``compile.py`` shape: each
+pass applies every rule bottom-up over the whole tree, and the loop
+stops when a full pass changes nothing.  Frozen dataclasses make the
+"changed?" check plain ``==``.
+
+The catalog (rule names double as telemetry counter labels):
+
+``push-label-filter``
+    move ``var.label = 'X'`` predicates out of a ``Filter`` into the
+    ``MatchPattern`` leaf, where lowering turns them into candidate-pool
+    intersections; two different labels on one variable prove the query
+    empty (``unsatisfiable``).
+``fold-constant-predicate``
+    evaluate constant comparisons: true predicates disappear, a false
+    one marks the pattern unsatisfiable and drops the remaining
+    predicates (the query is empty regardless).
+``drop-empty-filter``
+    a ``Filter`` with no predicates left is the identity.
+``drop-projection-under-aggregate``
+    ``COUNT(*)`` ignores columns, so a ``Project`` beneath an
+    ``Aggregate`` is dead.
+``drop-identity-projection``
+    ``RETURN a, b, c`` listing every variable in sorted order is
+    ``RETURN *``.
+``detect-count-only``
+    an ungrouped ``COUNT(*)`` sitting directly on the pattern can run
+    in the engine's count mode — no match materialization at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, List, Tuple
+
+from .algebra import (
+    Aggregate,
+    ConstPredicate,
+    Filter,
+    LabelPredicate,
+    MatchPattern,
+    Node,
+    Project,
+)
+
+
+@dataclass(frozen=True)
+class Rule:
+    name: str
+    fn: Callable[[Node], Node]
+
+    def __call__(self, node: Node) -> Node:
+        return self.fn(node)
+
+
+def _push_label_filter(node: Node) -> Node:
+    if not isinstance(node, Filter) or not isinstance(node.child, MatchPattern):
+        return node
+    pattern = node.child
+    kept = []
+    labels = dict(pattern.labels)
+    unsatisfiable = pattern.unsatisfiable
+    for predicate in node.predicates:
+        if isinstance(predicate, LabelPredicate):
+            existing = labels.get(predicate.var)
+            if existing is not None and existing != predicate.label:
+                # a.label = 'X' AND a.label = 'Y' — provably empty.
+                unsatisfiable = True
+            labels[predicate.var] = labels.get(predicate.var, predicate.label)
+        else:
+            kept.append(predicate)
+    new_labels = tuple(sorted(labels.items()))
+    if new_labels == pattern.labels and unsatisfiable == pattern.unsatisfiable:
+        return node
+    new_pattern = replace(
+        pattern, labels=new_labels, unsatisfiable=unsatisfiable
+    )
+    return Filter(child=new_pattern, predicates=tuple(kept))
+
+
+def _fold_constant_predicate(node: Node) -> Node:
+    if not isinstance(node, Filter):
+        return node
+    kept = []
+    falsified = False
+    for predicate in node.predicates:
+        if isinstance(predicate, ConstPredicate):
+            if predicate.evaluate():
+                continue
+            falsified = True
+            break
+        kept.append(predicate)
+    if falsified:
+        pattern = node.child
+        while isinstance(pattern, Filter):
+            pattern = pattern.child
+        if isinstance(pattern, MatchPattern):
+            return replace(pattern, unsatisfiable=True)
+        return node
+    if len(kept) == len(node.predicates):
+        return node
+    return Filter(child=node.child, predicates=tuple(kept))
+
+
+def _drop_empty_filter(node: Node) -> Node:
+    if isinstance(node, Filter) and not node.predicates:
+        return node.child
+    return node
+
+
+def _drop_projection_under_aggregate(node: Node) -> Node:
+    if isinstance(node, Aggregate) and isinstance(node.child, Project):
+        return replace(node, child=node.child.child)
+    return node
+
+
+def _drop_identity_projection(node: Node) -> Node:
+    if (
+        isinstance(node, Project)
+        and isinstance(node.child, MatchPattern)
+        and node.columns == node.child.variables
+    ):
+        return node.child
+    return node
+
+
+def _detect_count_only(node: Node) -> Node:
+    if (
+        isinstance(node, Aggregate)
+        and node.function == "count"
+        and node.group_by is None
+        and not node.count_only
+        and isinstance(node.child, MatchPattern)
+    ):
+        return replace(node, count_only=True)
+    return node
+
+
+RULES: Tuple[Rule, ...] = (
+    Rule("push-label-filter", _push_label_filter),
+    Rule("fold-constant-predicate", _fold_constant_predicate),
+    Rule("drop-empty-filter", _drop_empty_filter),
+    Rule("drop-projection-under-aggregate", _drop_projection_under_aggregate),
+    Rule("drop-identity-projection", _drop_identity_projection),
+    Rule("detect-count-only", _detect_count_only),
+)
+
+_MAX_PASSES = 32  # far beyond any real fixpoint; guards a buggy rule
+
+
+def apply_everywhere(node: Node, rule: Rule) -> Node:
+    """Apply ``rule`` bottom-up at every position in the tree."""
+    rewritten = node.map_children(lambda child: apply_everywhere(child, rule))
+    return rule(rewritten)
+
+
+def fire_rules(
+    node: Node, rules: Tuple[Rule, ...] = RULES
+) -> Tuple[Node, Tuple[str, ...]]:
+    """Fire ``rules`` to fixpoint; returns (tree, names of rules that fired)."""
+    fired: List[str] = []
+    for _ in range(_MAX_PASSES):
+        changed = False
+        for rule in rules:
+            rewritten = apply_everywhere(node, rule)
+            if rewritten != node:
+                fired.append(rule.name)
+                node = rewritten
+                changed = True
+        if not changed:
+            return node, tuple(fired)
+    raise RuntimeError(
+        f"logical optimizer did not reach fixpoint after {_MAX_PASSES} passes"
+    )

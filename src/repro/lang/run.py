@@ -1,0 +1,135 @@
+"""Execute BENU-QL queries against in-process graphs.
+
+This is the local (library / CLI) execution path; the resident service
+has its own entry (:meth:`repro.service.BenuService.submit_query`) that
+shares the same lowering.  Matches flow through the one shared plan
+pipeline — ``run_query`` only applies the *relational* finishing steps
+(projection, grouping) to the engine's match tuples, so its answers are
+byte-identical to the programmatic ``PatternGraph`` path by
+construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple, Union
+
+from ..engine.benu import count_subgraphs, enumerate_subgraphs
+from ..engine.config import BenuConfig
+from ..graph.graph import Graph, Vertex
+from ..labeled.enumerate import (
+    count_labeled_subgraphs,
+    enumerate_labeled_subgraphs,
+)
+from ..labeled.graphs import LabeledGraph
+from .errors import QuerySemanticError
+from .lowering import LoweredQuery, lower_query
+
+DataGraph = Union[Graph, LabeledGraph]
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """The answer to one BENU-QL query.
+
+    Exactly one of ``count`` / ``matches`` / ``groups`` is meaningful,
+    selected by ``kind`` (``count`` is also populated alongside matches
+    and groups for convenience).
+    """
+
+    kind: str
+    columns: Tuple[str, ...]
+    count: int
+    matches: Optional[List[Tuple[Vertex, ...]]] = None
+    groups: Optional[Dict[Hashable, int]] = None
+    lowered: Optional[LoweredQuery] = None
+
+    def rows(self) -> List[Tuple]:
+        """Uniform tabular view (CLI rendering)."""
+        if self.kind == "count":
+            return [(self.count,)]
+        if self.kind == "groups":
+            return [(k, v) for k, v in sorted((self.groups or {}).items())]
+        return list(self.matches or [])
+
+
+def project_matches(
+    matches: List[Tuple[Vertex, ...]], indices: Tuple[int, ...]
+) -> List[Tuple[Vertex, ...]]:
+    return [tuple(match[i] for i in indices) for match in matches]
+
+
+def group_counts(
+    matches: List[Tuple[Vertex, ...]], index: int
+) -> Dict[Hashable, int]:
+    counts: Dict[Hashable, int] = {}
+    for match in matches:
+        key = match[index]
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def run_query(
+    query: Union[str, LoweredQuery],
+    data: DataGraph,
+    config: Optional[BenuConfig] = None,
+) -> QueryResult:
+    """Run a BENU-QL query against ``data`` and return its result.
+
+    ``data`` may be a plain :class:`Graph` or a :class:`LabeledGraph`;
+    label predicates require the latter.  An unlabeled query against a
+    ``LabeledGraph`` matches on structure alone.
+    """
+    lowered = lower_query(query) if isinstance(query, str) else query
+
+    if lowered.is_labeled and not isinstance(data, LabeledGraph):
+        raise QuerySemanticError(
+            "query uses label predicates but the data graph has no labels"
+        )
+
+    if lowered.unsatisfiable:
+        return QueryResult(
+            kind=lowered.kind,
+            columns=lowered.columns,
+            count=0,
+            matches=[] if lowered.kind == "stream" else None,
+            groups={} if lowered.kind == "groups" else None,
+            lowered=lowered,
+        )
+
+    if lowered.is_labeled:
+        if lowered.kind == "count":
+            count = count_labeled_subgraphs(lowered.pattern, data, config)
+            return QueryResult(
+                kind="count", columns=lowered.columns, count=count,
+                lowered=lowered,
+            )
+        matches = enumerate_labeled_subgraphs(lowered.pattern, data, config)
+    else:
+        plain = data.graph if isinstance(data, LabeledGraph) else data
+        if lowered.kind == "count":
+            count = count_subgraphs(lowered.pattern, plain, config)
+            return QueryResult(
+                kind="count", columns=lowered.columns, count=count,
+                lowered=lowered,
+            )
+        matches = enumerate_subgraphs(lowered.pattern, plain, config)
+
+    if lowered.kind == "groups":
+        groups = group_counts(matches, lowered.group_by)
+        return QueryResult(
+            kind="groups",
+            columns=lowered.columns,
+            count=len(matches),
+            groups=groups,
+            lowered=lowered,
+        )
+    if lowered.projection is not None:
+        matches = project_matches(matches, lowered.projection)
+    return QueryResult(
+        kind="stream",
+        columns=lowered.columns,
+        count=len(matches),
+        matches=matches,
+        lowered=lowered,
+    )

@@ -39,7 +39,7 @@ LEVEL_REORDER = 2
 LEVEL_TRIANGLE = 3
 
 
-def _fresh_temp_index(plan: ExecutionPlan) -> int:
+def fresh_temp_index(plan: ExecutionPlan) -> int:
     """First unused numeric suffix for new T variables."""
     top = max((u for u in plan.pattern.vertices), default=0)
     for inst in plan.instructions:
@@ -48,6 +48,10 @@ def _fresh_temp_index(plan: ExecutionPlan) -> int:
             if name not in (VG, "start", "f") and name[1:].isdigit():
                 top = max(top, var_index(name))
     return top + 1
+
+
+#: Backwards-compatible alias (labelize_plan historically reached for it).
+_fresh_temp_index = fresh_temp_index
 
 
 # ----------------------------------------------------------------------

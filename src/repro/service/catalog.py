@@ -18,13 +18,14 @@ the service pins an entry for the duration of each query using it.
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..engine.benu import PreparedData, prepare_data
 from ..engine.config import BenuConfig
 from ..engine.granularity import TaskCostProfile
 from ..faults import NULL_INJECTOR, SITE_CATALOG_EVICT
 from ..graph.graph import Graph
+from ..labeled.graphs import LabeledGraph
 from ..plan.cost import GraphStats
 from ..storage.cache import CachePool
 from ..storage.kvstore import DistributedKVStore
@@ -60,10 +61,15 @@ class CatalogEntry:
         name: str,
         prepared: PreparedData,
         partition: Optional[PartitionInfo] = None,
+        labeled: Optional[LabeledGraph] = None,
     ) -> None:
         self.name = name
         self.prepared = prepared
         self.stats = GraphStats.of(prepared.graph)
+        #: Execution-space labeled view (vertex labels following any
+        #: relabeling), or None when the graph registered without labels.
+        #: BENU-QL label predicates require it.
+        self.labeled = labeled
         #: This node's slot in a sharded deployment (shard *i* of *N*);
         #: None for an unpartitioned, single-node registration.  Queries
         #: over a partitioned entry run only the owned start-vertex slice.
@@ -190,6 +196,7 @@ class GraphCatalog:
         relabel: bool = True,
         replace: bool = False,
         partition: Optional[PartitionInfo] = None,
+        labels: Optional[Mapping] = None,
     ) -> CatalogEntry:
         """Load ``graph`` into the catalog under ``name``.
 
@@ -200,6 +207,10 @@ class GraphCatalog:
         owned start vertices.  Halo-bounded partitions must register
         with ``relabel=False``: shards relabeling different subgraphs
         would disagree on execution ids (and so on ownership).
+        ``labels`` (original-id vertex → label) attaches a labeled view
+        so BENU-QL label predicates can run against this graph; vertices
+        absent from the mapping are unlabeled (label ``None``) and never
+        match a label predicate.
         """
         if (
             partition is not None
@@ -211,12 +222,25 @@ class GraphCatalog:
                 "relabeling different subgraphs would disagree on ownership"
             )
         prepared = prepare_data(graph, BenuConfig(relabel=relabel))
+        labeled = None
+        if labels is not None:
+            to_exec = prepared.mapping or {}
+            exec_labels = {
+                to_exec.get(v, v): labels.get(v) for v in graph.vertices
+            }
+            labeled = LabeledGraph(
+                prepared.graph.edges(),
+                exec_labels,
+                vertices=prepared.graph.vertices,
+            )
         with self._lock:
             if name in self._entries and not replace:
                 raise InvalidQueryError(
                     f"graph {name!r} is already registered (use replace)"
                 )
-            entry = CatalogEntry(name, prepared, partition=partition)
+            entry = CatalogEntry(
+                name, prepared, partition=partition, labeled=labeled
+            )
             self._clock += 1
             entry.last_used = self._clock
             self._entries[name] = entry

@@ -70,7 +70,22 @@ def _canonical_digest(canonical) -> str:
 
 
 def _exact_signature(pattern: PatternGraph) -> Tuple:
-    return tuple(sorted(tuple(sorted(e)) for e in pattern.graph.edges()))
+    """Per-exact-pattern memo key: edge set, plus vertex labels if any.
+
+    Labeled patterns compute label-aware symmetry conditions and carry
+    pool intersections, so a labeled pattern and its structural twin
+    must never share a built plan — the canonical (structure-only) cache
+    key may still share the winning matching *order* between them, which
+    is safe: the order only affects cost, never the match set.
+    """
+    edges = tuple(sorted(tuple(sorted(e)) for e in pattern.graph.edges()))
+    labels = getattr(pattern, "labels", None)
+    if labels is None:
+        return edges
+    return (
+        edges,
+        tuple(sorted((u, repr(labels[u])) for u in pattern.graph.vertices)),
+    )
 
 
 @dataclass

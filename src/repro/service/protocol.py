@@ -11,6 +11,8 @@ Operations
 ``submit``   {"op":"submit","pattern":"triangle"|[[u,v],...],"graph":"g",
               "limit":N?, "deadline":sec?, "deadline_at":epoch?,
               "stream":bool?, "config":{}?}
+``query``    {"op":"query","text":"MATCH (a)-(b) ... RETURN ...","graph":"g",
+              "limit":N?, "deadline":sec?, "deadline_at":epoch?, "config":{}?}
 ``poll``     {"op":"poll","query":"q-1","limit":100?,"wait":sec?}
 ``cancel``   {"op":"cancel","query":"q-1"}
 ``stats``    {"op":"stats"}
@@ -18,7 +20,8 @@ Operations
 ``events``   {"op":"events","type":t?,"query":"q-1"?,"limit":N?}
 ``graphs``   {"op":"graphs"}
 ``register`` {"op":"register","name":"g","dataset":"as_sim"|"edges":[[u,v],...],
-              "partition":{"index":i,"of":n,"halo":k?}?}
+              "partition":{"index":i,"of":n,"halo":k?}?,
+              "labels":{"<vertex>":<label>,...}?}
 ``queries``  {"op":"queries"}
 ``shutdown`` {"op":"shutdown"}
 
@@ -52,6 +55,7 @@ from ..engine.control import ExecutionInterrupted
 from ..faults import InjectedFault
 from ..graph.datasets import load_dataset
 from ..graph.graph import Graph
+from ..lang.errors import QueryError
 from ..storage.partition import PartitionInfo
 from ..telemetry.prometheus import render_prometheus
 from .errors import InvalidQueryError, ServiceError
@@ -62,7 +66,9 @@ from .service import BenuService
 PROTOCOL_VERSION = 2
 
 #: Optional v2 features this node advertises in the handshake.
-CAPABILITIES = ("deadline_at", "partition", "telemetry_counts", "health")
+CAPABILITIES = (
+    "deadline_at", "partition", "telemetry_counts", "health", "query"
+)
 
 
 @dataclass(frozen=True)
@@ -150,6 +156,19 @@ class ServiceProtocol:
                 raise InvalidQueryError(f"unknown op {op!r}")
             response = handler(request)
             response.setdefault("ok", True)
+            return response
+        except QueryError as exc:
+            # BENU-QL front-end failures are structured: the machine-
+            # readable code plus the position and a caret snippet, so
+            # clients point at the offending spot instead of parsing a
+            # message.
+            response = {"ok": False, "error": exc.code, "message": str(exc)}
+            if exc.line is not None:
+                response["line"] = exc.line
+                response["column"] = exc.column
+            snippet = exc.snippet()
+            if snippet is not None:
+                response["snippet"] = snippet
             return response
         except ServiceError as exc:
             return {"ok": False, "error": exc.code, "message": str(exc)}
@@ -246,6 +265,34 @@ class ServiceProtocol:
         )
         return {"query": handle.query_id, "status": handle.status.value}
 
+    def _op_query(self, request: dict) -> dict:
+        """Submit a BENU-QL text query (v2).
+
+        ``{"op":"query","text":"MATCH ...","graph":"g","limit":N?,
+        "deadline":sec?,"deadline_at":epoch?,"config":{}?}`` — the reply
+        carries the query id plus the lowered result shape (``kind`` /
+        ``columns``); results flow through ``poll`` exactly like
+        ``submit``, with GROUP BY counts in the final ``groups`` field.
+        """
+        text = request.get("text")
+        if not isinstance(text, str) or not text.strip():
+            raise InvalidQueryError('"text" (a BENU-QL query) is required')
+        deadline_at = request.get("deadline_at")
+        handle = self.service.submit_query(
+            text,
+            request.get("graph", ""),
+            config=self._parse_config(request),
+            limit=request.get("limit"),
+            deadline_seconds=request.get("deadline"),
+            deadline_at=float(deadline_at) if deadline_at is not None else None,
+        )
+        return {
+            "query": handle.query_id,
+            "status": handle.status.value,
+            "kind": handle.lang_kind,
+            "columns": list(handle.lang_columns or ()),
+        }
+
     def _op_poll(self, request: dict) -> dict:
         handle = self.service.query(str(request.get("query")))
         wait = request.get("wait")
@@ -268,6 +315,12 @@ class ServiceProtocol:
             response["done"] = handle.done
             if handle.done and handle.error is None:
                 result = handle.result()
+                if handle.lang_groups is not None:
+                    # GROUP BY keys serialize as strings (JSON objects
+                    # can't have int keys); clients parse them back.
+                    response["groups"] = {
+                        str(k): v for k, v in handle.lang_groups.items()
+                    }
                 if result is not None:
                     response["count"] = result.count
                     if result.telemetry is not None:
@@ -342,12 +395,25 @@ class ServiceProtocol:
         else:
             raise InvalidQueryError('register needs "dataset" or "edges"')
         partition = self._parse_partition(request)
+        labels = request.get("labels")
+        if labels is not None:
+            if not isinstance(labels, dict):
+                raise InvalidQueryError(
+                    '"labels" must be {"<vertex id>": <label>, ...}'
+                )
+            try:
+                labels = {int(v): lbl for v, lbl in labels.items()}
+            except (TypeError, ValueError) as exc:
+                raise InvalidQueryError(
+                    '"labels" keys must be integer vertex ids'
+                ) from exc
         return self.service.register_graph(
             name,
             graph,
             relabel=relabel,
             replace=bool(request.get("replace")),
             partition=partition,
+            labels=labels,
         )
 
     def _parse_partition(self, request: dict) -> Optional[PartitionInfo]:

@@ -36,13 +36,17 @@ from ..engine.control import (
     QueryCancelled,
 )
 from ..engine.granularity import task_cost_key
-from ..engine.sinks import LimitSink
+from ..engine.sinks import GroupCountSink, LimitSink, ProjectingSink
 from ..faults import get_injector, resolve_faults
 from ..graph.graph import Graph
 from ..graph.patterns import get_pattern
+from ..labeled.plans import labelize_plan, start_label_pool
+from ..lang.errors import QuerySemanticError
+from ..lang.lowering import LoweredQuery, lower_query
 from ..pattern.pattern_graph import PatternGraph
 from ..telemetry.events import (
     EV_FAULT_INJECTED,
+    EV_PLAN_LOWERED,
     EV_PLAN_RESOLVED,
     EV_QUERY_CANCELLED,
     EV_QUERY_FINISHED,
@@ -61,6 +65,7 @@ from ..telemetry.snapshot import (
     H_QUERY_QERROR,
     H_QUERY_WALL_SECONDS,
     M_FAULTS_INJECTED,
+    M_LANG_RULES,
     M_SERVICE_QUERIES,
     QERROR_BUCKETS,
 )
@@ -163,6 +168,7 @@ class BenuService:
         relabel: bool = True,
         replace: bool = False,
         partition=None,
+        labels=None,
     ) -> dict:
         """Register a data graph; relabeling and store builds happen once.
 
@@ -170,16 +176,20 @@ class BenuService:
         registers the graph as one shard's slice of a sharded deployment:
         queries enumerate only the owned start vertices, so N shards
         holding the same graph under complementary partitions cover the
-        single-node match set exactly, disjointly.
+        single-node match set exactly, disjointly.  ``labels`` (vertex →
+        label, original ids) attaches a labeled view for BENU-QL label
+        predicates.
         """
         entry = self.catalog.register(
-            name, graph, relabel=relabel, replace=replace, partition=partition
+            name, graph, relabel=relabel, replace=replace,
+            partition=partition, labels=labels,
         )
         out = {
             "graph": name,
             "vertices": entry.graph.num_vertices,
             "edges": entry.graph.num_edges,
             "relabeled": entry.prepared.relabeled,
+            "labeled": entry.labeled is not None,
         }
         if entry.partition is not None:
             out["partition"] = {
@@ -209,6 +219,7 @@ class BenuService:
         limit: Optional[int] = None,
         deadline_seconds: Optional[float] = None,
         deadline_at: Optional[float] = None,
+        lowered: Optional[LoweredQuery] = None,
     ) -> QueryHandle:
         """Admit a query; returns its handle or raises a typed error.
 
@@ -222,7 +233,9 @@ class BenuService:
         shard debits the same budget — time already spent upstream, and
         time this query will spend parked in the local queue, all count.
         An exhausted budget fast-rejects synchronously.  Both given, the
-        earlier wins.
+        earlier wins.  ``lowered`` (a BENU-QL :class:`LoweredQuery`,
+        normally via :meth:`submit_query`) threads label pools,
+        projection and grouping through the run.
         """
         if self._closed:
             from .errors import ServiceClosedError
@@ -270,6 +283,9 @@ class BenuService:
             limit=limit,
         )
         handle.progress = QueryProgress()
+        if lowered is not None:
+            handle.lang_kind = lowered.kind
+            handle.lang_columns = lowered.columns
         self.events.emit(
             EV_QUERY_SUBMITTED,
             query_id=query_id,
@@ -282,7 +298,9 @@ class BenuService:
 
         try:
             future = self.scheduler.submit(
-                lambda: self._run_query(handle, pattern_graph, query_config),
+                lambda: self._run_query(
+                    handle, pattern_graph, query_config, lowered
+                ),
                 estimated_bytes=estimated_bytes,
                 deadline_at=control.deadline_at,
             )
@@ -296,9 +314,72 @@ class BenuService:
             self._queries[query_id] = handle
         return handle
 
+    def submit_query(
+        self,
+        text: str,
+        graph: str,
+        config: Optional[BenuConfig] = None,
+        limit: Optional[int] = None,
+        deadline_seconds: Optional[float] = None,
+        deadline_at: Optional[float] = None,
+    ) -> QueryHandle:
+        """Admit a BENU-QL query (text in, handle out).
+
+        The text is parsed, optimized through the rule-based logical
+        optimizer and lowered onto the same plan pipeline ``submit``
+        uses; the result shape follows the query's RETURN clause —
+        matches stream through the handle, ``COUNT(*)`` runs count-only,
+        ``GROUP BY`` lands in ``handle.lang_groups``.  Syntax/semantic
+        problems raise :class:`~repro.lang.QuerySyntaxError` /
+        :class:`~repro.lang.QuerySemanticError` synchronously, before a
+        scheduler slot is taken.
+        """
+        lowered = lower_query(text)
+        if lowered.is_labeled:
+            # Fail fast, synchronously: label predicates need a labeled
+            # registration (register_graph(..., labels=...)).
+            if self.catalog.get(graph).labeled is None:
+                raise QuerySemanticError(
+                    f"query uses label predicates but graph {graph!r} was "
+                    "registered without labels"
+                )
+        handle = self.submit(
+            lowered.pattern,
+            graph,
+            config=config,
+            stream=lowered.kind == "stream",
+            limit=limit,
+            deadline_seconds=deadline_seconds,
+            deadline_at=deadline_at,
+            lowered=lowered,
+        )
+        self.events.emit(
+            EV_PLAN_LOWERED,
+            query_id=handle.query_id,
+            text=text,
+            kind=lowered.kind,
+            labeled=lowered.is_labeled,
+            unsatisfiable=lowered.unsatisfiable,
+            rules=list(lowered.rules_fired),
+            logical_size=lowered.logical_size,
+        )
+        if lowered.rules_fired:
+            counter = self.registry.counter(
+                M_LANG_RULES,
+                "BENU-QL logical-optimizer rule firings",
+                ("rule",),
+            )
+            for rule in lowered.rules_fired:
+                counter.inc(rule=rule)
+        return handle
+
     # ------------------------------------------------------------------
     def _run_query(
-        self, handle: QueryHandle, pattern: PatternGraph, config: BenuConfig
+        self,
+        handle: QueryHandle,
+        pattern: PatternGraph,
+        config: BenuConfig,
+        lowered: Optional[LoweredQuery] = None,
     ) -> None:
         control = handle.control
         buffer = handle.buffer
@@ -343,16 +424,46 @@ class BenuService:
                 )
                 control.check()
 
+                labeled_data = None
+                if lowered is not None and lowered.is_labeled:
+                    # The cached plan is label-aware structurally (the
+                    # pattern's symmetry conditions are); pools are a
+                    # per-graph rewrite applied here, outside the cache.
+                    labeled_data = entry.labeled
+                    predicted = plan.predicted_counts
+                    plan = labelize_plan(plan, pattern, labeled_data)
+                    plan.predicted_counts = predicted
+
                 sink = None
+                group_sink = None
                 if buffer is not None:
                     sink = (
                         LimitSink(buffer, handle.limit, control)
                         if handle.limit is not None
                         else buffer
                     )
+                    if lowered is not None and lowered.projection is not None:
+                        sink = ProjectingSink(sink, lowered.projection)
+                elif lowered is not None and lowered.kind == "groups":
+                    group_sink = GroupCountSink(lowered.group_by)
+                    sink = group_sink
                 # A partitioned entry runs only this shard's slice of the
                 # start-vertex task space; None means the whole graph.
                 start_vertices = entry.owned_start_vertices()
+                if lowered is not None and lowered.unsatisfiable:
+                    # Proven empty by the logical optimizer: run the
+                    # ordinary machinery over zero tasks (uniform across
+                    # backends and shards).
+                    start_vertices = []
+                elif labeled_data is not None:
+                    pool = start_label_pool(plan, pattern, labeled_data)
+                    if pool is not None:
+                        base = (
+                            start_vertices
+                            if start_vertices is not None
+                            else entry.prepared.graph.vertices
+                        )
+                        start_vertices = [v for v in base if v in pool]
                 if config.execution_backend == "process":
                     # The cap is on *total* worker processes across all
                     # in-flight queries: block until slots free up, and
@@ -403,6 +514,11 @@ class BenuService:
                         progress=handle.progress,
                         start_vertices=start_vertices,
                     )
+            if group_sink is not None:
+                # Keys already carry original ids (the executor wraps
+                # the sink in a TranslatingSink when the graph was
+                # relabeled).
+                handle.lang_groups = dict(group_sink.counts)
             handle._result = result
             status = QueryStatus.SUCCEEDED
         except QueryCancelled as exc:

@@ -182,6 +182,11 @@ class QueryHandle:
         self.progress = None
         #: True when the stream was cut short by ``limit``.
         self.truncated = False
+        #: BENU-QL annotations (set by submit_query): result shape,
+        #: output column names, and GROUP BY counts when kind="groups".
+        self.lang_kind: Optional[str] = None
+        self.lang_columns: Optional[Tuple[str, ...]] = None
+        self.lang_groups: Optional[dict] = None
         self._result = None
         self._done = threading.Event()
         self._lock = threading.Lock()

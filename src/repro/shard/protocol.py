@@ -17,6 +17,7 @@ import threading
 from typing import Dict, Optional, TextIO
 
 from ..engine.control import ExecutionInterrupted
+from ..lang.errors import QueryError
 from ..service.errors import InvalidQueryError, ServiceError
 from ..service.protocol import CAPABILITIES, PROTOCOL_VERSION
 from .router import RouterQuery, ShardRouter
@@ -47,6 +48,15 @@ class RouterProtocol:
                 raise InvalidQueryError(f"unknown op {op!r}")
             response = handler(request)
             response.setdefault("ok", True)
+            return response
+        except QueryError as exc:
+            response = {"ok": False, "error": exc.code, "message": str(exc)}
+            if exc.line is not None:
+                response["line"] = exc.line
+                response["column"] = exc.column
+            snippet = exc.snippet()
+            if snippet:
+                response["snippet"] = snippet
             return response
         except ServiceError as exc:
             return {"ok": False, "error": exc.code, "message": str(exc)}
@@ -107,6 +117,29 @@ class RouterProtocol:
             "shards": {
                 str(k): v for k, v in query.query_ids.items()
             },
+        }
+
+    def _op_query(self, request: dict) -> dict:
+        text = request.get("text")
+        if not isinstance(text, str) or not text.strip():
+            raise InvalidQueryError('"text" must be a non-empty BENU-QL string')
+        query = self.router.submit_query(
+            text,
+            request.get("graph", ""),
+            limit=request.get("limit"),
+            deadline=request.get("deadline"),
+            config=request.get("config"),
+        )
+        with self._lock:
+            self._next_id += 1
+            query_id = f"r-{self._next_id}"
+            self._queries[query_id] = query
+        return {
+            "query": query_id,
+            "status": "running",
+            "kind": query.kind,
+            "columns": list(query.columns or ()),
+            "shards": {str(k): v for k, v in query.query_ids.items()},
         }
 
     def _op_poll(self, request: dict) -> dict:

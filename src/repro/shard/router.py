@@ -44,6 +44,7 @@ import time
 from typing import Dict, List, Optional, Sequence
 
 from ..engine.control import DeadlineExpired, QueryCancelled
+from ..lang.lowering import lower_query
 from ..service.errors import InvalidQueryError, ServiceError
 from ..telemetry.events import (
     EV_REPLICA_MARKED_ALIVE,
@@ -96,6 +97,7 @@ class _Slice:
         self.retried = False
         self.count: Optional[int] = None
         self.telemetry: Optional[dict] = None
+        self.groups: Optional[dict] = None  # BENU-QL GROUP BY counts
 
 
 class RouterFetchResult:
@@ -121,6 +123,8 @@ class RouterQuery:
         deadline_at: Optional[float],
         stream: bool,
         limit: Optional[int],
+        kind: Optional[str] = None,
+        columns: Optional[Sequence[str]] = None,
     ) -> None:
         self._router = router
         self._request = request  # resubmitted verbatim on failover
@@ -128,6 +132,10 @@ class RouterQuery:
         self.deadline_at = deadline_at
         self.stream = stream
         self.limit = limit
+        #: BENU-QL result shape ("count" / "groups" / "stream"), or None
+        #: for pattern-submitted queries.
+        self.kind = kind
+        self.columns = tuple(columns) if columns is not None else None
         self._current = 0  # partition index being drained
         self._cursor = 0  # total matches delivered across shards
         self._truncated = False
@@ -338,6 +346,7 @@ class RouterQuery:
                     s.done = True
                     s.count = int(response.get("count", 0))
                     s.telemetry = response.get("telemetry") or {}
+                    s.groups = response.get("groups")
             total += s.count or 0
             for kind, sums in (
                 ("instruction_counts", instruction_counts),
@@ -354,12 +363,21 @@ class RouterQuery:
                     "retried": s.retried,
                 }
             )
-        return {
+        out = {
             "count": total,
             "instruction_counts": instruction_counts,
             "kernel_counts": kernel_counts,
             "per_shard": per_shard,
         }
+        if any(s.groups is not None for s in self._slices):
+            # Shard slices partition the task space, so each group key's
+            # matches land on disjoint shards — summing is exact.
+            groups: Dict[str, int] = {}
+            for s in self._slices:
+                for key, value in (s.groups or {}).items():
+                    groups[key] = groups.get(key, 0) + int(value)
+            out["groups"] = groups
+        return out
 
 
 class ShardRouter:
@@ -555,6 +573,57 @@ class ShardRouter:
             request["deadline_at"] = deadline_at
         if config is not None:
             request["config"] = config
+        slices = self._submit_slices(request, deadline_at)
+        return RouterQuery(
+            self, request, slices, deadline_at, stream=stream, limit=limit
+        )
+
+    def submit_query(
+        self,
+        text: str,
+        graph: str,
+        limit: Optional[int] = None,
+        deadline: Optional[float] = None,
+        config: Optional[dict] = None,
+    ) -> RouterQuery:
+        """Fan one BENU-QL query out to every partition.
+
+        The query text is lowered locally first, so syntax and semantic
+        errors surface immediately as typed :class:`QueryError`\\ s
+        (with line/column) without touching the network, and the merged
+        handle knows its result shape: ``kind == "stream"`` drains
+        through :meth:`RouterQuery.fetch`, while ``count``/``groups``
+        block in :meth:`RouterQuery.result` — the router sums per-shard
+        counts (and GROUP BY buckets) exactly, because shard slices
+        partition the task space.  Each shard re-lowers the same text
+        against its own slice, so the wire carries only the query string.
+        """
+        lowered = lower_query(text)
+        stream = lowered.kind == "stream"
+        deadline_at = time.time() + deadline if deadline is not None else None
+        request: dict = {"op": "query", "text": text, "graph": graph}
+        if limit is not None:
+            request["limit"] = limit
+        if deadline_at is not None:
+            request["deadline_at"] = deadline_at
+        if config is not None:
+            request["config"] = config
+        slices = self._submit_slices(request, deadline_at)
+        return RouterQuery(
+            self,
+            request,
+            slices,
+            deadline_at,
+            stream=stream,
+            limit=limit,
+            kind=lowered.kind,
+            columns=lowered.columns,
+        )
+
+    def _submit_slices(
+        self, request: dict, deadline_at: Optional[float]
+    ) -> List[_Slice]:
+        """Submit ``request`` to one live replica of every partition."""
         slices = []
         for index in range(self.shard_count):
             s = _Slice(index, self.replicas[index])
@@ -579,9 +648,7 @@ class ShardRouter:
                     f"partition {index} has no live replica to submit to"
                 )
             slices.append(s)
-        return RouterQuery(
-            self, request, slices, deadline_at, stream=stream, limit=limit
-        )
+        return slices
 
     # ------------------------------------------------------- observability
     def _fanout(self, request: dict) -> Dict[str, dict]:

@@ -46,6 +46,7 @@ __all__ = [
     "EV_QUERY_REJECTED",
     "EV_QUERY_STARTED",
     "EV_PLAN_RESOLVED",
+    "EV_PLAN_LOWERED",
     "EV_TASK_DISPATCHED",
     "EV_TASK_FINISHED",
     "EV_QUERY_CANCELLED",
@@ -65,6 +66,9 @@ EV_QUERY_SUBMITTED = "query_submitted"
 EV_QUERY_REJECTED = "query_rejected"
 EV_QUERY_STARTED = "query_started"
 EV_PLAN_RESOLVED = "plan_resolved"
+# BENU-QL text was lowered through the rule optimizer (rules fired +
+# logical-tree size ride along as payload).
+EV_PLAN_LOWERED = "plan_lowered"
 EV_TASK_DISPATCHED = "task_dispatched"
 EV_TASK_FINISHED = "task_finished"
 EV_QUERY_CANCELLED = "query_cancel_requested"
@@ -86,6 +90,7 @@ EVENT_TYPES = (
     EV_QUERY_REJECTED,
     EV_QUERY_STARTED,
     EV_PLAN_RESOLVED,
+    EV_PLAN_LOWERED,
     EV_TASK_DISPATCHED,
     EV_TASK_FINISHED,
     EV_QUERY_CANCELLED,

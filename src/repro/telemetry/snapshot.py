@@ -105,6 +105,10 @@ H_QUERY_WALL_SECONDS = "benu_service_query_wall_seconds"
 
 H_QUERY_QERROR = "benu_service_query_q_error"
 
+# BENU-QL front-end: one count per logical-optimizer rule firing,
+# labeled by rule name.
+M_LANG_RULES = "benu_lang_rule_fired_total"
+
 #: Bucket bounds for q-error histograms (a ratio >= 1).
 QERROR_BUCKETS = (1.0, 1.5, 2.0, 5.0, 10.0, 100.0, 1000.0)
 
